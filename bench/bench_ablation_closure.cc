@@ -1,0 +1,46 @@
+// Ablation: the lazy-inference active closure (Appendix A.3). Compares
+// grounding with the closure (Tuffy/Alchemy default) against exhaustive
+// grounding of every evidence-undetermined clause.
+//
+// Shape: the closure sharply reduces the number of emitted ground
+// clauses (and hence search-state size) at a small closure-iteration
+// cost; MAP quality is preserved because pruned clauses are satisfied
+// under the all-false default the search starts from.
+
+#include "bench/bench_common.h"
+#include "ground/bottom_up_grounder.h"
+#include "util/timer.h"
+
+using namespace tuffy;         // NOLINT
+using namespace tuffy::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Ablation: lazy-closure grounding vs exhaustive grounding");
+  std::printf("%-10s %12s %12s %12s %12s %10s %10s\n", "dataset",
+              "lazy_clauses", "eager_claus", "lazy_atoms", "eager_atoms",
+              "lazy_s", "eager_s");
+  for (const Dataset& ds : AllBenchDatasets()) {
+    GroundingOptions lazy;
+    lazy.lazy_closure = true;
+    Timer t1;
+    BottomUpGrounder g1(ds.program, ds.evidence, lazy);
+    auto r1 = g1.Ground();
+    double s1 = t1.ElapsedSeconds();
+    if (!r1.ok()) return 1;
+
+    GroundingOptions eager;
+    eager.lazy_closure = false;
+    Timer t2;
+    BottomUpGrounder g2(ds.program, ds.evidence, eager);
+    auto r2 = g2.Ground();
+    double s2 = t2.ElapsedSeconds();
+    if (!r2.ok()) return 1;
+
+    std::printf("%-10s %12zu %12zu %12zu %12zu %10.3f %10.3f\n",
+                ds.name.c_str(), r1.value().clauses.num_clauses(),
+                r2.value().clauses.num_clauses(),
+                r1.value().atoms.num_atoms(), r2.value().atoms.num_atoms(),
+                s1, s2);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 6: lesion study of bottom-up grounding. Disabling parts of the
+// relational optimizer shows which machinery delivers the speed: with
+// only nested-loop joins available, grounding collapses by orders of
+// magnitude; the cost-based join order matters far less on these schemas.
+//
+// Paper values:              LP    IE    RC        ER
+//   Full optimizer           6     13    40        106
+//   Fixed join order         7     13    43        111
+//   Fixed join algorithm     112   306   >36,000   >16,000
+
+#include "bench/bench_common.h"
+#include "ground/bottom_up_grounder.h"
+#include "util/timer.h"
+
+using namespace tuffy;         // NOLINT
+using namespace tuffy::bench;  // NOLINT
+
+namespace {
+
+double GroundWith(const Dataset& ds, const OptimizerOptions& opts) {
+  Timer t;
+  BottomUpGrounder g(ds.program, ds.evidence, GroundingOptions{}, opts);
+  auto r = g.Ground();
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return t.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 6: grounding lesion study (seconds)");
+  std::printf("%-24s %10s %10s %10s %10s\n", "configuration", "LP", "IE",
+              "RC", "ER");
+  std::vector<Dataset> datasets;
+  datasets.push_back(GroundingScaleLp());
+  datasets.push_back(BenchIe());
+  datasets.push_back(GroundingScaleRc());
+  datasets.push_back(BenchEr());
+
+  auto run_row = [&](const char* label, OptimizerOptions opts) {
+    std::printf("%-24s", label);
+    for (const Dataset& ds : datasets) {
+      std::printf(" %10.3f", GroundWith(ds, opts));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  };
+
+  run_row("full optimizer", OptimizerOptions{});
+
+  OptimizerOptions fixed_order;
+  fixed_order.fixed_join_order = true;
+  run_row("fixed join order", fixed_order);
+
+  OptimizerOptions nlj_only;
+  nlj_only.enable_hash_join = false;
+  nlj_only.enable_merge_join = false;
+  run_row("fixed join algorithm", nlj_only);
+
+  std::printf(
+      "\nShape check vs paper Table 6: forcing nested-loop joins is the\n"
+      "crippling lesion; fixing the join order costs little on these\n"
+      "schemas. Join algorithms (hash/sort-merge) are the key RDBMS\n"
+      "machinery behind bottom-up grounding.\n");
+  return 0;
+}

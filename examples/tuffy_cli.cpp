@@ -1,0 +1,192 @@
+// tuffy_cli: command-line MLN inference, in the spirit of the original
+// Tuffy release. Reads a program (.mln) and evidence (.db) file, runs MAP
+// or marginal inference, and prints (or writes) the query relation.
+//
+// Usage:
+//   tuffy_cli -i prog.mln -e evidence.db -q query_pred [options]
+//
+// Options:
+//   -i FILE        MLN program file (required)
+//   -e FILE        evidence file (required)
+//   -q PRED        query predicate to report (required; repeatable)
+//   -o FILE        write results to FILE instead of stdout
+//   -marginal      marginal inference (MC-SAT) instead of MAP
+//   -flips N       WalkSAT flip budget (default 1000000)
+//   -threads N     worker threads (default 1)
+//   -budget BYTES  memory budget for search state (default unlimited)
+//   -mode M        search mode: component (default), memory, partition,
+//                  disk
+//   -topdown       use the Alchemy-style top-down grounder
+//   -seed N        RNG seed (default 42)
+//
+// Example:
+//   ./build/examples/tuffy_cli -i prog.mln -e facts.db -q cat
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/tuffy_engine.h"
+#include "mln/io.h"
+#include "util/string_util.h"
+
+using namespace tuffy;  // NOLINT: example brevity
+
+namespace {
+
+struct CliArgs {
+  std::string program_file;
+  std::string evidence_file;
+  std::vector<std::string> query_preds;
+  std::string output_file;
+  bool marginal = false;
+  EngineOptions engine;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -i prog.mln -e evidence.db -q query_pred "
+               "[-o out] [-marginal] [-flips N] [-threads N] "
+               "[-budget BYTES] [-mode component|memory|partition|disk] "
+               "[-topdown] [-seed N]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "-i") {
+      const char* v = next();
+      if (!v) return false;
+      args->program_file = v;
+    } else if (a == "-e") {
+      const char* v = next();
+      if (!v) return false;
+      args->evidence_file = v;
+    } else if (a == "-q") {
+      const char* v = next();
+      if (!v) return false;
+      args->query_preds.push_back(v);
+    } else if (a == "-o") {
+      const char* v = next();
+      if (!v) return false;
+      args->output_file = v;
+    } else if (a == "-marginal") {
+      args->marginal = true;
+      args->engine.task = InferenceTask::kMarginal;
+    } else if (a == "-flips") {
+      const char* v = next();
+      if (!v) return false;
+      args->engine.total_flips = std::strtoull(v, nullptr, 10);
+    } else if (a == "-threads") {
+      const char* v = next();
+      if (!v) return false;
+      args->engine.num_threads = std::atoi(v);
+    } else if (a == "-budget") {
+      const char* v = next();
+      if (!v) return false;
+      args->engine.memory_budget_bytes = std::strtoull(v, nullptr, 10);
+    } else if (a == "-mode") {
+      const char* v = next();
+      if (!v) return false;
+      std::string mode = v;
+      if (mode == "component") {
+        args->engine.search_mode = SearchMode::kComponentAware;
+      } else if (mode == "memory") {
+        args->engine.search_mode = SearchMode::kInMemory;
+      } else if (mode == "partition") {
+        args->engine.search_mode = SearchMode::kPartitionAware;
+      } else if (mode == "disk") {
+        args->engine.search_mode = SearchMode::kDisk;
+      } else {
+        return false;
+      }
+    } else if (a == "-topdown") {
+      args->engine.grounding_mode = GroundingMode::kTopDown;
+    } else if (a == "-seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->engine.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return !args->program_file.empty() && !args->evidence_file.empty() &&
+         !args->query_preds.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  auto program_result = LoadProgramFile(args.program_file);
+  if (!program_result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.program_file.c_str(),
+                 program_result.status().ToString().c_str());
+    return 1;
+  }
+  MlnProgram program = program_result.TakeValue();
+  EvidenceDb evidence;
+  Status st = LoadEvidenceFile(args.evidence_file, &program, &evidence);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.evidence_file.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  TuffyEngine engine(program, evidence, args.engine);
+  auto result = engine.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const EngineResult& r = result.value();
+  std::fprintf(stderr,
+               "grounding: %zu atoms, %zu clauses, %.3fs; search: %.3fs, "
+               "%llu flips, cost %.2f, %zu components\n",
+               r.grounding.atoms.num_atoms(),
+               r.grounding.clauses.num_clauses(), r.grounding_seconds,
+               r.search_seconds, (unsigned long long)r.flips, r.total_cost,
+               r.num_components);
+
+  std::string out;
+  for (const std::string& pred_name : args.query_preds) {
+    auto pid = program.FindPredicate(pred_name);
+    if (!pid.ok()) {
+      std::fprintf(stderr, "unknown query predicate %s\n",
+                   pred_name.c_str());
+      return 1;
+    }
+    for (AtomId a = 0; a < r.grounding.atoms.num_atoms(); ++a) {
+      if (r.grounding.atoms.atom(a).pred != pid.value()) continue;
+      if (args.marginal) {
+        out += StrFormat("%.4f\t", r.marginals[a]);
+        out += r.grounding.atoms.AtomName(program, a);
+        out += "\n";
+      } else if (a < r.truth.size() && r.truth[a] != 0) {
+        out += r.grounding.atoms.AtomName(program, a);
+        out += "\n";
+      }
+    }
+  }
+  if (args.output_file.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    Status write = WriteStringToFile(args.output_file, out);
+    if (!write.ok()) {
+      std::fprintf(stderr, "%s\n", write.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

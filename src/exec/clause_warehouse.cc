@@ -1,0 +1,78 @@
+#include "exec/clause_warehouse.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tuffy {
+
+ClauseWarehouse::ClauseWarehouse(size_t buffer_frames, uint32_t io_latency_us) {
+  disk_ = std::make_unique<DiskManager>();
+  disk_->set_simulated_latency_us(io_latency_us);
+  pool_ = std::make_unique<BufferPool>(buffer_frames, disk_.get());
+  file_ = std::make_unique<HeapFile>(pool_.get(), sizeof(ClauseRecord));
+}
+
+Result<std::unique_ptr<ClauseWarehouse>> ClauseWarehouse::Create(
+    const std::vector<GroundClause>& clauses, size_t buffer_frames,
+    uint32_t io_latency_us) {
+  std::unique_ptr<ClauseWarehouse> wh(
+      new ClauseWarehouse(buffer_frames, io_latency_us));
+  wh->record_of_clause_.assign(clauses.size(), -1);
+  wh->overflow_of_clause_.assign(clauses.size(), -1);
+  int64_t next_record = 0;
+  for (size_t ci = 0; ci < clauses.size(); ++ci) {
+    const GroundClause& c = clauses[ci];
+    if (c.lits.size() > kMaxLitsPerClause) {
+      wh->overflow_of_clause_[ci] =
+          static_cast<int64_t>(wh->overflow_.size());
+      wh->overflow_.push_back(c);
+      continue;
+    }
+    ClauseRecord rec;
+    std::memset(&rec, 0, sizeof(rec));
+    rec.weight = c.weight;
+    rec.rule_id = c.rule_id;
+    rec.hard = c.hard ? 1 : 0;
+    rec.num_lits = static_cast<uint8_t>(c.lits.size());
+    for (size_t i = 0; i < c.lits.size(); ++i) rec.lits[i] = c.lits[i];
+    TUFFY_ASSIGN_OR_RETURN(RecordId rid,
+                           wh->file_->Append(reinterpret_cast<char*>(&rec)));
+    (void)rid;
+    wh->record_of_clause_[ci] = next_record++;
+  }
+  TUFFY_RETURN_IF_ERROR(wh->pool_->FlushAll());
+  return wh;
+}
+
+Result<std::vector<GroundClause>> ClauseWarehouse::Load(
+    const std::vector<uint32_t>& clause_ids) {
+  std::vector<GroundClause> out(clause_ids.size());
+  // Fetch in physical record order so one bulk load touches each page
+  // once (the point of FFD batch loading, Section 3.3); results are still
+  // returned in the requested order.
+  std::vector<std::pair<int64_t, size_t>> order;
+  order.reserve(clause_ids.size());
+  for (size_t k = 0; k < clause_ids.size(); ++k) {
+    uint32_t ci = clause_ids[k];
+    if (record_of_clause_[ci] < 0) {
+      out[k] = overflow_[overflow_of_clause_[ci]];
+      continue;
+    }
+    order.emplace_back(record_of_clause_[ci], k);
+  }
+  std::sort(order.begin(), order.end());
+  ClauseRecord rec;
+  for (const auto& [record_idx, k] : order) {
+    TUFFY_RETURN_IF_ERROR(file_->ReadNth(static_cast<uint64_t>(record_idx),
+                                         reinterpret_cast<char*>(&rec)));
+    GroundClause c;
+    c.weight = rec.weight;
+    c.rule_id = rec.rule_id;
+    c.hard = rec.hard != 0;
+    c.lits.assign(rec.lits, rec.lits + rec.num_lits);
+    out[k] = std::move(c);
+  }
+  return out;
+}
+
+}  // namespace tuffy

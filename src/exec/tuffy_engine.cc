@@ -1,0 +1,310 @@
+#include "exec/tuffy_engine.h"
+
+#include <algorithm>
+
+#include "exec/clause_warehouse.h"
+#include "ground/bottom_up_grounder.h"
+#include "ground/top_down_grounder.h"
+#include "infer/component_walksat.h"
+#include "infer/disk_walksat.h"
+#include "infer/gauss_seidel.h"
+#include "infer/mcsat.h"
+#include "mrf/bin_packing.h"
+#include "mrf/components.h"
+#include "mrf/partitioner.h"
+#include "util/mem_tracker.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+namespace {
+/// Rough bytes of in-memory search state per size-metric unit (an atom or
+/// a literal): truth byte + occurrence entry + clause bookkeeping.
+constexpr uint64_t kBytesPerSizeUnit = 16;
+}  // namespace
+
+Status TuffyEngine::RunSearch(EngineResult* result) {
+  const std::vector<GroundClause>& clauses =
+      result->grounding.clauses.clauses();
+  const size_t num_atoms = result->grounding.atoms.num_atoms();
+  Timer timer;
+
+  if (num_atoms == 0) {
+    result->truth.clear();
+    result->search_cost = 0.0;
+    return Status::OK();
+  }
+
+  switch (options_.search_mode) {
+    case SearchMode::kInMemory: {
+      Problem whole = MakeWholeProblem(num_atoms, clauses);
+      result->peak_search_bytes = whole.SizeMetric() * kBytesPerSizeUnit;
+      ScopedMemCharge charge(MemCategory::kSearch, result->peak_search_bytes);
+      WalkSatOptions wopts;
+      wopts.max_flips = options_.total_flips;
+      wopts.p_random = options_.p_random;
+      wopts.hard_weight = options_.hard_weight;
+      wopts.timeout_seconds = options_.timeout_seconds;
+      wopts.init_random = options_.init_random;
+      wopts.trace_every_flips =
+          std::max<uint64_t>(1, options_.total_flips / 200);
+      Rng rng(options_.seed);
+      WalkSat search(&whole, wopts, &rng);
+      WalkSatResult wr = search.Run();
+      result->truth = std::move(wr.best_truth);
+      result->flips = wr.flips;
+      result->trace = std::move(wr.trace);
+      break;
+    }
+
+    case SearchMode::kComponentAware: {
+      ComponentSet components = DetectComponents(num_atoms, clauses);
+      result->num_components = components.num_components();
+
+      // Batch the components under the memory budget (FFD), or give each
+      // component its own batch when batch loading is disabled.
+      std::vector<uint64_t> sizes(components.num_components());
+      uint64_t total_size = 0;
+      for (size_t i = 0; i < components.num_components(); ++i) {
+        sizes[i] = ComponentSizeMetric(components, i, clauses);
+        total_size += sizes[i];
+      }
+      uint64_t capacity_units =
+          options_.memory_budget_bytes == 0
+              ? std::max<uint64_t>(total_size, 1)
+              : std::max<uint64_t>(1, options_.memory_budget_bytes /
+                                          kBytesPerSizeUnit);
+      std::vector<std::vector<size_t>> batches;
+      if (options_.batch_loading) {
+        BinPacking packing = FirstFitDecreasing(sizes, capacity_units);
+        batches.resize(packing.num_bins);
+        for (size_t i = 0; i < sizes.size(); ++i) {
+          batches[packing.bin_of_item[i]].push_back(i);
+        }
+      } else {
+        batches.resize(components.num_components());
+        for (size_t i = 0; i < components.num_components(); ++i) {
+          batches[i].push_back(i);
+        }
+      }
+
+      std::unique_ptr<ClauseWarehouse> warehouse;
+      if (options_.simulate_loading_io) {
+        TUFFY_ASSIGN_OR_RETURN(
+            warehouse,
+            ClauseWarehouse::Create(clauses, options_.loading_buffer_frames,
+                                    options_.loading_io_latency_us));
+      }
+
+      result->truth.assign(num_atoms, 0);
+      uint64_t batch_peak = 0;
+      int batch_index = 0;
+      for (const std::vector<size_t>& batch : batches) {
+        if (batch.empty()) continue;
+        // Load this batch's clauses (through the warehouse if enabled).
+        std::vector<uint32_t> batch_clause_ids;
+        uint64_t batch_atoms = 0;
+        uint64_t batch_size = 0;
+        for (size_t comp : batch) {
+          batch_clause_ids.insert(batch_clause_ids.end(),
+                                  components.clauses[comp].begin(),
+                                  components.clauses[comp].end());
+          batch_atoms += components.atoms[comp].size();
+          batch_size += sizes[comp];
+        }
+        Timer load_timer;
+        std::vector<GroundClause> batch_clauses;
+        if (warehouse != nullptr) {
+          TUFFY_ASSIGN_OR_RETURN(batch_clauses,
+                                 warehouse->Load(batch_clause_ids));
+        } else {
+          batch_clauses.reserve(batch_clause_ids.size());
+          for (uint32_t ci : batch_clause_ids) {
+            batch_clauses.push_back(clauses[ci]);
+          }
+        }
+        result->load_seconds += load_timer.ElapsedSeconds();
+
+        // Batch-local component set (clause ids index batch_clauses).
+        ComponentSet batch_components;
+        batch_components.atoms.reserve(batch.size());
+        batch_components.clauses.resize(batch.size());
+        uint32_t next_clause = 0;
+        for (size_t k = 0; k < batch.size(); ++k) {
+          size_t comp = batch[k];
+          batch_components.atoms.push_back(components.atoms[comp]);
+          for (size_t j = 0; j < components.clauses[comp].size(); ++j) {
+            batch_components.clauses[k].push_back(next_clause++);
+          }
+        }
+
+        batch_peak = std::max(batch_peak, batch_size * kBytesPerSizeUnit);
+        ScopedMemCharge charge(MemCategory::kSearch,
+                               batch_size * kBytesPerSizeUnit);
+
+        ComponentSearchOptions copts;
+        copts.total_flips = std::max<uint64_t>(
+            1, options_.total_flips * batch_atoms / num_atoms);
+        copts.rounds = options_.rounds;
+        copts.num_threads = options_.num_threads;
+        copts.p_random = options_.p_random;
+        copts.hard_weight = options_.hard_weight;
+        copts.timeout_seconds = options_.timeout_seconds;
+        copts.init_random = options_.init_random;
+        ComponentSearchResult cr = RunComponentWalkSat(
+            num_atoms, batch_clauses, batch_components, copts,
+            options_.seed + 7919 * static_cast<uint64_t>(batch_index));
+        for (size_t comp : batch) {
+          for (AtomId a : components.atoms[comp]) {
+            result->truth[a] = cr.truth[a];
+          }
+        }
+        result->flips += cr.flips;
+        double offset = timer.ElapsedSeconds() - cr.seconds;
+        for (const TracePoint& tp : cr.trace) {
+          result->trace.push_back(
+              TracePoint{tp.seconds + offset, tp.flips, tp.cost});
+        }
+        ++batch_index;
+      }
+      result->peak_search_bytes = batch_peak;
+      break;
+    }
+
+    case SearchMode::kPartitionAware: {
+      uint64_t beta = options_.memory_budget_bytes == 0
+                          ? UINT64_MAX
+                          : std::max<uint64_t>(
+                                1, options_.memory_budget_bytes /
+                                       kBytesPerSizeUnit);
+      PartitionResult partitions = PartitionMrf(num_atoms, clauses, beta);
+      result->num_partitions = partitions.num_partitions();
+      result->num_components =
+          DetectComponents(num_atoms, clauses).num_components();
+      uint64_t max_part = 0;
+      for (uint64_t s : partitions.sizes) max_part = std::max(max_part, s);
+      result->peak_search_bytes = max_part * kBytesPerSizeUnit;
+      ScopedMemCharge charge(MemCategory::kSearch, result->peak_search_bytes);
+
+      GaussSeidelOptions gopts;
+      gopts.sweeps = options_.rounds;
+      gopts.flips_per_partition = std::max<uint64_t>(
+          1, options_.total_flips /
+                 std::max<uint64_t>(
+                     1, static_cast<uint64_t>(options_.rounds) *
+                            partitions.num_partitions()));
+      gopts.p_random = options_.p_random;
+      gopts.hard_weight = options_.hard_weight;
+      gopts.timeout_seconds = options_.timeout_seconds;
+      gopts.init_random = options_.init_random;
+      GaussSeidelResult gr = RunGaussSeidel(num_atoms, clauses, partitions,
+                                            gopts, options_.seed);
+      result->truth = std::move(gr.truth);
+      result->flips = gr.flips;
+      result->trace = std::move(gr.trace);
+      break;
+    }
+
+    case SearchMode::kDisk: {
+      Problem whole = MakeWholeProblem(num_atoms, clauses);
+      DiskWalkSatOptions dopts;
+      dopts.max_flips = options_.total_flips;
+      dopts.p_random = options_.p_random;
+      dopts.hard_weight = options_.hard_weight;
+      dopts.timeout_seconds = options_.timeout_seconds;
+      dopts.buffer_frames = options_.disk_buffer_frames;
+      dopts.io_latency_us = options_.disk_io_latency_us;
+      dopts.trace_every_flips = 1;
+      dopts.init_random = options_.init_random;
+      TUFFY_ASSIGN_OR_RETURN(std::unique_ptr<DiskWalkSat> ws,
+                             DiskWalkSat::Create(whole, dopts));
+      // Only the atom array lives in RAM for Tuffy-mm.
+      result->peak_search_bytes = num_atoms;
+      Rng rng(options_.seed);
+      WalkSatResult wr = ws->Run(&rng);
+      result->truth = std::move(wr.best_truth);
+      result->flips = wr.flips;
+      result->trace = std::move(wr.trace);
+      break;
+    }
+  }
+
+  // Loading (charged to load_seconds above) happened inside this span;
+  // report pure search time.
+  result->search_seconds = timer.ElapsedSeconds() - result->load_seconds;
+  return Status::OK();
+}
+
+Result<EngineResult> TuffyEngine::Run() {
+  EngineResult result;
+
+  Timer ground_timer;
+  if (options_.grounding_mode == GroundingMode::kBottomUp) {
+    BottomUpGrounder grounder(program_, evidence_, options_.grounding,
+                              options_.optimizer);
+    TUFFY_ASSIGN_OR_RETURN(result.grounding, grounder.Ground());
+  } else {
+    TopDownGrounder grounder(program_, evidence_, options_.grounding);
+    TUFFY_ASSIGN_OR_RETURN(result.grounding, grounder.Ground());
+  }
+  result.grounding_seconds = ground_timer.ElapsedSeconds();
+  result.clause_table_bytes = result.grounding.clauses.EstimateBytes();
+  MemTracker::Global().Allocate(MemCategory::kClauseTable,
+                                result.clause_table_bytes);
+
+  Status st;
+  if (options_.task == InferenceTask::kMarginal) {
+    // Marginal inference (Appendix A.5): MC-SAT over the ground MRF.
+    Timer search_timer;
+    const size_t n = result.grounding.atoms.num_atoms();
+    if (n > 0) {
+      Problem whole = MakeWholeProblem(n, result.grounding.clauses.clauses());
+      McSatOptions mopts;
+      mopts.num_samples = options_.mcsat_samples;
+      mopts.burn_in = options_.mcsat_burn_in;
+      mopts.hard_weight = options_.hard_weight;
+      McSatResult mr = RunMcSat(whole, mopts, options_.seed);
+      result.marginals = std::move(mr.marginals);
+      // The MAP-style fields still get a best-effort thresholded state.
+      result.truth.assign(n, 0);
+      for (size_t a = 0; a < n; ++a) {
+        result.truth[a] = result.marginals[a] >= 0.5 ? 1 : 0;
+      }
+    }
+    result.search_seconds = search_timer.ElapsedSeconds();
+    st = Status::OK();
+  } else {
+    st = RunSearch(&result);
+  }
+  MemTracker::Global().Release(MemCategory::kClauseTable,
+                               result.clause_table_bytes);
+  TUFFY_RETURN_IF_ERROR(st);
+
+  // Uniform cost accounting across all modes.
+  const size_t num_atoms = result.grounding.atoms.num_atoms();
+  if (num_atoms > 0) {
+    Problem whole =
+        MakeWholeProblem(num_atoms, result.grounding.clauses.clauses());
+    if (result.truth.size() != num_atoms) result.truth.assign(num_atoms, 0);
+    result.search_cost = whole.EvalCost(result.truth, options_.hard_weight);
+  }
+  result.total_cost = result.search_cost + result.grounding.fixed_cost;
+  return result;
+}
+
+Result<std::vector<GroundAtom>> ExtractTrueAtoms(
+    const MlnProgram& program, const AtomStore& atoms,
+    const std::vector<uint8_t>& truth, const std::string& predicate_name) {
+  TUFFY_ASSIGN_OR_RETURN(PredicateId pid,
+                         program.FindPredicate(predicate_name));
+  std::vector<GroundAtom> out;
+  for (AtomId a = 0; a < atoms.num_atoms(); ++a) {
+    if (atoms.atom(a).pred == pid && a < truth.size() && truth[a] != 0) {
+      out.push_back(atoms.atom(a));
+    }
+  }
+  return out;
+}
+
+}  // namespace tuffy

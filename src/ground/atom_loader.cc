@@ -1,0 +1,62 @@
+#include "ground/atom_loader.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+std::string PredicateTableName(const std::string& name) {
+  return "pred_" + name;
+}
+
+std::string DomainTableName(const std::string& type) {
+  return "_dom_" + type;
+}
+
+Status LoadMlnTables(
+    const MlnProgram& program, const EvidenceDb& evidence, Catalog* catalog,
+    std::unordered_map<PredicateId, uint64_t>* true_counts) {
+  // Predicate tables.
+  std::vector<Table*> pred_tables(program.num_predicates(), nullptr);
+  for (const Predicate& pred : program.predicates()) {
+    std::vector<Column> cols;
+    cols.push_back(Column{"truth", ColumnType::kInt64});
+    for (int i = 0; i < pred.arity(); ++i) {
+      cols.push_back(Column{StrFormat("arg%d", i), ColumnType::kInt64});
+    }
+    TUFFY_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(PredicateTableName(pred.name),
+                             Schema(std::move(cols))));
+    pred_tables[pred.id] = t;
+  }
+  for (const auto& [atom, truth] : evidence.entries()) {
+    Row row;
+    row.reserve(atom.args.size() + 1);
+    row.push_back(Datum(static_cast<int64_t>(truth ? 1 : 0)));
+    for (ConstantId c : atom.args) row.push_back(Datum(static_cast<int64_t>(c)));
+    pred_tables[atom.pred]->Append(std::move(row));
+    if (true_counts != nullptr && truth) ++(*true_counts)[atom.pred];
+  }
+  for (Table* t : pred_tables) t->Analyze();
+
+  // Domain tables, one per distinct type name used by any predicate.
+  std::unordered_set<std::string> types;
+  for (const Predicate& pred : program.predicates()) {
+    for (const std::string& t : pred.arg_types) types.insert(t);
+  }
+  for (const std::string& type : types) {
+    TUFFY_ASSIGN_OR_RETURN(
+        Table * t,
+        catalog->CreateTable(DomainTableName(type),
+                             Schema({Column{"value", ColumnType::kInt64}})));
+    for (ConstantId c : program.symbols().Domain(type)) {
+      t->Append({Datum(static_cast<int64_t>(c))});
+    }
+    t->Analyze();
+  }
+  return Status::OK();
+}
+
+}  // namespace tuffy

@@ -1,0 +1,31 @@
+#ifndef TUFFY_GROUND_ATOM_LOADER_H_
+#define TUFFY_GROUND_ATOM_LOADER_H_
+
+#include <unordered_map>
+
+#include "mln/model.h"
+#include "ra/catalog.h"
+#include "util/status.h"
+
+namespace tuffy {
+
+/// Name of the relation holding predicate `name`'s atoms.
+std::string PredicateTableName(const std::string& name);
+/// Name of the relation enumerating the domain of `type`.
+std::string DomainTableName(const std::string& type);
+
+/// Bulk-loads the MLN data into the relational engine (Section 3.1):
+/// one table per predicate with schema (truth, arg0, ..., argK-1) holding
+/// the explicit evidence rows (truth: 0 = false, 1 = true), and one
+/// single-column table per type enumerating its domain. All tables are
+/// ANALYZEd so the optimizer has statistics.
+///
+/// `true_counts`, if non-null, receives the number of true evidence rows
+/// per predicate (used for selectivity estimation).
+Status LoadMlnTables(
+    const MlnProgram& program, const EvidenceDb& evidence, Catalog* catalog,
+    std::unordered_map<PredicateId, uint64_t>* true_counts = nullptr);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_GROUND_ATOM_LOADER_H_

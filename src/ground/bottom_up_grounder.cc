@@ -1,0 +1,168 @@
+#include "ground/bottom_up_grounder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ground/atom_loader.h"
+#include "ra/operators.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+BottomUpGrounder::BottomUpGrounder(const MlnProgram& program,
+                                   const EvidenceDb& evidence,
+                                   GroundingOptions ground_options,
+                                   OptimizerOptions optimizer_options)
+    : program_(program),
+      evidence_(evidence),
+      ground_options_(ground_options),
+      optimizer_options_(optimizer_options) {}
+
+Status BottomUpGrounder::GroundClauseQuery(int clause_idx,
+                                           GroundingContext* ctx,
+                                           const Catalog& catalog) {
+  const Clause& clause = program_.clauses()[clause_idx];
+
+  // Which variables are existential?
+  std::vector<bool> existential(clause.num_vars, false);
+  for (VarId v : clause.existential_vars) existential[v] = true;
+
+  // Fully ground clause: a single candidate with no bindings.
+  bool has_universal = false;
+  for (VarId v = 0; v < clause.num_vars; ++v) {
+    if (!existential[v]) has_universal = true;
+  }
+  if (!has_universal) {
+    ctx->AddCandidate(clause_idx, Assignment(clause.num_vars, -1));
+    return Status::OK();
+  }
+
+  ConjunctiveQuery query;
+  // Site of each variable: (table ref index, column). -1 = unbound.
+  struct Site {
+    int ref = -1;
+    int col = -1;
+  };
+  std::vector<Site> var_site(clause.num_vars);
+  std::vector<JoinCondition>& joins = query.joins;
+
+  // Binding literals: negative literals over closed-world predicates with
+  // no existential variables. Their atoms must be true in a violable
+  // ground clause, so we join the true evidence rows.
+  for (const Literal& lit : clause.literals) {
+    const Predicate& pred = program_.predicate(lit.pred);
+    if (lit.positive || !pred.closed_world) continue;
+    bool has_exist = false;
+    for (const Term& t : lit.args) {
+      if (t.is_var && existential[t.id]) has_exist = true;
+    }
+    if (has_exist) continue;
+
+    TUFFY_ASSIGN_OR_RETURN(Table * table,
+                           catalog.GetTable(PredicateTableName(pred.name)));
+    int ref_idx = static_cast<int>(query.tables.size());
+    std::vector<ExprPtr> filters;
+    // truth = 1 (column 0).
+    filters.push_back(Eq(Col(0, "truth"), Val(Datum(int64_t{1}))));
+    double selectivity = 1.0;
+    uint64_t rows = table->num_rows();
+    if (rows > 0) {
+      auto it = true_counts_.find(pred.id);
+      uint64_t true_rows = it == true_counts_.end() ? 0 : it->second;
+      selectivity = static_cast<double>(true_rows) / static_cast<double>(rows);
+    }
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      const Term& t = lit.args[i];
+      int col = static_cast<int>(i) + 1;
+      if (!t.is_var) {
+        filters.push_back(
+            Eq(Col(col), Val(Datum(static_cast<int64_t>(t.id)))));
+        selectivity *= 0.1;
+        continue;
+      }
+      if (var_site[t.id].ref < 0) {
+        var_site[t.id] = Site{ref_idx, col};
+      } else if (var_site[t.id].ref == ref_idx) {
+        // Repeated variable within this literal: same-table filter.
+        filters.push_back(Eq(Col(var_site[t.id].col), Col(col)));
+        selectivity *= 0.1;
+      } else {
+        joins.push_back(JoinCondition{var_site[t.id].ref, var_site[t.id].col,
+                                      ref_idx, col});
+      }
+    }
+    TableRef ref;
+    ref.table = table;
+    ref.alias = pred.name;
+    ref.filter = And(std::move(filters));
+    ref.selectivity = std::max(selectivity, 1e-9);
+    query.tables.push_back(std::move(ref));
+  }
+
+  // Every unbound universal variable ranges over its type domain.
+  for (VarId v = 0; v < clause.num_vars; ++v) {
+    if (existential[v] || var_site[v].ref >= 0) continue;
+    const std::string& type = clause.var_types[v];
+    TUFFY_ASSIGN_OR_RETURN(Table * dom,
+                           catalog.GetTable(DomainTableName(type)));
+    int ref_idx = static_cast<int>(query.tables.size());
+    TableRef ref;
+    ref.table = dom;
+    ref.alias = "dom_" + (static_cast<size_t>(v) < clause.var_names.size()
+                              ? clause.var_names[v]
+                              : StrFormat("v%d", v));
+    query.tables.push_back(std::move(ref));
+    var_site[v] = Site{ref_idx, 0};
+  }
+
+  // Output one column per universal variable, ascending by VarId.
+  std::vector<VarId> out_vars;
+  for (VarId v = 0; v < clause.num_vars; ++v) {
+    if (existential[v]) continue;
+    query.outputs.push_back(OutputCol{
+        var_site[v].ref, var_site[v].col,
+        static_cast<size_t>(v) < clause.var_names.size() ? clause.var_names[v]
+                                                         : ""});
+    out_vars.push_back(v);
+  }
+
+  Optimizer optimizer(optimizer_options_);
+  TUFFY_ASSIGN_OR_RETURN(OptimizedPlan plan, optimizer.Plan(std::move(query)));
+  explain_ += StrFormat("-- rule %d --\n%s", clause.rule_id,
+                        plan.explain.c_str());
+
+  TUFFY_RETURN_IF_ERROR(plan.root->Open());
+  Row row;
+  Assignment assignment(clause.num_vars, -1);
+  while (true) {
+    auto has = plan.root->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    for (size_t i = 0; i < out_vars.size(); ++i) {
+      assignment[out_vars[i]] = static_cast<ConstantId>(row[i].int64());
+    }
+    ctx->AddCandidate(clause_idx, assignment);
+  }
+  plan.root->Close();
+  return Status::OK();
+}
+
+Result<GroundingResult> BottomUpGrounder::Ground() {
+  Timer timer;
+  Catalog catalog;
+  true_counts_.clear();
+  explain_.clear();
+  TUFFY_RETURN_IF_ERROR(
+      LoadMlnTables(program_, evidence_, &catalog, &true_counts_));
+
+  GroundingContext ctx(program_, evidence_, ground_options_);
+  for (int ci = 0; ci < static_cast<int>(program_.clauses().size()); ++ci) {
+    TUFFY_RETURN_IF_ERROR(GroundClauseQuery(ci, &ctx, catalog));
+  }
+  TUFFY_ASSIGN_OR_RETURN(GroundingResult result, ctx.Finalize());
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tuffy

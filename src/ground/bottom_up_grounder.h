@@ -1,0 +1,53 @@
+#ifndef TUFFY_GROUND_BOTTOM_UP_GROUNDER_H_
+#define TUFFY_GROUND_BOTTOM_UP_GROUNDER_H_
+
+#include <string>
+
+#include "ground/grounding.h"
+#include "mln/model.h"
+#include "ra/catalog.h"
+#include "ra/optimizer.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Tuffy's bottom-up grounding (Section 3.1 / Algorithm 2): each MLN
+/// clause is compiled to a select-project-join query over the predicate
+/// evidence tables and the domain tables, and the relational optimizer
+/// chooses join order and join algorithms. The query enumerates candidate
+/// variable bindings; the shared GroundingContext then resolves evidence
+/// truth per literal, expands existential quantifiers, and applies the
+/// lazy-inference closure.
+///
+/// Binding relations per clause: each negative literal over a
+/// closed-world predicate joins that predicate's true evidence rows (a
+/// violable clause needs those atoms true); every other universal
+/// variable ranges over its type's domain table. Constants and repeated
+/// variables become pushed-down filters.
+class BottomUpGrounder {
+ public:
+  BottomUpGrounder(const MlnProgram& program, const EvidenceDb& evidence,
+                   GroundingOptions ground_options = {},
+                   OptimizerOptions optimizer_options = {});
+
+  /// Runs grounding end to end.
+  Result<GroundingResult> Ground();
+
+  /// EXPLAIN output of every per-clause query (populated by Ground).
+  const std::string& explain() const { return explain_; }
+
+ private:
+  Status GroundClauseQuery(int clause_idx, GroundingContext* ctx,
+                           const Catalog& catalog);
+
+  const MlnProgram& program_;
+  const EvidenceDb& evidence_;
+  GroundingOptions ground_options_;
+  OptimizerOptions optimizer_options_;
+  std::unordered_map<PredicateId, uint64_t> true_counts_;
+  std::string explain_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_GROUND_BOTTOM_UP_GROUNDER_H_

@@ -1,0 +1,65 @@
+#include "ground/ground_clause.h"
+
+#include <algorithm>
+
+namespace tuffy {
+
+AtomId AtomStore::GetOrCreate(const GroundAtom& atom) {
+  auto it = ids_.find(atom);
+  if (it != ids_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(atoms_.size());
+  ids_[atom] = id;
+  atoms_.push_back(atom);
+  return id;
+}
+
+bool AtomStore::Find(const GroundAtom& atom, AtomId* out) const {
+  auto it = ids_.find(atom);
+  if (it == ids_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::string AtomStore::AtomName(const MlnProgram& program, AtomId id) const {
+  const GroundAtom& a = atoms_[id];
+  std::string out = program.predicate(a.pred).name + "(";
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += program.symbols().SymbolName(a.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+size_t GroundClauseStore::Add(GroundClause clause) {
+  std::sort(clause.lits.begin(), clause.lits.end());
+  clause.lits.erase(std::unique(clause.lits.begin(), clause.lits.end()),
+                    clause.lits.end());
+  // Drop tautologies (a clause containing both a and !a is always true).
+  for (size_t i = 0; i + 1 < clause.lits.size(); ++i) {
+    for (size_t j = i + 1; j < clause.lits.size(); ++j) {
+      if (clause.lits[i] == -clause.lits[j]) return kTautology;
+    }
+  }
+  auto it = index_.find(clause.lits);
+  if (it != index_.end()) {
+    GroundClause& existing = clauses_[it->second];
+    existing.weight += clause.weight;
+    existing.hard = existing.hard || clause.hard;
+    return it->second;
+  }
+  size_t idx = clauses_.size();
+  index_[clause.lits] = idx;
+  clauses_.push_back(std::move(clause));
+  return idx;
+}
+
+size_t GroundClauseStore::EstimateBytes() const {
+  size_t bytes = 0;
+  for (const GroundClause& c : clauses_) {
+    bytes += sizeof(GroundClause) + c.lits.size() * sizeof(Lit);
+  }
+  return bytes;
+}
+
+}  // namespace tuffy

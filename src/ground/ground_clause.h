@@ -1,0 +1,95 @@
+#ifndef TUFFY_GROUND_GROUND_CLAUSE_H_
+#define TUFFY_GROUND_GROUND_CLAUSE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mln/model.h"
+
+namespace tuffy {
+
+/// Index of a ground atom in an AtomStore.
+using AtomId = uint32_t;
+
+/// Signed literal encoding used in ground clauses: +(aid+1) for a positive
+/// literal, -(aid+1) for a negative one (0 is never a valid literal).
+using Lit = int32_t;
+
+inline Lit MakeLit(AtomId atom, bool positive) {
+  return positive ? static_cast<Lit>(atom + 1) : -static_cast<Lit>(atom + 1);
+}
+inline AtomId LitAtom(Lit lit) {
+  return static_cast<AtomId>((lit > 0 ? lit : -lit) - 1);
+}
+inline bool LitPositive(Lit lit) { return lit > 0; }
+
+/// A ground clause of the MRF: a disjunction of literals over ground
+/// atoms, with the weight of its source rule (weights of identical ground
+/// clauses produced by different groundings are summed). Hard clauses
+/// must be satisfied in every world.
+struct GroundClause {
+  std::vector<Lit> lits;
+  double weight = 0.0;
+  bool hard = false;
+  /// Source rule, for diagnostics and provenance.
+  int rule_id = -1;
+};
+
+/// Registry of the ground atoms that appear in surviving ground clauses
+/// (the paper's query atoms). Atom ids are dense and start at 0.
+class AtomStore {
+ public:
+  /// Returns the id for `atom`, allocating a fresh one if unseen.
+  AtomId GetOrCreate(const GroundAtom& atom);
+
+  /// Returns the id or -1 (cast to AtomId max) if absent.
+  bool Find(const GroundAtom& atom, AtomId* out) const;
+
+  const GroundAtom& atom(AtomId id) const { return atoms_[id]; }
+  size_t num_atoms() const { return atoms_.size(); }
+
+  /// Pretty-prints atom `id` using the program's symbol table.
+  std::string AtomName(const MlnProgram& program, AtomId id) const;
+
+ private:
+  std::unordered_map<GroundAtom, AtomId, GroundAtomHash> ids_;
+  std::vector<GroundAtom> atoms_;
+};
+
+/// Accumulates ground clauses, merging duplicates (same sorted literal
+/// set) by summing their weights, the standard grounding optimization.
+/// A hard duplicate keeps the clause hard.
+class GroundClauseStore {
+ public:
+  /// Returned by Add when the clause is a tautology and was dropped.
+  static constexpr size_t kTautology = static_cast<size_t>(-1);
+
+  /// Adds a clause (lits need not be sorted), merging with an existing
+  /// identical clause. Returns the clause index, or kTautology.
+  size_t Add(GroundClause clause);
+
+  const std::vector<GroundClause>& clauses() const { return clauses_; }
+  std::vector<GroundClause>& mutable_clauses() { return clauses_; }
+  size_t num_clauses() const { return clauses_.size(); }
+
+  /// Rough memory footprint of the clause table, for Table 4.
+  size_t EstimateBytes() const;
+
+ private:
+  struct LitsHash {
+    size_t operator()(const std::vector<Lit>& lits) const {
+      size_t h = 0x9E3779B97F4A7C15ull;
+      for (Lit l : lits) h = h * 1315423911u ^ std::hash<Lit>{}(l);
+      return h;
+    }
+  };
+
+  std::vector<GroundClause> clauses_;
+  std::unordered_map<std::vector<Lit>, size_t, LitsHash> index_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_GROUND_GROUND_CLAUSE_H_

@@ -1,0 +1,331 @@
+#include "ground/grounding.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/mem_tracker.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+GroundingContext::GroundingContext(const MlnProgram& program,
+                                   const EvidenceDb& evidence,
+                                   GroundingOptions options)
+    : program_(program), evidence_(evidence), options_(options) {}
+
+GroundingContext::~GroundingContext() {
+  if (charged_bytes_ > 0) {
+    MemTracker::Global().Release(MemCategory::kGrounding, charged_bytes_);
+  }
+}
+
+int32_t GroundingContext::InternScratchAtom(bool* known_truth_value) {
+  // Closed-world atoms are never unknown; answer directly instead of
+  // polluting the interner (existential expansion probes huge numbers of
+  // closed-world instances).
+  if (program_.predicate(scratch_atom_.pred).closed_world) {
+    *known_truth_value =
+        evidence_.Lookup(program_, scratch_atom_) == Truth::kTrue;
+    return -1;
+  }
+  auto it = cand_ids_.find(scratch_atom_);
+  if (it == cand_ids_.end()) {
+    Truth truth = evidence_.Lookup(program_, scratch_atom_);
+    CandInfo info;
+    if (truth == Truth::kUnknown) {
+      info.cid = static_cast<int32_t>(cand_atoms_.size());
+      info.known_true = 0;
+      cand_atoms_.push_back(scratch_atom_);
+      cand_active_.push_back(0);
+    } else {
+      info.cid = -1;
+      info.known_true = truth == Truth::kTrue ? 1 : 0;
+    }
+    it = cand_ids_.emplace(scratch_atom_, info).first;
+  }
+  const CandInfo& info = it->second;
+  if (info.cid < 0) {
+    *known_truth_value = info.known_true != 0;
+    return -1;
+  }
+  return info.cid;
+}
+
+bool GroundingContext::ExpandLiteral(const Literal& lit,
+                                     const Assignment& assignment,
+                                     std::vector<CandLit>* open,
+                                     bool* satisfied) {
+  // Resolve ground argument values; collect existential positions.
+  scratch_atom_.pred = lit.pred;
+  scratch_atom_.args.resize(lit.args.size());
+  int exist_pos_buf[8];
+  int num_exist = 0;
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    const Term& t = lit.args[i];
+    if (!t.is_var) {
+      scratch_atom_.args[i] = t.id;
+    } else if (assignment[t.id] >= 0) {
+      scratch_atom_.args[i] = assignment[t.id];
+    } else {
+      if (num_exist < 8) exist_pos_buf[num_exist] = static_cast<int>(i);
+      ++num_exist;
+      scratch_atom_.args[i] = -1;
+    }
+  }
+
+  if (num_exist == 0) {
+    bool known_true = false;
+    int32_t cid = InternScratchAtom(&known_true);
+    if (cid >= 0) {
+      open->push_back(lit.positive ? cid + 1 : -(cid + 1));
+    } else if (known_true == lit.positive) {
+      *satisfied = true;
+      return false;
+    }
+    return true;
+  }
+
+  // Expand the existential positions over their domains. Distinct
+  // existential variables expand independently per literal because
+  // disjunction distributes over existential quantification.
+  assert(num_exist <= 8 && "too many existential positions in one literal");
+  const Predicate& pred = program_.predicate(lit.pred);
+
+  // Map positions sharing one variable to a single counter.
+  std::vector<VarId> exist_vars;
+  int var_of_pos[8];
+  for (int i = 0; i < num_exist; ++i) {
+    VarId v = lit.args[exist_pos_buf[i]].id;
+    int idx = -1;
+    for (size_t j = 0; j < exist_vars.size(); ++j) {
+      if (exist_vars[j] == v) idx = static_cast<int>(j);
+    }
+    if (idx < 0) {
+      idx = static_cast<int>(exist_vars.size());
+      exist_vars.push_back(v);
+    }
+    var_of_pos[i] = idx;
+  }
+  std::vector<const std::vector<ConstantId>*> var_domains(exist_vars.size(),
+                                                          nullptr);
+  for (int i = 0; i < num_exist; ++i) {
+    if (var_domains[var_of_pos[i]] == nullptr) {
+      var_domains[var_of_pos[i]] =
+          &program_.symbols().Domain(pred.arg_types[exist_pos_buf[i]]);
+      if (var_domains[var_of_pos[i]]->empty()) return true;
+    }
+  }
+  // Closed-world predicate: resolve the whole existential disjunct with
+  // one probe of the pattern-count index instead of a domain scan.
+  // (Falls back to the scan when one existential variable occupies two
+  // positions, since the index cannot enforce that equality.)
+  if (pred.closed_world &&
+      exist_vars.size() == static_cast<size_t>(num_exist)) {
+    uint32_t mask = 0;
+    std::vector<ConstantId> bound_vals;
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      bool is_exist = false;
+      for (int e = 0; e < num_exist; ++e) {
+        if (exist_pos_buf[e] == static_cast<int>(i)) is_exist = true;
+      }
+      if (!is_exist) {
+        mask |= (1u << i);
+        bound_vals.push_back(scratch_atom_.args[i]);
+      }
+    }
+    uint64_t product = 1;
+    for (const auto* d : var_domains) product *= d->size();
+    uint64_t true_rows = CountMatchingTrueRows(lit.pred, mask, bound_vals);
+    bool some_instance_true = true_rows > 0;
+    bool some_instance_false = true_rows < product;
+    if ((lit.positive && some_instance_true) ||
+        (!lit.positive && some_instance_false)) {
+      *satisfied = true;
+      return false;
+    }
+    return true;  // every disjunct false: nothing to add
+  }
+
+  std::vector<size_t> counter(exist_vars.size(), 0);
+  while (true) {
+    for (int i = 0; i < num_exist; ++i) {
+      scratch_atom_.args[exist_pos_buf[i]] =
+          (*var_domains[var_of_pos[i]])[counter[var_of_pos[i]]];
+    }
+    bool known_true = false;
+    int32_t cid = InternScratchAtom(&known_true);
+    if (cid >= 0) {
+      open->push_back(lit.positive ? cid + 1 : -(cid + 1));
+    } else if (known_true == lit.positive) {
+      *satisfied = true;
+      return false;
+    }
+    // Advance the odometer.
+    size_t k = 0;
+    for (; k < counter.size(); ++k) {
+      if (++counter[k] < var_domains[k]->size()) break;
+      counter[k] = 0;
+    }
+    if (k == counter.size()) break;
+  }
+  return true;
+}
+
+uint32_t GroundingContext::CountMatchingTrueRows(
+    PredicateId pred, uint32_t mask,
+    const std::vector<ConstantId>& bound_vals) {
+  PatternKey key{pred, mask};
+  auto it = pattern_index_.find(key);
+  if (it == pattern_index_.end()) {
+    BoundValsCount counts;
+    for (const auto& [atom, truth] : evidence_.entries()) {
+      if (atom.pred != pred || !truth) continue;
+      std::vector<ConstantId> vals;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (mask & (1u << i)) vals.push_back(atom.args[i]);
+      }
+      ++counts[std::move(vals)];
+    }
+    it = pattern_index_.emplace(key, std::move(counts)).first;
+  }
+  auto cit = it->second.find(bound_vals);
+  return cit == it->second.end() ? 0 : cit->second;
+}
+
+void GroundingContext::ResolveCandidate(int clause_idx,
+                                        const Assignment& assignment) {
+  const Clause& clause = program_.clauses()[clause_idx];
+  if (!clause.hard && clause.weight == 0.0) return;
+
+  bool satisfied = false;
+  // Equality disjuncts are fully determined by the assignment.
+  for (const EqualityConstraint& eq : clause.equalities) {
+    ConstantId lhs = eq.lhs.is_var ? assignment[eq.lhs.id] : eq.lhs.id;
+    ConstantId rhs = eq.rhs.is_var ? assignment[eq.rhs.id] : eq.rhs.id;
+    if ((lhs == rhs) == eq.equal) {
+      satisfied = true;
+      break;
+    }
+  }
+
+  std::vector<CandLit> open;
+  if (!satisfied) {
+    open.reserve(clause.literals.size());
+    for (const Literal& lit : clause.literals) {
+      if (!ExpandLiteral(lit, assignment, &open, &satisfied)) break;
+    }
+  }
+
+  if (satisfied) {
+    ++result_.stats.satisfied_by_evidence;
+    if (!clause.hard && clause.weight < 0) {
+      // A negative-weight clause that evidence makes true is permanently
+      // violated (Section 2.2) and contributes constant cost.
+      result_.fixed_cost += -clause.weight;
+    }
+    return;
+  }
+  if (open.empty()) {
+    // Constantly false.
+    if (clause.hard) {
+      result_.hard_contradiction = true;
+      TUFFY_LOG(Warning) << "hard clause " << clause.rule_id
+                         << " violated by evidence";
+    } else if (clause.weight > 0) {
+      result_.fixed_cost += clause.weight;
+    }
+    return;
+  }
+  size_t bytes = sizeof(PendingClause) + open.capacity() * sizeof(CandLit);
+  charged_bytes_ += bytes;
+  MemTracker::Global().Allocate(MemCategory::kGrounding, bytes);
+  pending_.push_back(PendingClause{clause_idx, std::move(open)});
+}
+
+void GroundingContext::AddCandidate(int clause_idx,
+                                    const Assignment& assignment) {
+  assert(!finalized_);
+  ++result_.stats.candidates;
+  ResolveCandidate(clause_idx, assignment);
+}
+
+bool GroundingContext::IsActive(const PendingClause& pc) const {
+  const Clause& clause = program_.clauses()[pc.clause_idx];
+  if (clause.hard || clause.weight > 0) {
+    // Violable iff every negative literal's atom can be true, i.e. is
+    // active (unknown atoms default to false under lazy inference).
+    for (CandLit l : pc.open_lits) {
+      if (l < 0 && cand_active_[-l - 1] == 0) return false;
+    }
+    return true;
+  }
+  // Negative weight: violated when the clause is true, i.e. some literal
+  // can be made true.
+  for (CandLit l : pc.open_lits) {
+    if (l < 0) return true;  // atom defaults to false => literal true
+    if (cand_active_[l - 1] != 0) return true;
+  }
+  return false;
+}
+
+void GroundingContext::Emit(const PendingClause& pc) {
+  const Clause& clause = program_.clauses()[pc.clause_idx];
+  GroundClause gc;
+  gc.weight = clause.hard ? 0.0 : clause.weight;
+  gc.hard = clause.hard;
+  gc.rule_id = clause.rule_id;
+  gc.lits.reserve(pc.open_lits.size());
+  for (CandLit l : pc.open_lits) {
+    int32_t cid = l > 0 ? l - 1 : -l - 1;
+    AtomId id = result_.atoms.GetOrCreate(cand_atoms_[cid]);
+    gc.lits.push_back(MakeLit(id, l > 0));
+    cand_active_[cid] = 1;
+  }
+  result_.clauses.Add(std::move(gc));
+}
+
+Result<GroundingResult> GroundingContext::Finalize() {
+  if (finalized_) return Status::Internal("Finalize called twice");
+  finalized_ = true;
+  Timer timer;
+
+  if (!options_.lazy_closure) {
+    for (const PendingClause& pc : pending_) Emit(pc);
+    pending_.clear();
+    MemTracker::Global().Release(MemCategory::kGrounding, charged_bytes_);
+    charged_bytes_ = 0;
+    result_.stats.seconds += timer.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+  // Active-closure fixpoint (Appendix A.3): emitting a clause activates
+  // its atoms, which may activate further clauses.
+  bool changed = true;
+  int iterations = 0;
+  std::vector<PendingClause> still_pending;
+  while (changed && iterations < options_.max_closure_iterations) {
+    changed = false;
+    ++iterations;
+    still_pending.clear();
+    still_pending.reserve(pending_.size());
+    for (PendingClause& pc : pending_) {
+      if (IsActive(pc)) {
+        Emit(pc);
+        changed = true;
+      } else {
+        still_pending.push_back(std::move(pc));
+      }
+    }
+    pending_.swap(still_pending);
+  }
+  result_.stats.closure_iterations = iterations;
+  result_.stats.pruned_inactive = pending_.size();
+  pending_.clear();
+  MemTracker::Global().Release(MemCategory::kGrounding, charged_bytes_);
+  charged_bytes_ = 0;
+  result_.stats.seconds += timer.ElapsedSeconds();
+  return std::move(result_);
+}
+
+}  // namespace tuffy

@@ -1,0 +1,154 @@
+#ifndef TUFFY_GROUND_GROUNDING_H_
+#define TUFFY_GROUND_GROUNDING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ground/ground_clause.h"
+#include "mln/model.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Grounding configuration shared by the bottom-up and top-down grounders.
+struct GroundingOptions {
+  /// If true, applies the lazy-inference active closure of Appendix A.3:
+  /// assume unknown atoms false, keep only clauses violable by flipping
+  /// active atoms, and iterate activation to a fixpoint. If false, every
+  /// evidence-undetermined ground clause is kept (exhaustive grounding).
+  bool lazy_closure = true;
+  /// Safety bound on closure iterations.
+  int max_closure_iterations = 64;
+};
+
+struct GroundingStats {
+  double seconds = 0.0;
+  /// Candidate variable assignments produced by the binding phase.
+  uint64_t candidates = 0;
+  /// Candidates discarded because evidence already satisfies the clause.
+  uint64_t satisfied_by_evidence = 0;
+  /// Candidates discarded by the lazy-closure activity test.
+  uint64_t pruned_inactive = 0;
+  int closure_iterations = 0;
+};
+
+/// Output of grounding: the MRF in clause form (Section 2.3), plus the
+/// cost contributed by clauses already fully determined by the evidence.
+struct GroundingResult {
+  AtomStore atoms;
+  GroundClauseStore clauses;
+  double fixed_cost = 0.0;
+  /// True if a hard clause is violated by evidence alone.
+  bool hard_contradiction = false;
+  GroundingStats stats;
+};
+
+/// A value for every clause variable (ConstantId), indexed by VarId.
+/// Entries for existential variables are ignored (set to -1).
+using Assignment = std::vector<ConstantId>;
+
+/// Shared back end of both grounders: takes candidate (clause,
+/// assignment) pairs from the binding phase, resolves literals against
+/// the evidence (dropping satisfied clauses and false literals, expanding
+/// existential quantifiers over their domains), runs the lazy-closure
+/// loop, and assembles the GroundingResult.
+///
+/// Unknown atoms are interned into dense candidate ids on first sight,
+/// with their evidence truth cached — the in-memory analogue of Tuffy's
+/// atom-id (`aid`) allocation, and the reason resolution costs one hash
+/// probe per literal occurrence instead of one per-atom rebuild.
+class GroundingContext {
+ public:
+  GroundingContext(const MlnProgram& program, const EvidenceDb& evidence,
+                   GroundingOptions options);
+  ~GroundingContext();
+
+  /// Registers a candidate grounding of program.clauses()[clause_idx].
+  void AddCandidate(int clause_idx, const Assignment& assignment);
+
+  /// Runs the closure and moves the result out. Call once.
+  Result<GroundingResult> Finalize();
+
+ private:
+  /// Signed candidate-id literal: +(cid+1) positive, -(cid+1) negative.
+  using CandLit = int32_t;
+
+  /// A clause whose evidence-resolution left open literals, waiting for
+  /// the activity test.
+  struct PendingClause {
+    int32_t clause_idx;
+    std::vector<CandLit> open_lits;
+  };
+
+  /// Interns the atom in scratch_atom_, caching its evidence truth.
+  /// Returns the candidate id, or -1 if the atom's truth is known (then
+  /// *known_truth is set).
+  int32_t InternScratchAtom(bool* known_truth_value);
+
+  /// Resolves one candidate against the evidence; appends to pending_ if
+  /// the clause stays open.
+  void ResolveCandidate(int clause_idx, const Assignment& assignment);
+
+  /// Resolves one literal (expanding existential positions over their
+  /// domains). Returns false if the clause became constantly true.
+  bool ExpandLiteral(const Literal& lit, const Assignment& assignment,
+                     std::vector<CandLit>* open, bool* satisfied);
+
+  /// Lazy-closure activity test for a pending clause.
+  bool IsActive(const PendingClause& pc) const;
+
+  void Emit(const PendingClause& pc);
+
+  const MlnProgram& program_;
+  const EvidenceDb& evidence_;
+  GroundingOptions options_;
+  GroundingResult result_;
+  std::vector<PendingClause> pending_;
+
+  /// Candidate-atom interner: GroundAtom -> dense id with cached truth.
+  struct CandInfo {
+    int32_t cid;        // -1 when the truth is evidence-determined
+    int8_t known_true;  // valid when cid == -1
+  };
+  std::unordered_map<GroundAtom, CandInfo, GroundAtomHash> cand_ids_;
+  std::vector<GroundAtom> cand_atoms_;
+  std::vector<uint8_t> cand_active_;
+  GroundAtom scratch_atom_;
+
+  /// Count index for closed-world existential literals: for predicate p
+  /// and a bitmask of bound argument positions, maps the bound-argument
+  /// values to the number of matching *true* evidence rows. Lets
+  /// "EXIST x wrote(x, p)" resolve with one probe instead of a domain
+  /// scan. Built lazily per (pred, mask).
+  struct PatternKey {
+    PredicateId pred;
+    uint32_t mask;
+    bool operator==(const PatternKey& o) const {
+      return pred == o.pred && mask == o.mask;
+    }
+  };
+  struct PatternKeyHash {
+    size_t operator()(const PatternKey& k) const {
+      return std::hash<int64_t>{}((int64_t(k.pred) << 32) | k.mask);
+    }
+  };
+  using BoundValsCount =
+      std::unordered_map<std::vector<ConstantId>, uint32_t,
+                         GroundAtomHash_ArgsOnly>;
+  std::unordered_map<PatternKey, BoundValsCount, PatternKeyHash>
+      pattern_index_;
+
+  /// Returns the number of true evidence rows of `pred` whose arguments
+  /// match `bound_vals` at the positions in `mask`.
+  uint32_t CountMatchingTrueRows(PredicateId pred, uint32_t mask,
+                                 const std::vector<ConstantId>& bound_vals);
+
+  /// Bytes charged to MemCategory::kGrounding for the intermediate state.
+  size_t charged_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_GROUND_GROUNDING_H_

@@ -1,0 +1,29 @@
+#ifndef TUFFY_INFER_BRUTE_FORCE_H_
+#define TUFFY_INFER_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/problem.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Exact MAP by exhaustive enumeration (2^n worlds). Only usable for tiny
+/// problems; serves as the ground-truth oracle in tests and examples.
+struct ExactMapResult {
+  std::vector<uint8_t> truth;
+  double cost = 0.0;
+};
+Result<ExactMapResult> ExactMap(const Problem& problem, double hard_weight,
+                                size_t max_atoms = 22);
+
+/// Exact marginal probabilities P(atom = true) under the MLN distribution
+/// Pr[I] ∝ exp(-cost(I)) by exhaustive enumeration. Worlds violating a
+/// hard clause get probability zero.
+Result<std::vector<double>> ExactMarginals(const Problem& problem,
+                                           size_t max_atoms = 20);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_INFER_BRUTE_FORCE_H_

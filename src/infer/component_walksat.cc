@@ -1,0 +1,86 @@
+#include "infer/component_walksat.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+ComponentSearchResult RunComponentWalkSat(
+    size_t num_atoms, const std::vector<GroundClause>& clauses,
+    const ComponentSet& components, const ComponentSearchOptions& options,
+    uint64_t seed) {
+  Timer timer;
+  ComponentSearchResult result;
+  result.truth.assign(num_atoms, 0);
+
+  const size_t k = components.num_components();
+  // Per-component sub-problems ("loading") and resumable searchers.
+  std::vector<SubProblem> subs(k);
+  std::vector<std::unique_ptr<Rng>> rngs(k);
+  std::vector<std::unique_ptr<IncrementalWalkSat>> searchers(k);
+  std::vector<uint64_t> budget(k, 0);
+
+  uint64_t total_atoms = num_atoms > 0 ? num_atoms : 1;
+  for (size_t i = 0; i < k; ++i) {
+    subs[i] =
+        BuildSubProblem(clauses, components.clauses[i], components.atoms[i]);
+    rngs[i] = std::make_unique<Rng>(seed + 0x1000 + i);
+    WalkSatOptions wopts;
+    wopts.p_random = options.p_random;
+    wopts.hard_weight = options.hard_weight;
+    wopts.init_random = options.init_random;
+    searchers[i] = std::make_unique<IncrementalWalkSat>(&subs[i].problem,
+                                                        wopts, rngs[i].get());
+    budget[i] = options.total_flips * components.atoms[i].size() / total_atoms;
+    if (budget[i] == 0) budget[i] = 1;
+  }
+
+  int rounds = std::max(1, options.rounds);
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    if (timer.ElapsedSeconds() > options.timeout_seconds) break;
+    for (size_t i = 0; i < k; ++i) {
+      uint64_t chunk = budget[i] / rounds;
+      if (round == rounds - 1) chunk = budget[i] - chunk * (rounds - 1);
+      if (chunk == 0) continue;
+      if (pool != nullptr) {
+        IncrementalWalkSat* searcher = searchers[i].get();
+        pool->Submit([searcher, chunk] { searcher->RunFlips(chunk); });
+      } else {
+        searchers[i]->RunFlips(chunk);
+      }
+    }
+    if (pool != nullptr) pool->WaitIdle();
+    double total_best = 0.0;
+    uint64_t total_flips = 0;
+    for (size_t i = 0; i < k; ++i) {
+      total_best += searchers[i]->best_cost();
+      total_flips += searchers[i]->flips();
+    }
+    result.trace.push_back(
+        TracePoint{timer.ElapsedSeconds(), total_flips, total_best});
+  }
+
+  // Merge per-component bests into the global assignment.
+  result.cost = 0.0;
+  result.flips = 0;
+  for (size_t i = 0; i < k; ++i) {
+    result.cost += searchers[i]->best_cost();
+    result.flips += searchers[i]->flips();
+    const std::vector<uint8_t>& best = searchers[i]->best_truth();
+    for (size_t j = 0; j < subs[i].global_atom.size(); ++j) {
+      result.truth[subs[i].global_atom[j]] = best[j];
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tuffy

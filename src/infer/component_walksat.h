@@ -1,0 +1,53 @@
+#ifndef TUFFY_INFER_COMPONENT_WALKSAT_H_
+#define TUFFY_INFER_COMPONENT_WALKSAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/walksat.h"
+#include "mrf/components.h"
+
+namespace tuffy {
+
+/// Options for component-aware search (Section 3.3).
+struct ComponentSearchOptions {
+  /// Total flip budget, divided across components proportionally to their
+  /// atom counts ("weighted round-robin scheduling", Section 4.4).
+  uint64_t total_flips = 1000000;
+  /// Number of round-robin rounds the budget is split into; after each
+  /// round a trace point (sum of per-component bests) is recorded.
+  int rounds = 10;
+  /// Worker threads (Section 3.3's parallelism; Table 7).
+  int num_threads = 1;
+  double p_random = 0.5;
+  double hard_weight = 1e6;
+  double timeout_seconds = std::numeric_limits<double>::infinity();
+  bool init_random = true;
+};
+
+struct ComponentSearchResult {
+  /// Global best assignment (concatenated per-component bests).
+  std::vector<uint8_t> truth;
+  /// Sum of per-component best costs.
+  double cost = 0.0;
+  uint64_t flips = 0;
+  double seconds = 0.0;
+  std::vector<TracePoint> trace;
+
+  double FlipsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(flips) / seconds : 0.0;
+  }
+};
+
+/// Component-aware WalkSAT: each MRF component is searched independently
+/// with its own best-state tracking, which by Theorem 3.1 can be
+/// exponentially faster than whole-MRF WalkSAT. Components are scheduled
+/// weighted-round-robin and can run on a thread pool.
+ComponentSearchResult RunComponentWalkSat(
+    size_t num_atoms, const std::vector<GroundClause>& clauses,
+    const ComponentSet& components, const ComponentSearchOptions& options,
+    uint64_t seed);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_INFER_COMPONENT_WALKSAT_H_

@@ -1,0 +1,199 @@
+#include "infer/disk_walksat.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+DiskWalkSat::DiskWalkSat(size_t num_atoms, const DiskWalkSatOptions& options)
+    : num_atoms_(num_atoms), options_(options) {
+  disk_ = std::make_unique<DiskManager>();
+  disk_->set_simulated_latency_us(options.io_latency_us);
+  pool_ = std::make_unique<BufferPool>(options.buffer_frames, disk_.get());
+  file_ = std::make_unique<HeapFile>(pool_.get(), sizeof(ClauseRecord));
+  truth_.assign(num_atoms, 0);
+}
+
+Result<std::unique_ptr<DiskWalkSat>> DiskWalkSat::Create(
+    const Problem& problem, const DiskWalkSatOptions& options) {
+  std::unique_ptr<DiskWalkSat> ws(
+      new DiskWalkSat(problem.num_atoms, options));
+  for (const SearchClause& c : problem.clauses) {
+    if (c.lits.size() > kMaxLitsPerClause) {
+      ws->overflow_.push_back(c);
+      continue;
+    }
+    ClauseRecord rec;
+    std::memset(&rec, 0, sizeof(rec));
+    rec.weight = c.weight;
+    rec.hard = c.hard ? 1 : 0;
+    rec.num_lits = static_cast<uint8_t>(c.lits.size());
+    for (size_t i = 0; i < c.lits.size(); ++i) rec.lits[i] = c.lits[i];
+    TUFFY_ASSIGN_OR_RETURN(RecordId rid,
+                           ws->file_->Append(reinterpret_cast<char*>(&rec)));
+    (void)rid;
+  }
+  TUFFY_RETURN_IF_ERROR(ws->pool_->FlushAll());
+  return ws;
+}
+
+bool DiskWalkSat::ClauseTrue(const ClauseRecord& rec) const {
+  for (int i = 0; i < rec.num_lits; ++i) {
+    Lit l = rec.lits[i];
+    if ((truth_[LitAtom(l)] != 0) == LitPositive(l)) return true;
+  }
+  return false;
+}
+
+Result<bool> DiskWalkSat::ScanForViolated(Rng* rng, double* total_cost,
+                                          PickedClause* out) {
+  *total_cost = 0.0;
+  uint64_t violated_seen = 0;
+  Status st = file_->Scan([&](RecordId, const char* bytes) {
+    const ClauseRecord* rec = reinterpret_cast<const ClauseRecord*>(bytes);
+    if (IsViolated(*rec)) {
+      *total_cost += std::fabs(EffectiveWeight(*rec));
+      ++violated_seen;
+      // Reservoir sampling keeps each violated clause with equal
+      // probability in a single pass.
+      if (rng->Uniform(violated_seen) == 0) {
+        out->lits.assign(rec->lits, rec->lits + rec->num_lits);
+        out->weight = rec->weight;
+        out->hard = rec->hard != 0;
+      }
+    }
+    return Status::OK();
+  });
+  TUFFY_RETURN_IF_ERROR(st);
+  // Memory-side overflow clauses (no I/O charged).
+  for (const SearchClause& c : overflow_) {
+    bool is_true = false;
+    for (Lit l : c.lits) {
+      if ((truth_[LitAtom(l)] != 0) == LitPositive(l)) {
+        is_true = true;
+        break;
+      }
+    }
+    bool violated = (c.hard || c.weight >= 0) ? !is_true : is_true;
+    if (!violated) continue;
+    *total_cost += std::fabs(c.hard ? options_.hard_weight : c.weight);
+    ++violated_seen;
+    if (rng->Uniform(violated_seen) == 0) {
+      out->lits = c.lits;
+      out->weight = c.weight;
+      out->hard = c.hard;
+    }
+  }
+  return violated_seen > 0;
+}
+
+Status DiskWalkSat::ComputeDeltas(const std::vector<AtomId>& candidates,
+                                  std::vector<double>* deltas) {
+  deltas->assign(candidates.size(), 0.0);
+  auto account = [&](const Lit* lits, int num_lits, double weight,
+                     bool hard) {
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      AtomId a = candidates[k];
+      bool touches = false;
+      for (int i = 0; i < num_lits; ++i) {
+        if (LitAtom(lits[i]) == a) touches = true;
+      }
+      if (!touches) continue;
+      auto violated = [&]() {
+        bool is_true = false;
+        for (int i = 0; i < num_lits; ++i) {
+          if ((truth_[LitAtom(lits[i])] != 0) == LitPositive(lits[i])) {
+            is_true = true;
+            break;
+          }
+        }
+        return (hard || weight >= 0) ? !is_true : is_true;
+      };
+      bool viol_before = violated();
+      truth_[a] ^= 1;
+      bool viol_after = violated();
+      truth_[a] ^= 1;
+      if (viol_before != viol_after) {
+        double w = std::fabs(hard ? options_.hard_weight : weight);
+        (*deltas)[k] += viol_after ? w : -w;
+      }
+    }
+  };
+  TUFFY_RETURN_IF_ERROR(file_->Scan([&](RecordId, const char* bytes) {
+    const ClauseRecord* rec = reinterpret_cast<const ClauseRecord*>(bytes);
+    account(rec->lits, rec->num_lits, rec->weight, rec->hard != 0);
+    return Status::OK();
+  }));
+  for (const SearchClause& c : overflow_) {
+    account(c.lits.data(), static_cast<int>(c.lits.size()), c.weight,
+            c.hard);
+  }
+  return Status::OK();
+}
+
+WalkSatResult DiskWalkSat::Run(Rng* rng) {
+  Timer timer;
+  WalkSatResult result;
+  if (options_.init_random) {
+    for (size_t i = 0; i < truth_.size(); ++i) {
+      truth_[i] = rng->Bernoulli(0.5) ? 1 : 0;
+    }
+  } else {
+    std::fill(truth_.begin(), truth_.end(), 0);
+  }
+
+  for (uint64_t flip = 0; flip < options_.max_flips; ++flip) {
+    if (timer.ElapsedSeconds() > options_.timeout_seconds) break;
+    double cost = 0.0;
+    PickedClause picked;
+    auto has = ScanForViolated(rng, &cost, &picked);
+    if (!has.ok() || !has.value()) {
+      if (cost < result.best_cost) {
+        result.best_cost = cost;
+        result.best_truth = truth_;
+      }
+      break;
+    }
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best_truth = truth_;
+    }
+    AtomId chosen;
+    if (rng->NextDouble() <= options_.p_random) {
+      chosen = LitAtom(picked.lits[rng->Uniform(picked.lits.size())]);
+    } else {
+      std::vector<AtomId> candidates;
+      candidates.reserve(picked.lits.size());
+      for (Lit l : picked.lits) {
+        candidates.push_back(LitAtom(l));
+      }
+      std::vector<double> deltas;
+      Status st = ComputeDeltas(candidates, &deltas);
+      chosen = candidates[0];
+      if (st.ok()) {
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t k = 0; k < candidates.size(); ++k) {
+          if (deltas[k] < best) {
+            best = deltas[k];
+            chosen = candidates[k];
+          }
+        }
+      }
+    }
+    truth_[chosen] ^= 1;
+    ++result.flips;
+    if (options_.trace_every_flips > 0 &&
+        result.flips % options_.trace_every_flips == 0) {
+      result.trace.push_back(
+          TracePoint{timer.ElapsedSeconds(), result.flips, result.best_cost});
+    }
+  }
+  if (result.best_truth.empty()) result.best_truth = truth_;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,138 @@
+#include "infer/mcsat.h"
+
+#include <cmath>
+
+namespace tuffy {
+
+bool SampleSat(const Problem& problem, const SampleSatOptions& options,
+               Rng* rng, std::vector<uint8_t>* out) {
+  // All clauses are hard constraints here; weight 1 keeps the annealing
+  // deltas well-scaled.
+  Problem hard = problem;
+  for (SearchClause& c : hard.clauses) {
+    c.hard = false;
+    c.weight = 1.0;
+  }
+  WalkSatState state(&hard, /*hard_weight=*/1.0);
+  state.RandomAssignment(rng);
+
+  for (uint64_t flip = 0; flip < options.max_flips; ++flip) {
+    if (!state.HasViolated()) {
+      *out = state.truth();
+      return true;
+    }
+    if (rng->NextDouble() < options.p_anneal) {
+      // Simulated-annealing move: random atom, Metropolis acceptance.
+      AtomId a = static_cast<AtomId>(rng->Uniform(hard.num_atoms));
+      double delta = state.FlipDelta(a);
+      if (delta <= 0 ||
+          rng->NextDouble() < std::exp(-delta / options.temperature)) {
+        state.Flip(a);
+      }
+    } else {
+      // WalkSAT move on a random violated clause.
+      uint32_t ci = state.SampleViolated(rng);
+      const SearchClause& clause = hard.clauses[ci];
+      AtomId chosen;
+      if (rng->NextDouble() <= options.p_random) {
+        chosen = LitAtom(clause.lits[rng->Uniform(clause.lits.size())]);
+      } else {
+        double best_delta = std::numeric_limits<double>::infinity();
+        chosen = LitAtom(clause.lits[0]);
+        for (Lit l : clause.lits) {
+          double d = state.FlipDelta(LitAtom(l));
+          if (d < best_delta) {
+            best_delta = d;
+            chosen = LitAtom(l);
+          }
+        }
+      }
+      state.Flip(chosen);
+    }
+  }
+  if (!state.HasViolated()) {
+    *out = state.truth();
+    return true;
+  }
+  return false;
+}
+
+McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
+                     uint64_t seed) {
+  Rng rng(seed);
+  McSatResult result;
+  result.marginals.assign(problem.num_atoms, 0.0);
+
+  // Initial state: satisfy the hard clauses with plain WalkSAT.
+  Problem hard_only;
+  hard_only.num_atoms = problem.num_atoms;
+  for (const SearchClause& c : problem.clauses) {
+    if (c.hard) hard_only.clauses.push_back(c);
+  }
+  WalkSatOptions init_opts;
+  init_opts.max_flips = options.init_flips;
+  init_opts.hard_weight = options.hard_weight;
+  WalkSat init_search(&hard_only, init_opts, &rng);
+  std::vector<uint8_t> state = init_search.Run().best_truth;
+  if (state.empty()) state.assign(problem.num_atoms, 0);
+
+  std::vector<double> true_counts(problem.num_atoms, 0.0);
+  int kept = 0;
+  int total_rounds = options.burn_in + options.num_samples;
+  for (int round = 0; round < total_rounds; ++round) {
+    // Build the slice M.
+    Problem m;
+    m.num_atoms = problem.num_atoms;
+    for (const SearchClause& c : problem.clauses) {
+      bool is_true = false;
+      for (Lit l : c.lits) {
+        if ((state[LitAtom(l)] != 0) == LitPositive(l)) {
+          is_true = true;
+          break;
+        }
+      }
+      if (c.hard) {
+        SearchClause hc = c;
+        m.clauses.push_back(std::move(hc));
+        continue;
+      }
+      if (c.weight > 0 && is_true) {
+        if (rng.NextDouble() < 1.0 - std::exp(-c.weight)) {
+          m.clauses.push_back(c);
+        }
+      } else if (c.weight < 0 && !is_true) {
+        // A false negative-weight clause is currently *satisfying* the
+        // model (not violated); keep it false via unit constraints on
+        // the negations of its literals.
+        if (rng.NextDouble() < 1.0 - std::exp(c.weight)) {
+          for (Lit l : c.lits) {
+            SearchClause unit;
+            unit.weight = 1.0;
+            unit.lits.push_back(-l);
+            m.clauses.push_back(std::move(unit));
+          }
+        }
+      }
+    }
+    std::vector<uint8_t> next;
+    if (SampleSat(m, options.sample_sat, &rng, &next)) {
+      state = std::move(next);
+    }
+    // else: keep the previous state (rejected move).
+    if (round >= options.burn_in) {
+      for (size_t a = 0; a < problem.num_atoms; ++a) {
+        true_counts[a] += state[a] != 0 ? 1.0 : 0.0;
+      }
+      ++kept;
+    }
+  }
+  if (kept > 0) {
+    for (size_t a = 0; a < problem.num_atoms; ++a) {
+      result.marginals[a] = true_counts[a] / kept;
+    }
+  }
+  result.samples_used = kept;
+  return result;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,57 @@
+#ifndef TUFFY_INFER_MCSAT_H_
+#define TUFFY_INFER_MCSAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/problem.h"
+#include "infer/walksat.h"
+#include "util/rng.h"
+
+namespace tuffy {
+
+struct SampleSatOptions {
+  uint64_t max_flips = 100000;
+  /// Probability of a simulated-annealing move instead of a WalkSAT move
+  /// (Wei et al.: SampleSAT = WalkSAT + annealing for near-uniform
+  /// sampling of satisfying assignments).
+  double p_anneal = 0.5;
+  double temperature = 0.5;
+  double p_random = 0.5;
+};
+
+/// Draws a (near-uniform) satisfying assignment of `problem`, whose
+/// clauses are all treated as hard constraints. Starts from a *random*
+/// assignment — the random restart plus the annealing moves are what make
+/// successive MC-SAT samples mix. Returns true on success and writes the
+/// sample to `out`.
+bool SampleSat(const Problem& problem, const SampleSatOptions& options,
+               Rng* rng, std::vector<uint8_t>* out);
+
+struct McSatOptions {
+  int num_samples = 200;
+  int burn_in = 20;
+  SampleSatOptions sample_sat;
+  /// Flip budget for the initial hard-clause solution.
+  uint64_t init_flips = 100000;
+  double hard_weight = 1e6;
+};
+
+struct McSatResult {
+  /// Estimated marginal probability P(atom = true) per atom.
+  std::vector<double> marginals;
+  int samples_used = 0;
+};
+
+/// MC-SAT (Poon & Domingos; Appendix A.5): slice sampling over clause
+/// subsets. Each round picks a random subset M of the clauses satisfied
+/// by the current state (clause with weight w joins M with probability
+/// 1 - e^-|w|; hard clauses always join; a *violated* negative-weight
+/// clause contributes the negations of its literals as unit constraints),
+/// then SampleSAT draws a near-uniform satisfying assignment of M.
+McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
+                     uint64_t seed);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_INFER_MCSAT_H_

@@ -1,0 +1,118 @@
+#include "infer/problem.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace tuffy {
+
+double Problem::EvalCost(const std::vector<uint8_t>& truth,
+                         double hard_weight) const {
+  double cost = 0.0;
+  for (const SearchClause& c : clauses) {
+    bool is_true = false;
+    for (Lit l : c.lits) {
+      bool atom_true = truth[LitAtom(l)] != 0;
+      if (atom_true == LitPositive(l)) {
+        is_true = true;
+        break;
+      }
+    }
+    if (c.hard) {
+      if (!is_true) cost += hard_weight;
+    } else if (c.weight > 0) {
+      if (!is_true) cost += c.weight;
+    } else {
+      if (is_true) cost += -c.weight;
+    }
+  }
+  return cost;
+}
+
+Problem MakeWholeProblem(size_t num_atoms,
+                         const std::vector<GroundClause>& clauses) {
+  Problem p;
+  p.num_atoms = num_atoms;
+  p.clauses.reserve(clauses.size());
+  for (const GroundClause& c : clauses) {
+    p.clauses.push_back(SearchClause{c.lits, c.weight, c.hard});
+  }
+  return p;
+}
+
+SubProblem BuildSubProblem(const std::vector<GroundClause>& all_clauses,
+                           const std::vector<uint32_t>& clause_ids,
+                           const std::vector<AtomId>& atom_ids) {
+  SubProblem sub;
+  sub.global_atom = atom_ids;
+  sub.problem.num_atoms = atom_ids.size();
+  std::unordered_map<AtomId, AtomId> local;
+  local.reserve(atom_ids.size());
+  for (size_t i = 0; i < atom_ids.size(); ++i) {
+    local[atom_ids[i]] = static_cast<AtomId>(i);
+  }
+  sub.problem.clauses.reserve(clause_ids.size());
+  for (uint32_t ci : clause_ids) {
+    const GroundClause& c = all_clauses[ci];
+    SearchClause sc;
+    sc.weight = c.weight;
+    sc.hard = c.hard;
+    sc.lits.reserve(c.lits.size());
+    for (Lit l : c.lits) {
+      sc.lits.push_back(MakeLit(local.at(LitAtom(l)), LitPositive(l)));
+    }
+    sub.problem.clauses.push_back(std::move(sc));
+  }
+  return sub;
+}
+
+SubProblem BuildConditionedSubProblem(
+    const std::vector<GroundClause>& all_clauses,
+    const std::vector<uint32_t>& clause_ids,
+    const std::vector<uint32_t>& cut_clause_ids,
+    const std::vector<AtomId>& atom_ids,
+    const std::vector<int32_t>& partition_of_atom, int32_t partition,
+    const std::vector<uint8_t>& global_truth) {
+  SubProblem sub = BuildSubProblem(all_clauses, clause_ids, atom_ids);
+  std::unordered_map<AtomId, AtomId> local;
+  local.reserve(atom_ids.size());
+  for (size_t i = 0; i < atom_ids.size(); ++i) {
+    local[atom_ids[i]] = static_cast<AtomId>(i);
+  }
+  for (uint32_t ci : cut_clause_ids) {
+    const GroundClause& c = all_clauses[ci];
+    // Skip cut clauses that do not touch this partition.
+    bool touches = false;
+    for (Lit l : c.lits) {
+      if (partition_of_atom[LitAtom(l)] == partition) touches = true;
+    }
+    if (!touches) continue;
+    SearchClause sc;
+    sc.weight = c.weight;
+    sc.hard = c.hard;
+    bool satisfied_external = false;
+    for (Lit l : c.lits) {
+      AtomId g = LitAtom(l);
+      if (partition_of_atom[g] == partition) {
+        sc.lits.push_back(MakeLit(local.at(g), LitPositive(l)));
+        continue;
+      }
+      bool atom_true = global_truth[g] != 0;
+      if (atom_true == LitPositive(l)) {
+        satisfied_external = true;
+        break;
+      }
+      // External false literal: drop.
+    }
+    if (satisfied_external) {
+      // For w > 0 / hard the clause is satisfied and disappears; for
+      // w < 0 it is permanently violated inside this sweep, a constant
+      // the local search cannot change, so it is also dropped.
+      continue;
+    }
+    if (sc.lits.empty()) continue;  // constant for this sweep
+    sub.problem.clauses.push_back(std::move(sc));
+  }
+  return sub;
+}
+
+}  // namespace tuffy

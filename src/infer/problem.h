@@ -1,0 +1,76 @@
+#ifndef TUFFY_INFER_PROBLEM_H_
+#define TUFFY_INFER_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_clause.h"
+
+namespace tuffy {
+
+/// A weighted ground clause in search form. Literals use the same signed
+/// encoding as GroundClause but reference *local* atom ids when the
+/// problem is a sub-MRF.
+struct SearchClause {
+  std::vector<Lit> lits;
+  double weight = 0.0;
+  bool hard = false;
+};
+
+/// A self-contained MaxSAT search problem: the whole MRF, one connected
+/// component, or one partition with its cut clauses conditioned on the
+/// frozen values of external atoms.
+struct Problem {
+  size_t num_atoms = 0;
+  std::vector<SearchClause> clauses;
+
+  /// Size metric (atoms + literals), matching ComponentSizeMetric.
+  uint64_t SizeMetric() const {
+    uint64_t s = num_atoms;
+    for (const SearchClause& c : clauses) s += c.lits.size();
+    return s;
+  }
+
+  /// Exact cost of a truth assignment, by definition (Eq. 1): the sum of
+  /// |w| over violated clauses, where a clause with w > 0 (or hard) is
+  /// violated when false and a clause with w < 0 is violated when true.
+  /// Hard clauses contribute `hard_weight` each.
+  double EvalCost(const std::vector<uint8_t>& truth,
+                  double hard_weight) const;
+};
+
+/// A sub-problem over a subset of the global atoms, with the local-to-
+/// global atom id mapping retained so results can be merged back.
+struct SubProblem {
+  Problem problem;
+  /// global_atom[local_id] = global AtomId.
+  std::vector<AtomId> global_atom;
+};
+
+/// Builds the trivial whole-MRF problem (identity atom mapping).
+Problem MakeWholeProblem(size_t num_atoms,
+                         const std::vector<GroundClause>& clauses);
+
+/// Builds the sub-problem spanned by `atom_ids`, containing the clauses
+/// `clause_ids` (which must only reference those atoms). Literal atom ids
+/// are renumbered to 0..atom_ids.size()-1.
+SubProblem BuildSubProblem(const std::vector<GroundClause>& all_clauses,
+                           const std::vector<uint32_t>& clause_ids,
+                           const std::vector<AtomId>& atom_ids);
+
+/// Builds the conditioned sub-problem for Gauss-Seidel partition search
+/// (Section 3.4): like BuildSubProblem, but additionally takes the cut
+/// clauses and the current global truth assignment. A cut literal over an
+/// external atom is resolved against `global_truth`: a true literal
+/// satisfies (drops) the clause, a false one is removed.
+SubProblem BuildConditionedSubProblem(
+    const std::vector<GroundClause>& all_clauses,
+    const std::vector<uint32_t>& clause_ids,
+    const std::vector<uint32_t>& cut_clause_ids,
+    const std::vector<AtomId>& atom_ids,
+    const std::vector<int32_t>& partition_of_atom, int32_t partition,
+    const std::vector<uint8_t>& global_truth);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_INFER_PROBLEM_H_

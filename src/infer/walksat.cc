@@ -1,0 +1,229 @@
+#include "infer/walksat.h"
+
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace tuffy {
+
+WalkSatState::WalkSatState(const Problem* problem, double hard_weight)
+    : problem_(problem), hard_weight_(hard_weight) {
+  truth_.assign(problem_->num_atoms, 0);
+  occurrences_.resize(problem_->num_atoms);
+  for (uint32_t ci = 0; ci < problem_->clauses.size(); ++ci) {
+    for (Lit l : problem_->clauses[ci].lits) {
+      occurrences_[LitAtom(l)].emplace_back(ci, l);
+    }
+  }
+  Rebuild();
+}
+
+void WalkSatState::SetAssignment(const std::vector<uint8_t>& truth) {
+  truth_ = truth;
+  Rebuild();
+}
+
+void WalkSatState::RandomAssignment(Rng* rng) {
+  for (size_t i = 0; i < truth_.size(); ++i) {
+    truth_[i] = rng->Bernoulli(0.5) ? 1 : 0;
+  }
+  Rebuild();
+}
+
+void WalkSatState::AllFalseAssignment() {
+  std::fill(truth_.begin(), truth_.end(), 0);
+  Rebuild();
+}
+
+void WalkSatState::Rebuild() {
+  num_true_.assign(problem_->clauses.size(), 0);
+  violated_.clear();
+  violated_pos_.assign(problem_->clauses.size(), -1);
+  cost_ = 0.0;
+  for (uint32_t ci = 0; ci < problem_->clauses.size(); ++ci) {
+    const SearchClause& c = problem_->clauses[ci];
+    int n = 0;
+    for (Lit l : c.lits) {
+      if ((truth_[LitAtom(l)] != 0) == LitPositive(l)) ++n;
+    }
+    num_true_[ci] = n;
+    if (IsViolated(ci)) {
+      violated_pos_[ci] = static_cast<int32_t>(violated_.size());
+      violated_.push_back(ci);
+      cost_ += std::fabs(EffectiveWeight(c));
+    }
+  }
+}
+
+void WalkSatState::SetViolated(uint32_t clause, bool violated) {
+  bool currently = violated_pos_[clause] >= 0;
+  if (currently == violated) return;
+  const SearchClause& c = problem_->clauses[clause];
+  if (violated) {
+    violated_pos_[clause] = static_cast<int32_t>(violated_.size());
+    violated_.push_back(clause);
+    cost_ += std::fabs(EffectiveWeight(c));
+  } else {
+    int32_t pos = violated_pos_[clause];
+    uint32_t last = violated_.back();
+    violated_[pos] = last;
+    violated_pos_[last] = pos;
+    violated_.pop_back();
+    violated_pos_[clause] = -1;
+    cost_ -= std::fabs(EffectiveWeight(c));
+  }
+}
+
+double WalkSatState::FlipDelta(AtomId atom) const {
+  double delta = 0.0;
+  bool value = truth_[atom] != 0;
+  for (const auto& [ci, lit] : occurrences_[atom]) {
+    const SearchClause& c = problem_->clauses[ci];
+    bool lit_true = (value == LitPositive(lit));
+    int n_before = num_true_[ci];
+    int n_after = lit_true ? n_before - 1 : n_before + 1;
+    bool pos_clause = c.hard || c.weight >= 0;
+    bool viol_before = pos_clause ? (n_before == 0) : (n_before > 0);
+    bool viol_after = pos_clause ? (n_after == 0) : (n_after > 0);
+    if (viol_before != viol_after) {
+      double w = std::fabs(EffectiveWeight(c));
+      delta += viol_after ? w : -w;
+    }
+  }
+  return delta;
+}
+
+void WalkSatState::Flip(AtomId atom) {
+  bool value = truth_[atom] != 0;
+  truth_[atom] = value ? 0 : 1;
+  for (const auto& [ci, lit] : occurrences_[atom]) {
+    bool lit_true = (value == LitPositive(lit));
+    num_true_[ci] += lit_true ? -1 : 1;
+    SetViolated(ci, IsViolated(ci));
+  }
+}
+
+WalkSatResult WalkSat::Run() {
+  Timer timer;
+  WalkSatResult result;
+  WalkSatState state(problem_, options_.hard_weight);
+
+  for (int attempt = 0; attempt < options_.max_tries; ++attempt) {
+    if (options_.initial != nullptr) {
+      state.SetAssignment(*options_.initial);
+    } else if (options_.init_random) {
+      state.RandomAssignment(rng_);
+    } else {
+      state.AllFalseAssignment();
+    }
+    if (state.cost() < result.best_cost) {
+      result.best_cost = state.cost();
+      result.best_truth = state.truth();
+    }
+
+    for (uint64_t flip = 0; flip < options_.max_flips; ++flip) {
+      if (!state.HasViolated()) break;  // optimal (cost 0)
+      if ((flip & 1023) == 0 &&
+          timer.ElapsedSeconds() > options_.timeout_seconds) {
+        break;
+      }
+      uint32_t ci = state.SampleViolated(rng_);
+      const SearchClause& clause = problem_->clauses[ci];
+      AtomId chosen;
+      if (rng_->NextDouble() <= options_.p_random) {
+        Lit l = clause.lits[rng_->Uniform(clause.lits.size())];
+        chosen = LitAtom(l);
+      } else {
+        // Flip the atom whose flip decreases cost the most.
+        double best_delta = std::numeric_limits<double>::infinity();
+        chosen = LitAtom(clause.lits[0]);
+        for (Lit l : clause.lits) {
+          AtomId a = LitAtom(l);
+          double d = state.FlipDelta(a);
+          if (d < best_delta) {
+            best_delta = d;
+            chosen = a;
+          }
+        }
+      }
+      state.Flip(chosen);
+      ++result.flips;
+      if (state.cost() < result.best_cost) {
+        result.best_cost = state.cost();
+        result.best_truth = state.truth();
+      }
+      if (options_.trace_every_flips > 0 &&
+          result.flips % options_.trace_every_flips == 0) {
+        result.trace.push_back(
+            TracePoint{timer.ElapsedSeconds(), result.flips, result.best_cost});
+      }
+    }
+    if (result.best_cost == 0.0) break;
+    if (timer.ElapsedSeconds() > options_.timeout_seconds) break;
+  }
+  result.seconds = timer.ElapsedSeconds();
+  if (result.best_truth.empty()) {
+    result.best_truth.assign(problem_->num_atoms, 0);
+    result.best_cost = state.cost();
+  }
+  return result;
+}
+
+IncrementalWalkSat::IncrementalWalkSat(const Problem* problem,
+                                       WalkSatOptions options, Rng* rng)
+    : problem_(problem),
+      options_(options),
+      rng_(rng),
+      state_(problem, options.hard_weight) {
+  if (options_.initial != nullptr) {
+    state_.SetAssignment(*options_.initial);
+  } else if (options_.init_random) {
+    state_.RandomAssignment(rng_);
+  } else {
+    state_.AllFalseAssignment();
+  }
+  best_cost_ = state_.cost();
+  best_truth_ = state_.truth();
+}
+
+void IncrementalWalkSat::SetAssignment(const std::vector<uint8_t>& truth) {
+  state_.SetAssignment(truth);
+  if (state_.cost() < best_cost_) {
+    best_cost_ = state_.cost();
+    best_truth_ = state_.truth();
+  }
+}
+
+uint64_t IncrementalWalkSat::RunFlips(uint64_t n) {
+  uint64_t done = 0;
+  while (done < n) {
+    if (!state_.HasViolated()) break;
+    uint32_t ci = state_.SampleViolated(rng_);
+    const SearchClause& clause = problem_->clauses[ci];
+    AtomId chosen;
+    if (rng_->NextDouble() <= options_.p_random) {
+      chosen = LitAtom(clause.lits[rng_->Uniform(clause.lits.size())]);
+    } else {
+      double best_delta = std::numeric_limits<double>::infinity();
+      chosen = LitAtom(clause.lits[0]);
+      for (Lit l : clause.lits) {
+        AtomId a = LitAtom(l);
+        double d = state_.FlipDelta(a);
+        if (d < best_delta) {
+          best_delta = d;
+          chosen = a;
+        }
+      }
+    }
+    state_.Flip(chosen);
+    ++done;
+    if (state_.cost() < best_cost_) {
+      best_cost_ = state_.cost();
+      best_truth_ = state_.truth();
+    }
+  }
+  flips_ += done;
+  return done;
+}
+
+}  // namespace tuffy

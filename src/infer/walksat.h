@@ -1,0 +1,156 @@
+#ifndef TUFFY_INFER_WALKSAT_H_
+#define TUFFY_INFER_WALKSAT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "infer/problem.h"
+#include "util/rng.h"
+
+namespace tuffy {
+
+/// One sample of a time-cost trace (the curves of Figures 3-6).
+struct TracePoint {
+  double seconds = 0.0;
+  uint64_t flips = 0;
+  double cost = 0.0;
+};
+
+struct WalkSatOptions {
+  uint64_t max_flips = 100000;
+  int max_tries = 1;
+  /// Probability of a random (non-greedy) flip, Algorithm 1 line 7.
+  double p_random = 0.5;
+  /// Effective |weight| of hard clauses during search.
+  double hard_weight = 1e6;
+  double timeout_seconds = std::numeric_limits<double>::infinity();
+  /// If > 0, appends a TracePoint to the result every N flips.
+  uint64_t trace_every_flips = 0;
+  /// Start from a random assignment (true) or all-false (false). The
+  /// all-false start matches the lazy-inference hypothesis.
+  bool init_random = true;
+  /// Optional externally supplied initial assignment (overrides
+  /// init_random when non-null). Must have problem.num_atoms entries.
+  const std::vector<uint8_t>* initial = nullptr;
+};
+
+struct WalkSatResult {
+  std::vector<uint8_t> best_truth;
+  double best_cost = std::numeric_limits<double>::infinity();
+  uint64_t flips = 0;
+  double seconds = 0.0;
+  std::vector<TracePoint> trace;
+
+  double FlipsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(flips) / seconds : 0.0;
+  }
+};
+
+/// Incremental clause-evaluation state shared by WalkSAT, SampleSAT, and
+/// the Gauss-Seidel driver: per-clause true-literal counts, the violated
+/// set, and O(degree(atom)) flips. A clause with w >= 0 (or hard) is
+/// violated when no literal is true; a clause with w < 0 is violated when
+/// some literal is true (Section 2.2).
+class WalkSatState {
+ public:
+  WalkSatState(const Problem* problem, double hard_weight);
+
+  void SetAssignment(const std::vector<uint8_t>& truth);
+  void RandomAssignment(Rng* rng);
+  void AllFalseAssignment();
+
+  double cost() const { return cost_; }
+  size_t num_violated() const { return violated_.size(); }
+  bool HasViolated() const { return !violated_.empty(); }
+
+  /// Uniformly random violated clause index. Requires HasViolated().
+  uint32_t SampleViolated(Rng* rng) const {
+    return violated_[rng->Uniform(violated_.size())];
+  }
+
+  /// Cost change if `atom` were flipped.
+  double FlipDelta(AtomId atom) const;
+
+  /// Flips `atom`, updating all bookkeeping.
+  void Flip(AtomId atom);
+
+  const std::vector<uint8_t>& truth() const { return truth_; }
+  const Problem& problem() const { return *problem_; }
+  double EffectiveWeight(const SearchClause& c) const {
+    return c.hard ? hard_weight_ : c.weight;
+  }
+
+ private:
+  void Rebuild();
+  void SetViolated(uint32_t clause, bool violated);
+  bool IsViolated(uint32_t clause) const {
+    const SearchClause& c = problem_->clauses[clause];
+    bool has_true = num_true_[clause] > 0;
+    return (c.hard || c.weight >= 0) ? !has_true : has_true;
+  }
+
+  const Problem* problem_;
+  double hard_weight_;
+  std::vector<uint8_t> truth_;
+  std::vector<int32_t> num_true_;
+  /// Occurrence lists: for each atom, (clause index, literal) pairs.
+  std::vector<std::vector<std::pair<uint32_t, Lit>>> occurrences_;
+  std::vector<uint32_t> violated_;
+  std::vector<int32_t> violated_pos_;  // index into violated_, or -1
+  double cost_ = 0.0;
+};
+
+/// The WalkSAT local search of Algorithm 1 (Kautz et al.), with best-
+/// so-far tracking, flip accounting, optional deadline, and optional
+/// time-cost tracing.
+class WalkSat {
+ public:
+  WalkSat(const Problem* problem, WalkSatOptions options, Rng* rng)
+      : problem_(problem), options_(options), rng_(rng) {}
+
+  WalkSatResult Run();
+
+ private:
+  const Problem* problem_;
+  WalkSatOptions options_;
+  Rng* rng_;
+};
+
+/// Resumable WalkSAT: owns its search state across calls so a scheduler
+/// can interleave many sub-problems (weighted round-robin over MRF
+/// components, Section 3.3) or resume between Gauss-Seidel sweeps. Tracks
+/// the best state seen on *this* problem, which is exactly the
+/// component-aware bookkeeping of Theorem 3.1.
+class IncrementalWalkSat {
+ public:
+  /// `options.max_flips/max_tries/trace_*` are ignored; flips are driven
+  /// by RunFlips.
+  IncrementalWalkSat(const Problem* problem, WalkSatOptions options, Rng* rng);
+
+  /// Continues the search for up to `n` more flips (stops early at cost
+  /// 0). Returns the number of flips actually performed.
+  uint64_t RunFlips(uint64_t n);
+
+  double best_cost() const { return best_cost_; }
+  const std::vector<uint8_t>& best_truth() const { return best_truth_; }
+  double current_cost() const { return state_.cost(); }
+  const std::vector<uint8_t>& current_truth() const { return state_.truth(); }
+  uint64_t flips() const { return flips_; }
+
+  /// Re-seeds the current state (keeps the best-so-far bookkeeping).
+  void SetAssignment(const std::vector<uint8_t>& truth);
+
+ private:
+  const Problem* problem_;
+  WalkSatOptions options_;
+  Rng* rng_;
+  WalkSatState state_;
+  std::vector<uint8_t> best_truth_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  uint64_t flips_ = 0;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_INFER_WALKSAT_H_

@@ -1,0 +1,51 @@
+#include "mln/io.h"
+
+#include <cstdio>
+
+#include "mln/parser.h"
+#include "util/string_util.h"
+
+namespace tuffy {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string out;
+  char buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s for write",
+                                     path.c_str()));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::IOError(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<MlnProgram> LoadProgramFile(const std::string& path) {
+  TUFFY_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseProgram(text);
+}
+
+Status LoadEvidenceFile(const std::string& path, MlnProgram* program,
+                        EvidenceDb* db) {
+  TUFFY_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseEvidence(text, program, db);
+}
+
+}  // namespace tuffy

@@ -1,0 +1,26 @@
+#ifndef TUFFY_MLN_IO_H_
+#define TUFFY_MLN_IO_H_
+
+#include <string>
+
+#include "mln/model.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+/// Parses an MLN program from a .mln file (see ParseProgram for syntax).
+Result<MlnProgram> LoadProgramFile(const std::string& path);
+
+/// Parses evidence from a .db file into `db` (see ParseEvidence).
+Status LoadEvidenceFile(const std::string& path, MlnProgram* program,
+                        EvidenceDb* db);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_MLN_IO_H_

@@ -1,0 +1,197 @@
+#ifndef TUFFY_MLN_MODEL_H_
+#define TUFFY_MLN_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tuffy {
+
+using PredicateId = int32_t;
+using ConstantId = int32_t;
+/// Variables are numbered within a clause, starting at 0.
+using VarId = int32_t;
+
+constexpr PredicateId kInvalidPredicate = -1;
+
+/// A first-order predicate symbol, e.g. wrote(Author, Paper). Predicates
+/// marked closed-world are fully specified by the evidence: any atom not
+/// listed is false (the usual assumption for relations like refers).
+struct Predicate {
+  PredicateId id = kInvalidPredicate;
+  std::string name;
+  /// Type (domain) name of each argument position.
+  std::vector<std::string> arg_types;
+  bool closed_world = false;
+
+  int arity() const { return static_cast<int>(arg_types.size()); }
+};
+
+/// A term: either a clause-local variable or an interned constant.
+struct Term {
+  bool is_var = true;
+  int32_t id = 0;  // VarId if is_var, else ConstantId
+
+  static Term Var(VarId v) { return Term{true, v}; }
+  static Term Const(ConstantId c) { return Term{false, c}; }
+
+  bool operator==(const Term& other) const {
+    return is_var == other.is_var && id == other.id;
+  }
+};
+
+/// A literal in a clause: possibly negated predicate over terms.
+struct Literal {
+  PredicateId pred = kInvalidPredicate;
+  bool positive = true;
+  std::vector<Term> args;
+};
+
+/// A (dis)equality disjunct between two terms, e.g. the `c1 = c2` head of
+/// rule F1 in the paper. Resolved at grounding time: a true disjunct
+/// satisfies the ground clause outright; a false one simply disappears.
+struct EqualityConstraint {
+  Term lhs;
+  Term rhs;
+  /// True for `lhs = rhs` as a disjunct; false for `lhs != rhs`.
+  bool equal = true;
+};
+
+/// A weighted first-order clause (disjunction of literals). Hard clauses
+/// (weight +inf in the source syntax) must hold in every possible world.
+/// Negative weights mean the clause is *penalized when satisfied*
+/// (Section 2.2: a ground clause with w < 0 is violated if it is true).
+struct Clause {
+  std::vector<Literal> literals;
+  std::vector<EqualityConstraint> equalities;
+  double weight = 0.0;
+  bool hard = false;
+  /// Number of distinct variables; variables are 0..num_vars-1.
+  int num_vars = 0;
+  /// Variable names for diagnostics, indexed by VarId.
+  std::vector<std::string> var_names;
+  /// Variables that are existentially quantified (e.g. F4's `exist x`).
+  std::vector<VarId> existential_vars;
+  /// Type name of each variable, resolved from predicate signatures.
+  std::vector<std::string> var_types;
+  /// Stable rule id for reporting.
+  int rule_id = -1;
+};
+
+/// Interns constant symbols and tracks per-type domains.
+class SymbolTable {
+ public:
+  /// Interns `symbol`, registering it in the domain of `type`.
+  ConstantId Intern(const std::string& symbol, const std::string& type);
+
+  /// Looks up an existing symbol; returns -1 if unknown.
+  ConstantId Find(const std::string& symbol) const;
+
+  const std::string& SymbolName(ConstantId id) const { return names_[id]; }
+  size_t num_constants() const { return names_.size(); }
+
+  /// All constants registered under `type` (empty vector if none).
+  const std::vector<ConstantId>& Domain(const std::string& type) const;
+
+ private:
+  std::unordered_map<std::string, ConstantId> ids_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::vector<ConstantId>> domains_;
+  std::unordered_map<std::string, std::unordered_map<ConstantId, bool>>
+      domain_members_;
+};
+
+/// A parsed MLN program: predicate declarations plus weighted clauses,
+/// with a shared symbol table (Figure 1 of the paper).
+class MlnProgram {
+ public:
+  /// Declares a predicate; fails on duplicate names.
+  Result<PredicateId> AddPredicate(Predicate pred);
+
+  Result<PredicateId> FindPredicate(const std::string& name) const;
+
+  const Predicate& predicate(PredicateId id) const { return predicates_[id]; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  size_t num_predicates() const { return predicates_.size(); }
+
+  /// Adds a clause; resolves var_types from predicate signatures.
+  Status AddClause(Clause clause);
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::unordered_map<std::string, PredicateId> predicate_ids_;
+  std::vector<Clause> clauses_;
+  SymbolTable symbols_;
+};
+
+/// A ground atom: predicate applied to constants.
+struct GroundAtom {
+  PredicateId pred = kInvalidPredicate;
+  std::vector<ConstantId> args;
+
+  bool operator==(const GroundAtom& other) const {
+    return pred == other.pred && args == other.args;
+  }
+};
+
+/// Hash over a bare argument vector (used by index structures that key
+/// on partial argument tuples).
+struct GroundAtomHash_ArgsOnly {
+  size_t operator()(const std::vector<ConstantId>& args) const {
+    size_t h = 0x9E3779B97F4A7C15ull;
+    for (ConstantId c : args) {
+      h = h * 1315423911u ^ std::hash<int32_t>{}(c);
+    }
+    return h;
+  }
+};
+
+struct GroundAtomHash {
+  size_t operator()(const GroundAtom& a) const {
+    size_t h = std::hash<int32_t>{}(a.pred);
+    for (ConstantId c : a.args) {
+      h = h * 1315423911u ^ std::hash<int32_t>{}(c);
+    }
+    return h;
+  }
+};
+
+/// Three-valued evidence truth (the `truth` attribute of the atom tables
+/// in Section 3.1).
+enum class Truth : int8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+/// The evidence database: known-true and known-false ground atoms.
+class EvidenceDb {
+ public:
+  /// Records evidence; later entries overwrite earlier ones.
+  void Add(GroundAtom atom, bool truth);
+
+  /// Evidence lookup honoring the closed-world assumption for predicates
+  /// marked closed_world (absent => false).
+  Truth Lookup(const MlnProgram& program, const GroundAtom& atom) const;
+
+  size_t num_evidence() const { return truth_.size(); }
+
+  /// Iterates all explicit evidence atoms.
+  const std::unordered_map<GroundAtom, bool, GroundAtomHash>& entries() const {
+    return truth_;
+  }
+
+ private:
+  std::unordered_map<GroundAtom, bool, GroundAtomHash> truth_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_MLN_MODEL_H_

@@ -1,0 +1,40 @@
+#include "mrf/bin_packing.h"
+
+#include <algorithm>
+
+namespace tuffy {
+
+BinPacking FirstFitDecreasing(const std::vector<uint64_t>& sizes,
+                              uint64_t capacity) {
+  std::vector<size_t> order(sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (sizes[a] != sizes[b]) return sizes[a] > sizes[b];
+    return a < b;
+  });
+
+  BinPacking out;
+  out.bin_of_item.assign(sizes.size(), -1);
+  std::vector<uint64_t> remaining;  // free space per bin
+  for (size_t item : order) {
+    uint64_t size = sizes[item];
+    int bin = -1;
+    if (size <= capacity) {
+      for (size_t b = 0; b < remaining.size(); ++b) {
+        if (remaining[b] >= size) {
+          bin = static_cast<int>(b);
+          break;
+        }
+      }
+    }
+    if (bin < 0) {
+      bin = out.num_bins++;
+      remaining.push_back(size <= capacity ? capacity : size);
+    }
+    remaining[bin] -= std::min<uint64_t>(remaining[bin], size);
+    out.bin_of_item[item] = bin;
+  }
+  return out;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,25 @@
+#ifndef TUFFY_MRF_BIN_PACKING_H_
+#define TUFFY_MRF_BIN_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tuffy {
+
+/// Result of bin-packing items into capacity-bounded batches.
+struct BinPacking {
+  /// Bin index of each item (aligned with the input sizes vector).
+  std::vector<int> bin_of_item;
+  int num_bins = 0;
+};
+
+/// First Fit Decreasing (Section 3.3, "Efficient Data Loading"): sorts
+/// items by decreasing size and places each into the first bin with room.
+/// Items larger than `capacity` get dedicated bins (the engine later runs
+/// those partitions with the RDBMS-backed search instead).
+BinPacking FirstFitDecreasing(const std::vector<uint64_t>& sizes,
+                              uint64_t capacity);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_MRF_BIN_PACKING_H_

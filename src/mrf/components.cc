@@ -1,0 +1,48 @@
+#include "mrf/components.h"
+
+#include <unordered_map>
+
+#include "util/union_find.h"
+
+namespace tuffy {
+
+ComponentSet DetectComponents(size_t num_atoms,
+                              const std::vector<GroundClause>& clauses) {
+  UnionFind uf(num_atoms);
+  for (const GroundClause& c : clauses) {
+    if (c.lits.empty()) continue;
+    AtomId first = LitAtom(c.lits[0]);
+    for (size_t i = 1; i < c.lits.size(); ++i) {
+      uf.Union(first, LitAtom(c.lits[i]));
+    }
+  }
+  ComponentSet out;
+  out.component_of_atom.assign(num_atoms, -1);
+  std::unordered_map<uint32_t, int32_t> root_to_comp;
+  for (AtomId a = 0; a < num_atoms; ++a) {
+    uint32_t root = uf.Find(a);
+    auto [it, inserted] =
+        root_to_comp.emplace(root, static_cast<int32_t>(out.atoms.size()));
+    if (inserted) out.atoms.emplace_back();
+    out.component_of_atom[a] = it->second;
+    out.atoms[it->second].push_back(a);
+  }
+  out.clauses.resize(out.atoms.size());
+  for (size_t ci = 0; ci < clauses.size(); ++ci) {
+    if (clauses[ci].lits.empty()) continue;
+    int32_t comp = out.component_of_atom[LitAtom(clauses[ci].lits[0])];
+    out.clauses[comp].push_back(static_cast<uint32_t>(ci));
+  }
+  return out;
+}
+
+uint64_t ComponentSizeMetric(const ComponentSet& components, size_t index,
+                             const std::vector<GroundClause>& clauses) {
+  uint64_t size = components.atoms[index].size();
+  for (uint32_t ci : components.clauses[index]) {
+    size += clauses[ci].lits.size();
+  }
+  return size;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,37 @@
+#ifndef TUFFY_MRF_COMPONENTS_H_
+#define TUFFY_MRF_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_clause.h"
+
+namespace tuffy {
+
+/// Connected components of the MRF hypergraph (atoms = nodes, ground
+/// clauses = hyperedges), computed with one scan of the clause table over
+/// an in-memory union-find structure, exactly as in Section 3.3.
+struct ComponentSet {
+  /// Component index of every atom (0..num_components-1).
+  std::vector<int32_t> component_of_atom;
+  /// Atom ids per component.
+  std::vector<std::vector<AtomId>> atoms;
+  /// Clause indices per component (every clause is within one component).
+  std::vector<std::vector<uint32_t>> clauses;
+
+  size_t num_components() const { return atoms.size(); }
+};
+
+/// Detects components. Atoms that appear in no clause each form their own
+/// singleton component.
+ComponentSet DetectComponents(size_t num_atoms,
+                              const std::vector<GroundClause>& clauses);
+
+/// Size metric used for memory budgeting: number of atoms plus total
+/// literal count (the paper's "total number of literals and atoms").
+uint64_t ComponentSizeMetric(const ComponentSet& components, size_t index,
+                             const std::vector<GroundClause>& clauses);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_MRF_COMPONENTS_H_

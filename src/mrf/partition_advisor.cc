@@ -1,0 +1,46 @@
+#include "mrf/partition_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tuffy {
+
+double ScorePartitioning(const PartitionResult& partitions,
+                         size_t num_clauses, uint64_t steps_per_round) {
+  // N: partitions that actually contain search work.
+  size_t n = 0;
+  for (const auto& clause_list : partitions.clauses) {
+    if (!clause_list.empty()) ++n;
+  }
+  // 2^(N/3), capped so the score stays finite and comparable.
+  double exponent = std::min(static_cast<double>(n) / 3.0, 60.0);
+  double speedup = std::exp2(exponent);
+  double slowdown = 0.0;
+  if (num_clauses > 0) {
+    slowdown = static_cast<double>(steps_per_round) *
+               static_cast<double>(partitions.cut_clauses.size()) /
+               static_cast<double>(num_clauses);
+  }
+  return speedup - slowdown;
+}
+
+PartitioningAdvice ChoosePartitionSize(
+    size_t num_atoms, const std::vector<GroundClause>& clauses,
+    const std::vector<uint64_t>& candidate_betas, uint64_t steps_per_round) {
+  PartitioningAdvice advice;
+  double best = -std::numeric_limits<double>::infinity();
+  for (uint64_t beta : candidate_betas) {
+    PartitionResult pr = PartitionMrf(num_atoms, clauses, beta);
+    double score = ScorePartitioning(pr, clauses.size(), steps_per_round);
+    advice.scores.push_back(score);
+    advice.partition_counts.push_back(pr.num_partitions());
+    advice.cut_sizes.push_back(pr.cut_clauses.size());
+    if (score > best) {
+      best = score;
+      advice.chosen_beta = beta;
+    }
+  }
+  return advice;
+}
+
+}  // namespace tuffy

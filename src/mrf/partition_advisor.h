@@ -1,0 +1,47 @@
+#ifndef TUFFY_MRF_PARTITION_ADVISOR_H_
+#define TUFFY_MRF_PARTITION_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_clause.h"
+#include "mrf/partitioner.h"
+
+namespace tuffy {
+
+/// The partitioning-benefit estimate of Appendix B.8:
+///
+///     W = 2^(N/3) - T * |cut clauses| / |E|
+///
+/// where N is the number of (non-trivial) partitions, T the number of
+/// WalkSAT steps in one Gauss-Seidel round, and |E| the total clause
+/// count. The first term captures the expected Theorem-3.1 speed-up, the
+/// second the slow-down from clauses the partitions cannot reason about
+/// jointly. The paper notes the formula is conservative; it still ranks
+/// candidate granularities usefully.
+double ScorePartitioning(const PartitionResult& partitions,
+                         size_t num_clauses, uint64_t steps_per_round);
+
+/// Advice produced by ChoosePartitionSize.
+struct PartitioningAdvice {
+  /// The winning size bound (an entry of the candidate list, or
+  /// UINT64_MAX for "do not split beyond connected components").
+  uint64_t chosen_beta = UINT64_MAX;
+  /// W-score of each candidate, aligned with the input list.
+  std::vector<double> scores;
+  /// Number of partitions each candidate produced.
+  std::vector<size_t> partition_counts;
+  /// Cut size of each candidate.
+  std::vector<size_t> cut_sizes;
+};
+
+/// Evaluates Algorithm 3 under each candidate size bound and returns the
+/// bound with the best W-score (the basic heuristic of Section B.8 that
+/// combines Theorem 3.1 with the Gauss-Seidel cost model).
+PartitioningAdvice ChoosePartitionSize(
+    size_t num_atoms, const std::vector<GroundClause>& clauses,
+    const std::vector<uint64_t>& candidate_betas, uint64_t steps_per_round);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_MRF_PARTITION_ADVISOR_H_

@@ -1,0 +1,38 @@
+#include "ra/catalog.h"
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(StrFormat("table %s", name.c_str()));
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table %s", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound(StrFormat("table %s", name.c_str()));
+  }
+  return Status::OK();
+}
+
+size_t Catalog::EstimateBytes() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->EstimateBytes();
+  return total;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,53 @@
+#include "ra/datum.h"
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+    case ColumnType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+size_t Datum::Hash() const {
+  // Combine the alternative index with the value hash so 0 != "0".
+  size_t seed = v_.index() * 0x9E3779B97F4A7C15ull;
+  size_t h = 0;
+  switch (v_.index()) {
+    case 0:
+      h = 0;
+      break;
+    case 1:
+      h = std::hash<int64_t>{}(std::get<int64_t>(v_));
+      break;
+    case 2:
+      h = std::hash<double>{}(std::get<double>(v_));
+      break;
+    case 3:
+      h = std::hash<std::string>{}(std::get<std::string>(v_));
+      break;
+    case 4:
+      h = std::hash<bool>{}(std::get<bool>(v_));
+      break;
+  }
+  return seed ^ (h + 0x9E3779B9u + (seed << 6) + (seed >> 2));
+}
+
+std::string Datum::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return StrFormat("%lld", (long long)int64());
+  if (is_double()) return StrFormat("%g", dbl());
+  if (is_string()) return "'" + str() + "'";
+  return boolean() ? "true" : "false";
+}
+
+}  // namespace tuffy

@@ -1,0 +1,60 @@
+#ifndef TUFFY_RA_DATUM_H_
+#define TUFFY_RA_DATUM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace tuffy {
+
+/// Column types supported by the embedded relational engine. The MLN
+/// layer interns constants to kInt64 ids; kString is used for display and
+/// for loading raw evidence.
+enum class ColumnType { kInt64, kDouble, kString, kBool };
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A single SQL value: NULL or one of the supported scalar types.
+/// Ordering and equality follow SQL semantics for same-typed values;
+/// cross-type comparisons order by type index (total order for sorting).
+class Datum {
+ public:
+  Datum() : v_(std::monostate{}) {}
+  explicit Datum(int64_t v) : v_(v) {}
+  explicit Datum(double v) : v_(v) {}
+  explicit Datum(std::string v) : v_(std::move(v)) {}
+  explicit Datum(const char* v) : v_(std::string(v)) {}
+  explicit Datum(bool v) : v_(v) {}
+
+  static Datum Null() { return Datum(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+
+  int64_t int64() const { return std::get<int64_t>(v_); }
+  double dbl() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+  bool boolean() const { return std::get<bool>(v_); }
+
+  bool operator==(const Datum& other) const { return v_ == other.v_; }
+  bool operator!=(const Datum& other) const { return v_ != other.v_; }
+  bool operator<(const Datum& other) const { return v_ < other.v_; }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> v_;
+};
+
+struct DatumHash {
+  size_t operator()(const Datum& d) const { return d.Hash(); }
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_RA_DATUM_H_

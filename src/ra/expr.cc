@@ -1,0 +1,114 @@
+#include "ra/expr.h"
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ColumnRefExpr::ToString() const {
+  if (!name_.empty()) return name_;
+  return StrFormat("$%d", index_);
+}
+
+Datum CompareExpr::Eval(const Row& row) const {
+  Datum l = lhs_->Eval(row);
+  Datum r = rhs_->Eval(row);
+  if (l.is_null() || r.is_null()) {
+    // NULL compares unequal to everything, including NULL.
+    return Datum(op_ == CompareOp::kNe);
+  }
+  switch (op_) {
+    case CompareOp::kEq:
+      return Datum(l == r);
+    case CompareOp::kNe:
+      return Datum(l != r);
+    case CompareOp::kLt:
+      return Datum(l < r);
+    case CompareOp::kLe:
+      return Datum(l < r || l == r);
+    case CompareOp::kGt:
+      return Datum(r < l);
+    case CompareOp::kGe:
+      return Datum(r < l || l == r);
+  }
+  return Datum(false);
+}
+
+std::string CompareExpr::ToString() const {
+  return lhs_->ToString() + " " + CompareOpToString(op_) + " " +
+         rhs_->ToString();
+}
+
+Datum AndExpr::Eval(const Row& row) const {
+  for (const ExprPtr& c : children_) {
+    if (!c->EvalBool(row)) return Datum(false);
+  }
+  return Datum(true);
+}
+
+std::string AndExpr::ToString() const {
+  if (children_.empty()) return "TRUE";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+Datum OrExpr::Eval(const Row& row) const {
+  for (const ExprPtr& c : children_) {
+    if (c->EvalBool(row)) return Datum(true);
+  }
+  return Datum(false);
+}
+
+std::string OrExpr::ToString() const {
+  if (children_.empty()) return "FALSE";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += " OR ";
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+ExprPtr Col(int index, std::string name) {
+  return std::make_unique<ColumnRefExpr>(index, std::move(name));
+}
+ExprPtr Val(Datum value) { return std::make_unique<LiteralExpr>(std::move(value)); }
+ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CompareOp::kEq, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs) {
+  return Cmp(CompareOp::kNe, std::move(lhs), std::move(rhs));
+}
+ExprPtr And(std::vector<ExprPtr> children) {
+  return std::make_unique<AndExpr>(std::move(children));
+}
+ExprPtr Or(std::vector<ExprPtr> children) {
+  return std::make_unique<OrExpr>(std::move(children));
+}
+ExprPtr Not(ExprPtr child) { return std::make_unique<NotExpr>(std::move(child)); }
+
+}  // namespace tuffy

@@ -1,0 +1,489 @@
+#include "ra/operators.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+namespace {
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- SeqScan
+
+Status SeqScanOp::Open() {
+  pos_ = 0;
+  rows_produced_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* out) {
+  if (pos_ >= table_->num_rows()) return false;
+  *out = table_->row(pos_++);
+  ++rows_produced_;
+  return true;
+}
+
+// ----------------------------------------------------------------- Filter
+
+Status FilterOp::Open() {
+  rows_produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    TUFFY_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    if (predicate_->EvalBool(*out)) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Project
+
+ProjectOp::ProjectOp(PhysicalOpPtr child, std::vector<int> columns,
+                     std::vector<std::string> names)
+    : child_(std::move(child)), columns_(std::move(columns)) {
+  const Schema& in = child_->output_schema();
+  std::vector<Column> cols;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Column c = in.column(columns_[i]);
+    if (i < names.size() && !names[i].empty()) c.name = names[i];
+    cols.push_back(std::move(c));
+  }
+  schema_ = Schema(std::move(cols));
+}
+
+Result<bool> ProjectOp::Next(Row* out) {
+  Row in;
+  TUFFY_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+  if (!has) return false;
+  out->clear();
+  out->reserve(columns_.size());
+  for (int c : columns_) out->push_back(in[c]);
+  ++rows_produced_;
+  return true;
+}
+
+std::string ProjectOp::name() const {
+  return StrFormat("Project(%zu cols)", columns_.size());
+}
+
+// ---------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinOp::NestedLoopJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                                   std::vector<JoinKey> keys, ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)) {
+  schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
+}
+
+Status NestedLoopJoinOp::Open() {
+  rows_produced_ = 0;
+  TUFFY_RETURN_IF_ERROR(left_->Open());
+  TUFFY_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  Row row;
+  while (true) {
+    auto has = right_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    right_rows_.push_back(row);
+  }
+  left_valid_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  while (true) {
+    if (!left_valid_) {
+      TUFFY_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      left_valid_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& right_row = right_rows_[right_pos_++];
+      bool match = true;
+      for (const JoinKey& k : keys_) {
+        const Datum& l = left_row_[k.left_col];
+        const Datum& r = right_row[k.right_col];
+        if (l.is_null() || r.is_null() || !(l == r)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Row joined = ConcatRows(left_row_, right_row);
+      if (residual_ != nullptr && !residual_->EvalBool(joined)) continue;
+      *out = std::move(joined);
+      ++rows_produced_;
+      return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  right_rows_.clear();
+}
+
+std::string NestedLoopJoinOp::name() const {
+  return StrFormat("NestedLoopJoin(keys=%zu)", keys_.size());
+}
+
+// --------------------------------------------------------------- HashJoin
+
+HashJoinOp::HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                       std::vector<JoinKey> keys, ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)) {
+  schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
+}
+
+std::vector<Datum> HashJoinOp::LeftKey(const Row& row) const {
+  std::vector<Datum> key;
+  key.reserve(keys_.size());
+  for (const JoinKey& k : keys_) key.push_back(row[k.left_col]);
+  return key;
+}
+
+std::vector<Datum> HashJoinOp::RightKey(const Row& row) const {
+  std::vector<Datum> key;
+  key.reserve(keys_.size());
+  for (const JoinKey& k : keys_) key.push_back(row[k.right_col]);
+  return key;
+}
+
+Status HashJoinOp::Open() {
+  rows_produced_ = 0;
+  TUFFY_RETURN_IF_ERROR(left_->Open());
+  TUFFY_RETURN_IF_ERROR(right_->Open());
+  hash_table_.clear();
+  Row row;
+  while (true) {
+    auto has = right_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    std::vector<Datum> key = RightKey(row);
+    bool null_key = false;
+    for (const Datum& d : key) null_key |= d.is_null();
+    if (null_key) continue;  // NULL keys never join
+    hash_table_[std::move(key)].push_back(row);
+  }
+  left_valid_ = false;
+  matches_ = nullptr;
+  match_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (!left_valid_) {
+      TUFFY_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      left_valid_ = true;
+      std::vector<Datum> key = LeftKey(left_row_);
+      bool null_key = false;
+      for (const Datum& d : key) null_key |= d.is_null();
+      if (null_key) {
+        left_valid_ = false;
+        continue;
+      }
+      auto it = hash_table_.find(key);
+      if (it == hash_table_.end()) {
+        left_valid_ = false;
+        continue;
+      }
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+    while (match_pos_ < matches_->size()) {
+      Row joined = ConcatRows(left_row_, (*matches_)[match_pos_++]);
+      if (residual_ != nullptr && !residual_->EvalBool(joined)) continue;
+      *out = std::move(joined);
+      ++rows_produced_;
+      return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  hash_table_.clear();
+}
+
+std::string HashJoinOp::name() const {
+  return StrFormat("HashJoin(keys=%zu)", keys_.size());
+}
+
+// ---------------------------------------------------------- SortMergeJoin
+
+SortMergeJoinOp::SortMergeJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                                 std::vector<JoinKey> keys, ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      keys_(std::move(keys)),
+      residual_(std::move(residual)) {
+  schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
+}
+
+std::vector<Datum> SortMergeJoinOp::Key(const Row& row, bool left) const {
+  std::vector<Datum> key;
+  key.reserve(keys_.size());
+  for (const JoinKey& k : keys_) {
+    key.push_back(row[left ? k.left_col : k.right_col]);
+  }
+  return key;
+}
+
+Status SortMergeJoinOp::Open() {
+  rows_produced_ = 0;
+  TUFFY_RETURN_IF_ERROR(left_->Open());
+  TUFFY_RETURN_IF_ERROR(right_->Open());
+  left_rows_.clear();
+  right_rows_.clear();
+  Row row;
+  while (true) {
+    auto has = left_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    left_rows_.push_back(row);
+  }
+  while (true) {
+    auto has = right_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    right_rows_.push_back(row);
+  }
+  auto cmp_left = [this](const Row& a, const Row& b) {
+    return Key(a, true) < Key(b, true);
+  };
+  auto cmp_right = [this](const Row& a, const Row& b) {
+    return Key(a, false) < Key(b, false);
+  };
+  std::sort(left_rows_.begin(), left_rows_.end(), cmp_left);
+  std::sort(right_rows_.begin(), right_rows_.end(), cmp_right);
+  li_ = ri_ = 0;
+  in_group_ = false;
+  return Status::OK();
+}
+
+Result<bool> SortMergeJoinOp::Next(Row* out) {
+  while (true) {
+    if (in_group_) {
+      // Emit the cross product of the current equal-key groups.
+      while (cur_left_ < group_left_end_) {
+        while (cur_right_ < group_right_end_) {
+          Row joined =
+              ConcatRows(left_rows_[cur_left_], right_rows_[cur_right_]);
+          ++cur_right_;
+          if (residual_ != nullptr && !residual_->EvalBool(joined)) continue;
+          *out = std::move(joined);
+          ++rows_produced_;
+          return true;
+        }
+        cur_right_ = group_right_begin_;
+        ++cur_left_;
+      }
+      in_group_ = false;
+      li_ = group_left_end_;
+      ri_ = group_right_end_;
+    }
+    if (li_ >= left_rows_.size() || ri_ >= right_rows_.size()) return false;
+    std::vector<Datum> lk = Key(left_rows_[li_], true);
+    std::vector<Datum> rk = Key(right_rows_[ri_], false);
+    bool null_key = false;
+    for (const Datum& d : lk) null_key |= d.is_null();
+    if (null_key) {
+      ++li_;
+      continue;
+    }
+    for (const Datum& d : rk) null_key |= d.is_null();
+    if (null_key) {
+      ++ri_;
+      continue;
+    }
+    if (lk < rk) {
+      ++li_;
+    } else if (rk < lk) {
+      ++ri_;
+    } else {
+      // Delimit both equal-key groups.
+      group_left_end_ = li_;
+      while (group_left_end_ < left_rows_.size() &&
+             Key(left_rows_[group_left_end_], true) == lk) {
+        ++group_left_end_;
+      }
+      group_right_begin_ = ri_;
+      group_right_end_ = ri_;
+      while (group_right_end_ < right_rows_.size() &&
+             Key(right_rows_[group_right_end_], false) == rk) {
+        ++group_right_end_;
+      }
+      cur_left_ = li_;
+      cur_right_ = group_right_begin_;
+      in_group_ = true;
+    }
+  }
+}
+
+void SortMergeJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  left_rows_.clear();
+  right_rows_.clear();
+}
+
+std::string SortMergeJoinOp::name() const {
+  return StrFormat("SortMergeJoin(keys=%zu)", keys_.size());
+}
+
+// ------------------------------------------------------------------- Sort
+
+Status SortOp::Open() {
+  rows_produced_ = 0;
+  TUFFY_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  Row row;
+  while (true) {
+    auto has = child_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    rows_.push_back(row);
+  }
+  std::sort(rows_.begin(), rows_.end(), [this](const Row& a, const Row& b) {
+    for (int c : sort_cols_) {
+      if (a[c] < b[c]) return true;
+      if (b[c] < a[c]) return false;
+    }
+    return false;
+  });
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  ++rows_produced_;
+  return true;
+}
+
+void SortOp::Close() {
+  child_->Close();
+  rows_.clear();
+}
+
+// --------------------------------------------------------------- Distinct
+
+Status DistinctOp::Open() {
+  rows_produced_ = 0;
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctOp::Next(Row* out) {
+  while (true) {
+    TUFFY_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    auto [it, inserted] = seen_.emplace(*out, true);
+    if (inserted) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+void DistinctOp::Close() {
+  child_->Close();
+  seen_.clear();
+}
+
+// ---------------------------------------------------------- HashAggregate
+
+HashAggregateOp::HashAggregateOp(PhysicalOpPtr child,
+                                 std::vector<int> group_cols)
+    : child_(std::move(child)), group_cols_(std::move(group_cols)) {
+  const Schema& in = child_->output_schema();
+  std::vector<Column> cols;
+  for (int c : group_cols_) cols.push_back(in.column(c));
+  cols.push_back(Column{"count", ColumnType::kInt64});
+  schema_ = Schema(std::move(cols));
+}
+
+Status HashAggregateOp::Open() {
+  rows_produced_ = 0;
+  TUFFY_RETURN_IF_ERROR(child_->Open());
+  std::unordered_map<Row, int64_t, KeyHash> groups;
+  Row row;
+  while (true) {
+    auto has = child_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    Row key;
+    key.reserve(group_cols_.size());
+    for (int c : group_cols_) key.push_back(row[c]);
+    ++groups[std::move(key)];
+  }
+  results_.clear();
+  results_.reserve(groups.size());
+  for (auto& [key, count] : groups) {
+    Row out = key;
+    out.push_back(Datum(count));
+    results_.push_back(std::move(out));
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  ++rows_produced_;
+  return true;
+}
+
+void HashAggregateOp::Close() {
+  child_->Close();
+  results_.clear();
+}
+
+// --------------------------------------------------------------- Executor
+
+Result<Table> ExecuteToTable(PhysicalOp* root, const std::string& name) {
+  TUFFY_RETURN_IF_ERROR(root->Open());
+  Table out(name, root->output_schema());
+  Row row;
+  while (true) {
+    auto has = root->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    out.Append(std::move(row));
+    row.clear();
+  }
+  root->Close();
+  return out;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,278 @@
+#ifndef TUFFY_RA_OPERATORS_H_
+#define TUFFY_RA_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ra/expr.h"
+#include "ra/table.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tuffy {
+
+/// Volcano-style physical operator: Open / Next / Close. Each Next fills
+/// `out` and returns true, or returns false at end-of-stream.
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(Row* out) = 0;
+  virtual void Close() = 0;
+
+  virtual const Schema& output_schema() const = 0;
+  /// One-line description, e.g. "HashJoin(keys=1)".
+  virtual std::string name() const = 0;
+
+  /// Rows emitted since Open (for EXPLAIN ANALYZE-style reporting).
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  uint64_t rows_produced_ = 0;
+};
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+/// Full scan of a materialized table.
+class SeqScanOp final : public PhysicalOp {
+ public:
+  explicit SeqScanOp(const Table* table) : table_(table) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override {}
+  const Schema& output_schema() const override { return table_->schema(); }
+  std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
+
+ private:
+  const Table* table_;
+  size_t pos_ = 0;
+};
+
+/// Filters child rows by a predicate.
+class FilterOp final : public PhysicalOp {
+ public:
+  FilterOp(PhysicalOpPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override {
+    return "Filter(" + predicate_->ToString() + ")";
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Projects child rows onto a list of column indices.
+class ProjectOp final : public PhysicalOp {
+ public:
+  ProjectOp(PhysicalOpPtr child, std::vector<int> columns,
+            std::vector<std::string> names = {});
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<int> columns_;
+  Schema schema_;
+};
+
+/// Equi-join key pair: left column index, right column index.
+struct JoinKey {
+  int left_col;
+  int right_col;
+};
+
+/// Tuple-at-a-time nested-loop join with an arbitrary residual predicate
+/// over the concatenated row. The Alchemy-style baseline plan uses only
+/// this operator (Table 6 "fixed join algorithm").
+class NestedLoopJoinOp final : public PhysicalOp {
+ public:
+  /// `predicate` may be null (cross product). Keys are checked as part of
+  /// the predicate loop.
+  NestedLoopJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                   std::vector<JoinKey> keys, ExprPtr residual = nullptr);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  std::vector<JoinKey> keys_;
+  ExprPtr residual_;
+  Schema schema_;
+  // Right side is materialized once; left streams.
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool left_valid_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Classic build/probe hash join on equi-keys; build side = right input.
+class HashJoinOp final : public PhysicalOp {
+ public:
+  HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+             std::vector<JoinKey> keys, ExprPtr residual = nullptr);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Datum>& key) const {
+      size_t h = 0x9E3779B97F4A7C15ull;
+      for (const Datum& d : key) h = h * 1315423911u ^ d.Hash();
+      return h;
+    }
+  };
+
+  std::vector<Datum> LeftKey(const Row& row) const;
+  std::vector<Datum> RightKey(const Row& row) const;
+
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  std::vector<JoinKey> keys_;
+  ExprPtr residual_;
+  Schema schema_;
+  std::unordered_map<std::vector<Datum>, std::vector<Row>, KeyHash> hash_table_;
+  Row left_row_;
+  bool left_valid_ = false;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Sort-merge join on equi-keys: both inputs are materialized, sorted by
+/// key, and merged (PostgreSQL merge join).
+class SortMergeJoinOp final : public PhysicalOp {
+ public:
+  SortMergeJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                  std::vector<JoinKey> keys, ExprPtr residual = nullptr);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override;
+
+ private:
+  std::vector<Datum> Key(const Row& row, bool left) const;
+
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  std::vector<JoinKey> keys_;
+  ExprPtr residual_;
+  Schema schema_;
+  std::vector<Row> left_rows_;
+  std::vector<Row> right_rows_;
+  size_t li_ = 0;
+  size_t ri_ = 0;
+  // Current matching key group.
+  size_t group_left_end_ = 0;
+  size_t group_right_begin_ = 0;
+  size_t group_right_end_ = 0;
+  size_t cur_left_ = 0;
+  size_t cur_right_ = 0;
+  bool in_group_ = false;
+};
+
+/// Materializes and sorts child output by the given column indices.
+class SortOp final : public PhysicalOp {
+ public:
+  SortOp(PhysicalOpPtr child, std::vector<int> sort_cols)
+      : child_(std::move(child)), sort_cols_(std::move(sort_cols)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override { return "Sort"; }
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<int> sort_cols_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Removes duplicate rows (hash-based).
+class DistinctOp final : public PhysicalOp {
+ public:
+  explicit DistinctOp(PhysicalOpPtr child) : child_(std::move(child)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override { return "Distinct"; }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& row) const {
+      size_t h = 0x9E3779B97F4A7C15ull;
+      for (const Datum& d : row) h = h * 1315423911u ^ d.Hash();
+      return h;
+    }
+  };
+
+  PhysicalOpPtr child_;
+  std::unordered_map<Row, bool, RowHash> seen_;
+};
+
+/// GROUP BY group_cols with COUNT(*) appended as the last output column.
+class HashAggregateOp final : public PhysicalOp {
+ public:
+  HashAggregateOp(PhysicalOpPtr child, std::vector<int> group_cols);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  const Schema& output_schema() const override { return schema_; }
+  std::string name() const override { return "HashAggregate(count)"; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Row& row) const {
+      size_t h = 0x9E3779B97F4A7C15ull;
+      for (const Datum& d : row) h = h * 1315423911u ^ d.Hash();
+      return h;
+    }
+  };
+
+  PhysicalOpPtr child_;
+  std::vector<int> group_cols_;
+  Schema schema_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Runs a physical plan to completion, materializing the output.
+Result<Table> ExecuteToTable(PhysicalOp* root, const std::string& name);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_RA_OPERATORS_H_

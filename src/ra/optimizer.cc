@@ -1,0 +1,239 @@
+#include "ra/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+namespace {
+
+/// Per-column distinct-value estimate, falling back to the row count when
+/// the table has not been ANALYZEd.
+double DistinctEstimate(const Table* table, int col) {
+  if (table->stats_valid() &&
+      col < static_cast<int>(table->stats().columns.size()) &&
+      table->stats().columns[col].num_distinct > 0) {
+    return static_cast<double>(table->stats().columns[col].num_distinct);
+  }
+  return std::max<double>(1.0, static_cast<double>(table->num_rows()));
+}
+
+}  // namespace
+
+double Optimizer::EstimateFilteredRows(const TableRef& ref) const {
+  double rows = static_cast<double>(ref.table->num_rows());
+  return std::max(1.0, rows * ref.selectivity);
+}
+
+double Optimizer::EstimateCardinality(const ConjunctiveQuery& query) const {
+  double card = 1.0;
+  for (const TableRef& ref : query.tables) card *= EstimateFilteredRows(ref);
+  for (const JoinCondition& jc : query.joins) {
+    double dl = DistinctEstimate(query.tables[jc.left_table].table, jc.left_col);
+    double dr =
+        DistinctEstimate(query.tables[jc.right_table].table, jc.right_col);
+    card /= std::max(dl, dr);
+  }
+  return std::max(1.0, card);
+}
+
+Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  const size_t n = query.tables.size();
+
+  // Estimated cardinality of each base ref after filter pushdown.
+  std::vector<double> base_rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    base_rows[i] = EstimateFilteredRows(query.tables[i]);
+  }
+
+  // ---- Join-order selection (greedy left-deep, System R flavor). ----
+  std::vector<int> order;
+  std::vector<bool> placed(n, false);
+  if (options_.fixed_join_order) {
+    for (size_t i = 0; i < n; ++i) order.push_back(static_cast<int>(i));
+  } else {
+    // Start from the cheapest filtered relation.
+    int first = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (base_rows[i] < base_rows[first]) first = static_cast<int>(i);
+    }
+    order.push_back(first);
+    placed[first] = true;
+    double cur_rows = base_rows[first];
+    for (size_t step = 1; step < n; ++step) {
+      int best = -1;
+      double best_rows = std::numeric_limits<double>::infinity();
+      bool best_connected = false;
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (placed[cand]) continue;
+        // Estimate |cur ⋈ cand| using all join conditions between the
+        // placed set and cand.
+        double est = cur_rows * base_rows[cand];
+        bool connected = false;
+        for (const JoinCondition& jc : query.joins) {
+          int a = jc.left_table, b = jc.right_table;
+          int other = -1, other_col = -1, cand_col = -1;
+          if (a == static_cast<int>(cand) && placed[b]) {
+            other = b;
+            other_col = jc.right_col;
+            cand_col = jc.left_col;
+          } else if (b == static_cast<int>(cand) && placed[a]) {
+            other = a;
+            other_col = jc.left_col;
+            cand_col = jc.right_col;
+          } else {
+            continue;
+          }
+          connected = true;
+          double dl = DistinctEstimate(query.tables[other].table, other_col);
+          double dr = DistinctEstimate(query.tables[cand].table, cand_col);
+          est /= std::max(1.0, std::max(dl, dr));
+        }
+        // Prefer connected joins over cross products at any cost.
+        if ((connected && !best_connected) ||
+            (connected == best_connected && est < best_rows)) {
+          best = static_cast<int>(cand);
+          best_rows = est;
+          best_connected = connected;
+        }
+      }
+      order.push_back(best);
+      placed[best] = true;
+      cur_rows = std::max(1.0, best_rows);
+    }
+    std::fill(placed.begin(), placed.end(), false);
+  }
+
+  // ---- Physical plan construction. ----
+  std::string explain;
+  // Column offset of each placed table in the concatenated join row.
+  std::vector<int> col_offset(n, -1);
+
+  auto make_scan = [&](int t) -> PhysicalOpPtr {
+    TableRef& ref = query.tables[t];
+    PhysicalOpPtr op = std::make_unique<SeqScanOp>(ref.table);
+    if (ref.filter != nullptr && !options_.disable_predicate_pushdown) {
+      op = std::make_unique<FilterOp>(std::move(op), std::move(ref.filter));
+    }
+    return op;
+  };
+
+  int t0 = order[0];
+  PhysicalOpPtr root = make_scan(t0);
+  explain += StrFormat("Scan %s (est_rows=%.0f)\n",
+                       query.tables[t0].table->name().c_str(), base_rows[t0]);
+  col_offset[t0] = 0;
+  int total_cols =
+      static_cast<int>(query.tables[t0].table->schema().num_columns());
+  placed[t0] = true;
+  std::vector<bool> join_applied(query.joins.size(), false);
+
+  for (size_t step = 1; step < order.size(); ++step) {
+    int t = order[step];
+    PhysicalOpPtr right = make_scan(t);
+
+    // Collect equi-join keys between the placed tree and table t.
+    std::vector<JoinKey> keys;
+    for (size_t j = 0; j < query.joins.size(); ++j) {
+      if (join_applied[j]) continue;
+      const JoinCondition& jc = query.joins[j];
+      if (jc.left_table == t && placed[jc.right_table]) {
+        keys.push_back(
+            JoinKey{col_offset[jc.right_table] + jc.right_col, jc.left_col});
+        join_applied[j] = true;
+      } else if (jc.right_table == t && placed[jc.left_table]) {
+        keys.push_back(
+            JoinKey{col_offset[jc.left_table] + jc.left_col, jc.right_col});
+        join_applied[j] = true;
+      }
+    }
+
+    const char* algo;
+    if (keys.empty()) {
+      root = std::make_unique<NestedLoopJoinOp>(std::move(root),
+                                                std::move(right), keys);
+      algo = "NestedLoop(cross)";
+    } else if (options_.enable_hash_join) {
+      root = std::make_unique<HashJoinOp>(std::move(root), std::move(right),
+                                          keys);
+      algo = "HashJoin";
+    } else if (options_.enable_merge_join) {
+      root = std::make_unique<SortMergeJoinOp>(std::move(root),
+                                               std::move(right), keys);
+      algo = "SortMergeJoin";
+    } else {
+      root = std::make_unique<NestedLoopJoinOp>(std::move(root),
+                                                std::move(right), keys);
+      algo = "NestedLoopJoin";
+    }
+    explain += StrFormat("%s with %s (keys=%zu)\n", algo,
+                         query.tables[t].table->name().c_str(), keys.size());
+    col_offset[t] = total_cols;
+    total_cols += static_cast<int>(query.tables[t].table->schema().num_columns());
+    placed[t] = true;
+
+    // Apply any join conditions whose both sides are now placed but which
+    // were not usable as keys (cycles in the join graph).
+    std::vector<ExprPtr> residuals;
+    for (size_t j = 0; j < query.joins.size(); ++j) {
+      if (join_applied[j]) continue;
+      const JoinCondition& jc = query.joins[j];
+      if (placed[jc.left_table] && placed[jc.right_table]) {
+        residuals.push_back(Eq(Col(col_offset[jc.left_table] + jc.left_col),
+                               Col(col_offset[jc.right_table] + jc.right_col)));
+        join_applied[j] = true;
+      }
+    }
+    if (!residuals.empty()) {
+      size_t count = residuals.size();
+      root = std::make_unique<FilterOp>(std::move(root),
+                                        And(std::move(residuals)));
+      explain += StrFormat("Filter (%zu cycle conditions)\n", count);
+    }
+  }
+
+  // Filters that were not pushed down (lesion mode): hoist each base-table
+  // predicate above the join tree, rebound to the table's column range.
+  if (options_.disable_predicate_pushdown) {
+    std::vector<ExprPtr> top_filters;
+    for (size_t t = 0; t < n; ++t) {
+      TableRef& ref = query.tables[t];
+      if (ref.filter == nullptr) continue;
+      int width = static_cast<int>(ref.table->schema().num_columns());
+      top_filters.push_back(std::make_unique<ShiftExpr>(
+          std::move(ref.filter), col_offset[t], width));
+    }
+    if (!top_filters.empty()) {
+      size_t count = top_filters.size();
+      root = std::make_unique<FilterOp>(std::move(root),
+                                        And(std::move(top_filters)));
+      explain += StrFormat("Filter (%zu hoisted predicates)\n", count);
+    }
+  }
+
+  // Final projection.
+  std::vector<int> out_cols;
+  std::vector<std::string> out_names;
+  for (const OutputCol& oc : query.outputs) {
+    out_cols.push_back(col_offset[oc.table] + oc.col);
+    out_names.push_back(oc.name);
+  }
+  if (!out_cols.empty()) {
+    root = std::make_unique<ProjectOp>(std::move(root), out_cols, out_names);
+    explain += StrFormat("Project (%zu cols)\n", out_cols.size());
+  }
+
+  OptimizedPlan plan;
+  plan.root = std::move(root);
+  plan.join_order = std::move(order);
+  plan.explain = std::move(explain);
+  return plan;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,59 @@
+#ifndef TUFFY_RA_OPTIMIZER_H_
+#define TUFFY_RA_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ra/operators.h"
+#include "ra/query.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Join algorithms the optimizer may choose from. Disabling algorithms
+/// reproduces the paper's Table 6 lesion study ("fixed join algorithm" =
+/// nested loop only).
+struct OptimizerOptions {
+  bool enable_hash_join = true;
+  bool enable_merge_join = true;
+  /// If true, joins tables in the order they appear in the query instead
+  /// of cost-based greedy ordering ("fixed join order" lesion).
+  bool fixed_join_order = false;
+  /// If true, per-table filters stay above the joins (disables predicate
+  /// pushdown). The default pushes filters onto the scans.
+  bool disable_predicate_pushdown = false;
+};
+
+/// The optimized physical plan plus EXPLAIN-style metadata.
+struct OptimizedPlan {
+  PhysicalOpPtr root;
+  /// Join order as indices into query.tables.
+  std::vector<int> join_order;
+  /// Human-readable operator tree, one operator per line.
+  std::string explain;
+};
+
+/// A System R-lite optimizer for conjunctive queries: estimates
+/// cardinalities from table statistics, picks a greedy left-deep join
+/// order that minimizes intermediate sizes, pushes filters to the scans,
+/// and selects hash / sort-merge / nested-loop join per edge.
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options = {}) : options_(options) {}
+
+  /// Consumes `query` (filters are moved into the plan).
+  Result<OptimizedPlan> Plan(ConjunctiveQuery query) const;
+
+  /// Estimated output cardinality of `query` (exposed for tests).
+  double EstimateCardinality(const ConjunctiveQuery& query) const;
+
+ private:
+  double EstimateFilteredRows(const TableRef& ref) const;
+
+  OptimizerOptions options_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_RA_OPTIMIZER_H_

@@ -1,0 +1,51 @@
+#ifndef TUFFY_RA_QUERY_H_
+#define TUFFY_RA_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "ra/expr.h"
+#include "ra/table.h"
+
+namespace tuffy {
+
+/// One relation instance in a conjunctive (select-project-join) query.
+/// `filter` is a predicate over this table's schema alone and is pushed
+/// below the joins by the optimizer (predicate pushdown).
+struct TableRef {
+  const Table* table = nullptr;
+  ExprPtr filter;  // may be null
+  std::string alias;
+  /// Fraction of rows expected to pass `filter`; set by the query builder
+  /// (the grounding compiler knows evidence-truth selectivities).
+  double selectivity = 1.0;
+};
+
+/// Equality between a column of one table ref and a column of another.
+struct JoinCondition {
+  int left_table;
+  int left_col;
+  int right_table;
+  int right_col;
+};
+
+/// An output column: the `col`-th attribute of the `table`-th ref.
+struct OutputCol {
+  int table;
+  int col;
+  std::string name;
+};
+
+/// The select-project-join query shape that MLN grounding compiles to
+/// (Algorithm 2 in the paper): one TableRef per literal, join conditions
+/// for shared variables, per-ref filters for constants and evidence-truth
+/// pruning, and the atom-id output columns.
+struct ConjunctiveQuery {
+  std::vector<TableRef> tables;
+  std::vector<JoinCondition> joins;
+  std::vector<OutputCol> outputs;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_RA_QUERY_H_

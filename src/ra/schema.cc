@@ -1,0 +1,17 @@
+#include "ra/schema.h"
+
+namespace tuffy {
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ColumnTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tuffy

@@ -1,0 +1,66 @@
+#include "ra/table.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+void Table::Append(Row row) {
+  assert(row.size() == schema_.num_columns());
+  rows_.push_back(std::move(row));
+  stats_valid_ = false;
+}
+
+Status Table::AppendChecked(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema %s has %zu columns", row.size(),
+                  name_.c_str(), schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Datum& d = row[i];
+    if (d.is_null()) continue;
+    ColumnType t = schema_.column(i).type;
+    bool ok = (t == ColumnType::kInt64 && d.is_int64()) ||
+              (t == ColumnType::kDouble && d.is_double()) ||
+              (t == ColumnType::kString && d.is_string()) ||
+              (t == ColumnType::kBool && d.is_bool());
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrFormat("column %s.%s expects %s, got %s", name_.c_str(),
+                    schema_.column(i).name.c_str(), ColumnTypeToString(t),
+                    d.ToString().c_str()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  stats_valid_ = false;
+  return Status::OK();
+}
+
+const TableStats& Table::Analyze() {
+  stats_.num_rows = rows_.size();
+  stats_.columns.assign(schema_.num_columns(), ColumnStats{});
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    std::unordered_set<size_t> hashes;
+    hashes.reserve(rows_.size());
+    for (const Row& r : rows_) hashes.insert(r[c].Hash());
+    stats_.columns[c].num_distinct = hashes.size();
+  }
+  stats_valid_ = true;
+  return stats_;
+}
+
+size_t Table::EstimateBytes() const {
+  size_t bytes = 0;
+  for (const Row& r : rows_) {
+    bytes += sizeof(Row) + r.size() * sizeof(Datum);
+    for (const Datum& d : r) {
+      if (d.is_string()) bytes += d.str().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace tuffy

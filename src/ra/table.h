@@ -1,0 +1,71 @@
+#ifndef TUFFY_RA_TABLE_H_
+#define TUFFY_RA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ra/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tuffy {
+
+/// Per-column statistics used by the optimizer's cardinality estimator
+/// (PostgreSQL's pg_statistic, in miniature).
+struct ColumnStats {
+  uint64_t num_distinct = 0;
+};
+
+struct TableStats {
+  uint64_t num_rows = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// A materialized relation: schema plus row storage. Bulk loading is
+/// append-based, matching the paper's "standard bulk-loading techniques"
+/// for constructing the per-predicate atom tables.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return rows_.size(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; the caller is responsible for schema conformance
+  /// (checked in debug builds).
+  void Append(Row row);
+
+  /// Appends with full type checking.
+  Status AppendChecked(Row row);
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); stats_valid_ = false; }
+
+  /// Recomputes and caches table statistics (ANALYZE).
+  const TableStats& Analyze();
+
+  /// Cached stats; if never analyzed, returns row count with zero
+  /// distinct estimates.
+  const TableStats& stats() const { return stats_; }
+  bool stats_valid() const { return stats_valid_; }
+
+  /// Rough payload size in bytes, for memory accounting.
+  size_t EstimateBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  TableStats stats_;
+  bool stats_valid_ = false;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_RA_TABLE_H_

@@ -1,0 +1,76 @@
+#include "storage/disk_manager.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+DiskManager::DiskManager() {
+  file_ = std::tmpfile();
+}
+
+DiskManager::DiskManager(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w+b");
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageId DiskManager::AllocatePage() {
+  return next_page_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DiskManager::SimulateLatency() const {
+  if (simulated_latency_us_ == 0) return;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(simulated_latency_us_);
+  // Busy-wait: sleep granularity on most kernels is far coarser than the
+  // tens-of-microseconds latencies we simulate.
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  if (file_ == nullptr) return Status::IOError("backing file not open");
+  if (page_id >= next_page_id_.load(std::memory_order_relaxed)) {
+    return Status::OutOfRange(
+        StrFormat("read of unallocated page %u", page_id));
+  }
+  SimulateLatency();
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  long offset = static_cast<long>(page_id) * static_cast<long>(kPageSize);
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return Status::IOError(StrFormat("seek to page %u failed", page_id));
+  }
+  size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n < kPageSize) {
+    // Page allocated but never written: treat as zero-filled.
+    std::memset(out + n, 0, kPageSize - n);
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* data) {
+  if (file_ == nullptr) return Status::IOError("backing file not open");
+  if (page_id >= next_page_id_.load(std::memory_order_relaxed)) {
+    return Status::OutOfRange(
+        StrFormat("write of unallocated page %u", page_id));
+  }
+  SimulateLatency();
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  long offset = static_cast<long>(page_id) * static_cast<long>(kPageSize);
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return Status::IOError(StrFormat("seek to page %u failed", page_id));
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError(StrFormat("short write to page %u", page_id));
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace tuffy

@@ -1,0 +1,115 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+namespace {
+constexpr uint32_t kPageHeaderSize = sizeof(uint16_t);
+
+uint16_t RecordCount(const Page* page) {
+  uint16_t count;
+  std::memcpy(&count, page->data(), sizeof(count));
+  return count;
+}
+
+void SetRecordCount(Page* page, uint16_t count) {
+  std::memcpy(page->data(), &count, sizeof(count));
+}
+}  // namespace
+
+HeapFile::HeapFile(BufferPool* pool, uint32_t record_size)
+    : pool_(pool), record_size_(record_size) {
+  assert(record_size > 0 && record_size <= kPageSize - kPageHeaderSize);
+  records_per_page_ = (kPageSize - kPageHeaderSize) / record_size_;
+}
+
+Result<RecordId> HeapFile::Append(const char* record) {
+  Page* page = nullptr;
+  if (!pages_.empty()) {
+    TUFFY_ASSIGN_OR_RETURN(page, pool_->FetchPage(pages_.back()));
+    if (RecordCount(page) >= records_per_page_) {
+      TUFFY_RETURN_IF_ERROR(pool_->UnpinPage(page->page_id(), false));
+      page = nullptr;
+    }
+  }
+  if (page == nullptr) {
+    TUFFY_ASSIGN_OR_RETURN(page, pool_->NewPage());
+    SetRecordCount(page, 0);
+    pages_.push_back(page->page_id());
+  }
+  uint16_t slot = RecordCount(page);
+  uint32_t offset = kPageHeaderSize + slot * record_size_;
+  std::memcpy(page->data() + offset, record, record_size_);
+  SetRecordCount(page, static_cast<uint16_t>(slot + 1));
+  RecordId rid{page->page_id(), slot};
+  TUFFY_RETURN_IF_ERROR(pool_->UnpinPage(page->page_id(), /*dirty=*/true));
+  ++num_records_;
+  return rid;
+}
+
+Status HeapFile::Read(RecordId rid, char* out) const {
+  TUFFY_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  if (rid.slot >= RecordCount(page)) {
+    Status unpin = pool_->UnpinPage(rid.page_id, false);
+    (void)unpin;
+    return Status::OutOfRange(
+        StrFormat("slot %u out of range on page %u", rid.slot, rid.page_id));
+  }
+  uint32_t offset = kPageHeaderSize + rid.slot * record_size_;
+  std::memcpy(out, page->data() + offset, record_size_);
+  return pool_->UnpinPage(rid.page_id, false);
+}
+
+Status HeapFile::Update(RecordId rid, const char* record) {
+  TUFFY_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  if (rid.slot >= RecordCount(page)) {
+    Status unpin = pool_->UnpinPage(rid.page_id, false);
+    (void)unpin;
+    return Status::OutOfRange(
+        StrFormat("slot %u out of range on page %u", rid.slot, rid.page_id));
+  }
+  uint32_t offset = kPageHeaderSize + rid.slot * record_size_;
+  std::memcpy(page->data() + offset, record, record_size_);
+  return pool_->UnpinPage(rid.page_id, /*dirty=*/true);
+}
+
+Result<RecordId> HeapFile::NthRecordId(uint64_t index) const {
+  if (index >= num_records_) {
+    return Status::OutOfRange(StrFormat("record %llu out of range",
+                                        (unsigned long long)index));
+  }
+  size_t page_idx = index / records_per_page_;
+  uint16_t slot = static_cast<uint16_t>(index % records_per_page_);
+  return RecordId{pages_[page_idx], slot};
+}
+
+Status HeapFile::ReadNth(uint64_t index, char* out) const {
+  TUFFY_ASSIGN_OR_RETURN(RecordId rid, NthRecordId(index));
+  return Read(rid, out);
+}
+
+Status HeapFile::Scan(
+    const std::function<Status(RecordId, const char*)>& fn) const {
+  for (PageId page_id : pages_) {
+    TUFFY_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+    uint16_t count = RecordCount(page);
+    for (uint16_t slot = 0; slot < count; ++slot) {
+      uint32_t offset = kPageHeaderSize + slot * record_size_;
+      Status st = fn(RecordId{page_id, slot}, page->data() + offset);
+      if (!st.ok()) {
+        Status unpin = pool_->UnpinPage(page_id, false);
+        (void)unpin;
+        return st;
+      }
+    }
+    TUFFY_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+  }
+  return Status::OK();
+}
+
+}  // namespace tuffy

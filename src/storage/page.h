@@ -1,0 +1,51 @@
+#ifndef TUFFY_STORAGE_PAGE_H_
+#define TUFFY_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace tuffy {
+
+/// Size of every page in the storage layer, in bytes.
+constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// A fixed-size block of bytes plus the bookkeeping the buffer pool needs
+/// (pin count, dirty bit). Payload interpretation is up to the client
+/// (HeapFile lays out fixed-size records).
+class Page {
+ public:
+  Page() { Reset(); }
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    dirty_ = false;
+  }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  void set_page_id(PageId id) { page_id_ = id; }
+
+  int pin_count() const { return pin_count_; }
+  void Pin() { ++pin_count_; }
+  void Unpin() { --pin_count_; }
+
+  bool dirty() const { return dirty_; }
+  void set_dirty(bool d) { dirty_ = d; }
+
+ private:
+  char data_[kPageSize];
+  PageId page_id_;
+  int pin_count_;
+  bool dirty_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_STORAGE_PAGE_H_

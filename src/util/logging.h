@@ -1,0 +1,42 @@
+#ifndef TUFFY_UTIL_LOGGING_H_
+#define TUFFY_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tuffy {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log verbosity. Messages below this level are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tuffy
+
+#define TUFFY_LOG(level)                                                  \
+  if (::tuffy::LogLevel::k##level >= ::tuffy::GetLogLevel())              \
+  ::tuffy::internal::LogMessage(::tuffy::LogLevel::k##level, __FILE__,    \
+                                __LINE__)                                 \
+      .stream()
+
+#endif  // TUFFY_UTIL_LOGGING_H_

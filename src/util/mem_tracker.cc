@@ -1,0 +1,117 @@
+#include "util/mem_tracker.h"
+
+#include <cstdio>
+
+namespace tuffy {
+
+const char* MemCategoryName(MemCategory cat) {
+  switch (cat) {
+    case MemCategory::kGrounding:
+      return "grounding";
+    case MemCategory::kClauseTable:
+      return "clause_table";
+    case MemCategory::kSearch:
+      return "search";
+    case MemCategory::kBufferPool:
+      return "buffer_pool";
+    case MemCategory::kOther:
+      return "other";
+    case MemCategory::kNumCategories:
+      break;
+  }
+  return "?";
+}
+
+MemTracker::MemTracker() = default;
+
+MemTracker& MemTracker::Global() {
+  static MemTracker* tracker = new MemTracker();
+  return *tracker;
+}
+
+void MemTracker::Allocate(MemCategory cat, size_t bytes) {
+  Counter& c = counters_[static_cast<int>(cat)];
+  int64_t now = c.current.fetch_add(static_cast<int64_t>(bytes),
+                                    std::memory_order_relaxed) +
+                static_cast<int64_t>(bytes);
+  int64_t peak = c.peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !c.peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  total_current_.fetch_add(static_cast<int64_t>(bytes),
+                           std::memory_order_relaxed);
+  BumpTotalPeak();
+}
+
+void MemTracker::Release(MemCategory cat, size_t bytes) {
+  counters_[static_cast<int>(cat)].current.fetch_sub(
+      static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  total_current_.fetch_sub(static_cast<int64_t>(bytes),
+                           std::memory_order_relaxed);
+}
+
+void MemTracker::BumpTotalPeak() {
+  int64_t now = total_current_.load(std::memory_order_relaxed);
+  int64_t peak = total_peak_.load(std::memory_order_relaxed);
+  while (now > peak && !total_peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t MemTracker::CurrentBytes(MemCategory cat) const {
+  return counters_[static_cast<int>(cat)].current.load(
+      std::memory_order_relaxed);
+}
+
+int64_t MemTracker::PeakBytes(MemCategory cat) const {
+  return counters_[static_cast<int>(cat)].peak.load(std::memory_order_relaxed);
+}
+
+int64_t MemTracker::TotalCurrentBytes() const {
+  return total_current_.load(std::memory_order_relaxed);
+}
+
+int64_t MemTracker::TotalPeakBytes() const {
+  return total_peak_.load(std::memory_order_relaxed);
+}
+
+void MemTracker::Reset() {
+  for (int i = 0; i < kNumCats; ++i) {
+    counters_[i].current.store(0, std::memory_order_relaxed);
+    counters_[i].peak.store(0, std::memory_order_relaxed);
+  }
+  total_current_.store(0, std::memory_order_relaxed);
+  total_peak_.store(0, std::memory_order_relaxed);
+}
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldB", static_cast<long>(bytes));
+  }
+  return buf;
+}
+
+std::string MemTracker::ReportString() const {
+  std::string out;
+  for (int i = 0; i < kNumCats; ++i) {
+    MemCategory cat = static_cast<MemCategory>(i);
+    int64_t cur = CurrentBytes(cat);
+    int64_t peak = PeakBytes(cat);
+    if (cur == 0 && peak == 0) continue;
+    out += MemCategoryName(cat);
+    out += ": cur=" + FormatBytes(cur) + " peak=" + FormatBytes(peak) + "\n";
+  }
+  out += "total: cur=" + FormatBytes(TotalCurrentBytes()) +
+         " peak=" + FormatBytes(TotalPeakBytes()) + "\n";
+  return out;
+}
+
+}  // namespace tuffy

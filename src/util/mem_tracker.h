@@ -1,0 +1,89 @@
+#ifndef TUFFY_UTIL_MEM_TRACKER_H_
+#define TUFFY_UTIL_MEM_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tuffy {
+
+/// Subsystems whose memory use the experiments report separately. The
+/// paper's Tables 4 and 5 compare the RAM used for grounding state, the
+/// ground-clause table, and in-memory search state.
+enum class MemCategory : int {
+  kGrounding = 0,
+  kClauseTable,
+  kSearch,
+  kBufferPool,
+  kOther,
+  kNumCategories,
+};
+
+const char* MemCategoryName(MemCategory cat);
+
+/// Process-wide instrumented byte counters, one per category. The tracker
+/// records both the current and the peak ("high-water mark") usage; peak
+/// usage is what the paper reports as a system's RAM footprint.
+class MemTracker {
+ public:
+  /// Global singleton used by all instrumented containers.
+  static MemTracker& Global();
+
+  void Allocate(MemCategory cat, size_t bytes);
+  void Release(MemCategory cat, size_t bytes);
+
+  int64_t CurrentBytes(MemCategory cat) const;
+  int64_t PeakBytes(MemCategory cat) const;
+  /// Sum of current bytes across all categories.
+  int64_t TotalCurrentBytes() const;
+  /// Peak of the *total* (sum across categories) observed usage.
+  int64_t TotalPeakBytes() const;
+
+  /// Resets all counters to zero. Intended for test/bench isolation.
+  void Reset();
+
+  /// One line per non-zero category, e.g. "clause_table: cur=4.8MB peak=4.8MB".
+  std::string ReportString() const;
+
+ private:
+  MemTracker();
+
+  struct Counter {
+    std::atomic<int64_t> current{0};
+    std::atomic<int64_t> peak{0};
+  };
+
+  void BumpTotalPeak();
+
+  static constexpr int kNumCats =
+      static_cast<int>(MemCategory::kNumCategories);
+  Counter counters_[kNumCats];
+  std::atomic<int64_t> total_current_{0};
+  std::atomic<int64_t> total_peak_{0};
+};
+
+/// RAII charge against a category: allocates on construction, releases on
+/// destruction. Used to account for container growth at checkpoints.
+class ScopedMemCharge {
+ public:
+  ScopedMemCharge(MemCategory cat, size_t bytes) : cat_(cat), bytes_(bytes) {
+    MemTracker::Global().Allocate(cat_, bytes_);
+  }
+  ~ScopedMemCharge() { MemTracker::Global().Release(cat_, bytes_); }
+
+  ScopedMemCharge(const ScopedMemCharge&) = delete;
+  ScopedMemCharge& operator=(const ScopedMemCharge&) = delete;
+
+ private:
+  MemCategory cat_;
+  size_t bytes_;
+};
+
+/// Formats a byte count as a short human-readable string ("4.8MB").
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_UTIL_MEM_TRACKER_H_

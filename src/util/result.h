@@ -1,0 +1,60 @@
+#ifndef TUFFY_UTIL_RESULT_H_
+#define TUFFY_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tuffy {
+
+/// Value-or-error, in the style of arrow::Result. A `Result<T>` either
+/// holds a `T` (and an OK status) or a non-OK `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value. Undefined if !ok().
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the value out. Undefined if !ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tuffy
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error status to the caller.
+#define TUFFY_CONCAT_IMPL(a, b) a##b
+#define TUFFY_CONCAT(a, b) TUFFY_CONCAT_IMPL(a, b)
+#define TUFFY_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto TUFFY_CONCAT(_res_, __LINE__) = (expr);                       \
+  if (!TUFFY_CONCAT(_res_, __LINE__).ok())                           \
+    return TUFFY_CONCAT(_res_, __LINE__).status();                   \
+  lhs = TUFFY_CONCAT(_res_, __LINE__).TakeValue()
+
+#endif  // TUFFY_UTIL_RESULT_H_

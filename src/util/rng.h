@@ -1,0 +1,64 @@
+#ifndef TUFFY_UTIL_RNG_H_
+#define TUFFY_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace tuffy {
+
+/// Deterministic xoshiro256**-based pseudo-random generator. Every
+/// stochastic component in the library (WalkSAT, SampleSAT, MC-SAT, data
+/// generators) takes an explicit `Rng` so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 to spread the seed across the state.
+    uint64_t z = seed;
+    for (int i = 0; i < 4; ++i) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+      t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+      s_[i] = t ^ (t >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_UTIL_RNG_H_

@@ -1,0 +1,87 @@
+#ifndef TUFFY_UTIL_STATUS_H_
+#define TUFFY_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tuffy {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of status-code + message rather than exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kParseError,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. All fallible public APIs in
+/// this library return `Status` (or `Result<T>`); exceptions are not used
+/// across module boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+}  // namespace tuffy
+
+/// Propagates a non-OK Status to the caller.
+#define TUFFY_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::tuffy::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // TUFFY_UTIL_STATUS_H_

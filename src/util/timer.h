@@ -1,0 +1,29 @@
+#ifndef TUFFY_UTIL_TIMER_H_
+#define TUFFY_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tuffy {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_UTIL_TIMER_H_

@@ -1,0 +1,62 @@
+#ifndef TUFFY_UTIL_UNION_FIND_H_
+#define TUFFY_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace tuffy {
+
+/// Disjoint-set forest with union-by-size and path halving. Used for
+/// connected-component detection over the MRF (one scan of the clause
+/// table, as in Tuffy Section 3.3) and for the size-bounded merges of the
+/// greedy MRF partitioner (Algorithm 3).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns the new representative.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements in x's set.
+  uint64_t SetSize(uint32_t x) { return size_[Find(x)]; }
+
+  size_t num_elements() const { return parent_.size(); }
+
+  /// Number of disjoint sets remaining.
+  size_t CountSets() {
+    size_t count = 0;
+    for (uint32_t i = 0; i < parent_.size(); ++i) {
+      if (Find(i) == i) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint64_t> size_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_UTIL_UNION_FIND_H_

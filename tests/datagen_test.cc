@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "exec/tuffy_engine.h"
+#include "ground/bottom_up_grounder.h"
+#include "mrf/components.h"
+
+namespace tuffy {
+namespace {
+
+GroundingResult Ground(const Dataset& ds) {
+  BottomUpGrounder g(ds.program, ds.evidence);
+  auto r = g.Ground();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.TakeValue();
+}
+
+TEST(DatagenTest, RcHasClusterComponents) {
+  RcParams p;
+  p.num_clusters = 6;
+  p.papers_per_cluster = 6;
+  auto ds = MakeRcDataset(p);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  GroundingResult g = Ground(ds.value());
+  ASSERT_GT(g.atoms.num_atoms(), 0u);
+  ComponentSet cs = DetectComponents(g.atoms.num_atoms(),
+                                     g.clauses.clauses());
+  // Clusters are evidence-disjoint, so components never span clusters.
+  // (Sparse clusters can fragment further, so >= rather than ==.)
+  EXPECT_GE(cs.num_components(), 6u);
+  EXPECT_FALSE(g.hard_contradiction);
+}
+
+TEST(DatagenTest, RcDeterministicForSeed) {
+  RcParams p;
+  p.seed = 99;
+  auto a = MakeRcDataset(p);
+  auto b = MakeRcDataset(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().evidence.num_evidence(),
+            b.value().evidence.num_evidence());
+}
+
+TEST(DatagenTest, IeComponentsPerCitation) {
+  IeParams p;
+  p.num_citations = 30;
+  p.num_token_rules = 60;
+  auto ds = MakeIeDataset(p);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  GroundingResult g = Ground(ds.value());
+  ASSERT_GT(g.atoms.num_atoms(), 0u);
+  ComponentSet cs =
+      DetectComponents(g.atoms.num_atoms(), g.clauses.clauses());
+  // Citations are independent: many small components, at most one per
+  // citation.
+  EXPECT_GT(cs.num_components(), 5u);
+  EXPECT_LE(cs.num_components(), 30u);
+}
+
+TEST(DatagenTest, LpSingleComponent) {
+  LpParams p;
+  p.num_students = 12;
+  p.num_professors = 4;
+  p.num_publications = 24;
+  p.num_courses = 8;
+  auto ds = MakeLpDataset(p);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  GroundingResult g = Ground(ds.value());
+  ASSERT_GT(g.atoms.num_atoms(), 0u);
+  ComponentSet cs =
+      DetectComponents(g.atoms.num_atoms(), g.clauses.clauses());
+  EXPECT_EQ(cs.num_components(), 1u);
+}
+
+TEST(DatagenTest, LpHardExistentialGrounds) {
+  LpParams p;
+  p.num_students = 6;
+  p.num_professors = 3;
+  auto ds = MakeLpDataset(p);
+  ASSERT_TRUE(ds.ok());
+  GroundingResult g = Ground(ds.value());
+  // Every student needs an advisor: at least one hard clause per student
+  // (satisfied-by-evidence pruning can only remove them if advisedBy had
+  // true evidence, which it does not).
+  size_t hard_count = 0;
+  for (const GroundClause& c : g.clauses.clauses()) {
+    if (c.hard) ++hard_count;
+  }
+  EXPECT_GE(hard_count, 6u);
+  EXPECT_FALSE(g.hard_contradiction);
+}
+
+TEST(DatagenTest, ErSingleDenseComponent) {
+  ErParams p;
+  p.num_records = 16;
+  p.num_entities = 4;
+  auto ds = MakeErDataset(p);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  GroundingResult g = Ground(ds.value());
+  ASSERT_GT(g.atoms.num_atoms(), 0u);
+  ComponentSet cs =
+      DetectComponents(g.atoms.num_atoms(), g.clauses.clauses());
+  // Transitivity couples activated pairs densely: very few components.
+  EXPECT_LE(cs.num_components(), 4u);
+  // ER is the clause-heavy dataset: far more clauses than atoms.
+  EXPECT_GT(g.clauses.num_clauses(), g.atoms.num_atoms());
+}
+
+TEST(DatagenTest, Example1Structure) {
+  std::vector<GroundClause> clauses = MakeExample1Mrf(7);
+  ASSERT_EQ(clauses.size(), 21u);
+  Problem p = MakeWholeProblem(14, clauses);
+  // All-true is the optimum with cost N (each negative clause violated).
+  std::vector<uint8_t> all_true(14, 1);
+  EXPECT_DOUBLE_EQ(p.EvalCost(all_true, 1e6), 7.0);
+  std::vector<uint8_t> all_false(14, 0);
+  EXPECT_DOUBLE_EQ(p.EvalCost(all_false, 1e6), 14.0);
+}
+
+TEST(DatagenTest, DatasetsSolvableEndToEnd) {
+  // Each generated dataset must run through the full engine and reach a
+  // strictly better state than the all-false default.
+  std::vector<Dataset> datasets;
+  {
+    RcParams p;
+    p.num_clusters = 3;
+    p.papers_per_cluster = 4;
+    datasets.push_back(MakeRcDataset(p).TakeValue());
+  }
+  {
+    IeParams p;
+    p.num_citations = 10;
+    p.num_token_rules = 25;
+    datasets.push_back(MakeIeDataset(p).TakeValue());
+  }
+  {
+    LpParams p;
+    p.num_students = 8;
+    p.num_professors = 3;
+    p.num_publications = 14;
+    p.num_courses = 5;
+    datasets.push_back(MakeLpDataset(p).TakeValue());
+  }
+  {
+    ErParams p;
+    p.num_records = 10;
+    p.num_entities = 3;
+    datasets.push_back(MakeErDataset(p).TakeValue());
+  }
+  for (const Dataset& ds : datasets) {
+    EngineOptions opts;
+    opts.total_flips = 30000;
+    TuffyEngine engine(ds.program, ds.evidence, opts);
+    auto result = engine.Run();
+    ASSERT_TRUE(result.ok()) << ds.name << ": "
+                             << result.status().ToString();
+    const EngineResult& r = result.value();
+    Problem whole = MakeWholeProblem(r.grounding.atoms.num_atoms(),
+                                     r.grounding.clauses.clauses());
+    std::vector<uint8_t> all_false(r.grounding.atoms.num_atoms(), 0);
+    EXPECT_LE(r.search_cost, whole.EvalCost(all_false, opts.hard_weight))
+        << ds.name;
+  }
+}
+
+}  // namespace
+}  // namespace tuffy

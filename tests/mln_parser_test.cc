@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "mln/model.h"
+#include "mln/parser.h"
+
+namespace tuffy {
+namespace {
+
+const char* kFigure1Program =
+    "// Figure 1 of the paper\n"
+    "*paper(paper, url)\n"
+    "*wrote(author, paper)\n"
+    "*refers(paper, paper)\n"
+    "cat(paper, category)\n"
+    "5 cat(p, c1), cat(p, c2) => c1 = c2\n"
+    "1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)\n"
+    "2 cat(p1, c), refers(p1, p2) => cat(p2, c)\n"
+    "paper(p, u) => EXIST x wrote(x, p).\n"
+    "-1 cat(p, \"Networking\")\n";
+
+TEST(ParserTest, ParsesFigure1Program) {
+  auto result = ParseProgram(kFigure1Program);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MlnProgram& p = result.value();
+  EXPECT_EQ(p.num_predicates(), 4u);
+  EXPECT_EQ(p.clauses().size(), 5u);
+}
+
+TEST(ParserTest, ClosedWorldFlagParsed) {
+  auto result = ParseProgram(kFigure1Program);
+  ASSERT_TRUE(result.ok());
+  const MlnProgram& p = result.value();
+  EXPECT_TRUE(p.predicate(p.FindPredicate("wrote").value()).closed_world);
+  EXPECT_FALSE(p.predicate(p.FindPredicate("cat").value()).closed_world);
+}
+
+TEST(ParserTest, ImplicationBecomesClausalForm) {
+  auto result = ParseProgram(
+      "*r(t, t)\n"
+      "q(t)\n"
+      "2 q(x), r(x, y) => q(y)\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Clause& c = result.value().clauses()[0];
+  ASSERT_EQ(c.literals.size(), 3u);
+  EXPECT_FALSE(c.literals[0].positive);  // body atoms negated
+  EXPECT_FALSE(c.literals[1].positive);
+  EXPECT_TRUE(c.literals[2].positive);  // head stays positive
+  EXPECT_EQ(c.weight, 2.0);
+  EXPECT_FALSE(c.hard);
+  EXPECT_EQ(c.num_vars, 2);
+}
+
+TEST(ParserTest, EqualityHeadBecomesConstraint) {
+  auto result = ParseProgram(
+      "q(t, u)\n"
+      "5 q(x, c1), q(x, c2) => c1 = c2\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Clause& c = result.value().clauses()[0];
+  EXPECT_EQ(c.literals.size(), 2u);
+  ASSERT_EQ(c.equalities.size(), 1u);
+  EXPECT_TRUE(c.equalities[0].equal);
+}
+
+TEST(ParserTest, BodyInequalityFlipsPolarity) {
+  // Body "x != y" is a negated disjunct: clausal form carries "x = y".
+  auto result = ParseProgram(
+      "q(t, t)\n"
+      "1 q(x, y), x != y => q(y, x)\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Clause& c = result.value().clauses()[0];
+  ASSERT_EQ(c.equalities.size(), 1u);
+  EXPECT_TRUE(c.equalities[0].equal);
+}
+
+TEST(ParserTest, HardRuleTrailingPeriod) {
+  auto result = ParseProgram(
+      "*p(t)\n"
+      "q(t)\n"
+      "p(x) => q(x).\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().clauses()[0].hard);
+}
+
+TEST(ParserTest, HardRuleWithWeightRejected) {
+  auto result = ParseProgram(
+      "*p(t)\n"
+      "q(t)\n"
+      "3 p(x) => q(x).\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, SoftRuleWithoutWeightRejected) {
+  auto result = ParseProgram(
+      "*p(t)\n"
+      "q(t)\n"
+      "p(x) => q(x)\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, NegativeWeightUnitClause) {
+  auto result = ParseProgram(
+      "q(t)\n"
+      "-1.5 q(x)\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result.value().clauses()[0].weight, -1.5);
+}
+
+TEST(ParserTest, ExistentialVariablesRecorded) {
+  auto result = ParseProgram(
+      "*p(t)\n"
+      "w(a, t)\n"
+      "p(x) => EXIST y w(y, x).\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Clause& c = result.value().clauses()[0];
+  ASSERT_EQ(c.existential_vars.size(), 1u);
+  EXPECT_TRUE(c.hard);
+}
+
+TEST(ParserTest, DisjunctionWithV) {
+  auto result = ParseProgram(
+      "q(t)\n"
+      "r(t)\n"
+      "1 q(x) v r(x)\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Clause& c = result.value().clauses()[0];
+  EXPECT_EQ(c.literals.size(), 2u);
+  EXPECT_TRUE(c.literals[0].positive);
+  EXPECT_TRUE(c.literals[1].positive);
+}
+
+TEST(ParserTest, NegatedLiteralInClause) {
+  auto result = ParseProgram(
+      "q(t)\n"
+      "1 !q(x) v q(x)\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().clauses()[0].literals[0].positive);
+}
+
+TEST(ParserTest, ConstantsInterned) {
+  auto result = ParseProgram(
+      "q(t)\n"
+      "1 q(\"Apple\")\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MlnProgram& p = result.value();
+  EXPECT_GE(p.symbols().Find("Apple"), 0);
+  EXPECT_FALSE(p.clauses()[0].literals[0].args[0].is_var);
+}
+
+TEST(ParserTest, CapitalizedIdentifierIsConstant) {
+  auto result = ParseProgram(
+      "q(t)\n"
+      "1 q(Foo)\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().clauses()[0].literals[0].args[0].is_var);
+}
+
+TEST(ParserTest, UnknownPredicateFails) {
+  auto result = ParseProgram("1 nosuch(x)\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, ArityMismatchFails) {
+  auto result = ParseProgram(
+      "q(t, t)\n"
+      "1 q(x)\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, TypeConflictFails) {
+  auto result = ParseProgram(
+      "q(ta)\n"
+      "r(tb)\n"
+      "1 q(x), r(x) => q(x)\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, DuplicatePredicateFails) {
+  auto result = ParseProgram(
+      "q(t)\n"
+      "q(t)\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  auto result = ParseProgram(
+      "// comment\n"
+      "\n"
+      "# another comment\n"
+      "q(t)  // trailing comment\n"
+      "1 q(x)  // and here\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().clauses().size(), 1u);
+}
+
+TEST(ParserTest, ToStringRoundTripsStructure) {
+  auto result = ParseProgram(kFigure1Program);
+  ASSERT_TRUE(result.ok());
+  std::string printed = result.value().ToString();
+  // The printed program must itself parse to the same shape.
+  auto reparsed = ParseProgram(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << printed;
+  EXPECT_EQ(reparsed.value().clauses().size(),
+            result.value().clauses().size());
+  EXPECT_EQ(reparsed.value().num_predicates(),
+            result.value().num_predicates());
+}
+
+// --------------------------------------------------------------- Evidence
+
+TEST(EvidenceParserTest, ParsesPositiveAndNegative) {
+  auto program = ParseProgram("*wrote(author, paper)\ncat(paper, category)\n");
+  ASSERT_TRUE(program.ok());
+  MlnProgram p = program.TakeValue();
+  EvidenceDb db;
+  Status st = ParseEvidence(
+      "wrote(Joe, P1)\n"
+      "!cat(P3, \"AI\")\n"
+      "// comment\n",
+      &p, &db);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(db.num_evidence(), 2u);
+
+  GroundAtom wrote;
+  wrote.pred = p.FindPredicate("wrote").value();
+  wrote.args = {p.symbols().Find("Joe"), p.symbols().Find("P1")};
+  EXPECT_EQ(db.Lookup(p, wrote), Truth::kTrue);
+
+  GroundAtom cat;
+  cat.pred = p.FindPredicate("cat").value();
+  cat.args = {p.symbols().Find("P3"), p.symbols().Find("AI")};
+  EXPECT_EQ(db.Lookup(p, cat), Truth::kFalse);
+}
+
+TEST(EvidenceParserTest, ClosedWorldDefaultsFalse) {
+  auto program = ParseProgram("*wrote(author, paper)\ncat(paper, category)\n");
+  ASSERT_TRUE(program.ok());
+  MlnProgram p = program.TakeValue();
+  EvidenceDb db;
+  ASSERT_TRUE(ParseEvidence("wrote(Joe, P1)\n", &p, &db).ok());
+
+  GroundAtom absent_closed;
+  absent_closed.pred = p.FindPredicate("wrote").value();
+  absent_closed.args = {p.symbols().Find("P1"), p.symbols().Find("Joe")};
+  EXPECT_EQ(db.Lookup(p, absent_closed), Truth::kFalse);
+
+  GroundAtom absent_open;
+  absent_open.pred = p.FindPredicate("cat").value();
+  absent_open.args = {p.symbols().Find("P1"), p.symbols().Find("Joe")};
+  EXPECT_EQ(db.Lookup(p, absent_open), Truth::kUnknown);
+}
+
+TEST(EvidenceParserTest, UnknownPredicateFails) {
+  auto program = ParseProgram("q(t)\n");
+  ASSERT_TRUE(program.ok());
+  MlnProgram p = program.TakeValue();
+  EvidenceDb db;
+  EXPECT_FALSE(ParseEvidence("nosuch(A)\n", &p, &db).ok());
+}
+
+TEST(EvidenceParserTest, ArityMismatchFails) {
+  auto program = ParseProgram("q(t, t)\n");
+  ASSERT_TRUE(program.ok());
+  MlnProgram p = program.TakeValue();
+  EvidenceDb db;
+  EXPECT_FALSE(ParseEvidence("q(A)\n", &p, &db).ok());
+  EXPECT_FALSE(ParseEvidence("q(A, B, C)\n", &p, &db).ok());
+}
+
+TEST(EvidenceParserTest, LaterEntriesOverwrite) {
+  auto program = ParseProgram("q(t)\n");
+  ASSERT_TRUE(program.ok());
+  MlnProgram p = program.TakeValue();
+  EvidenceDb db;
+  ASSERT_TRUE(ParseEvidence("q(A)\n!q(A)\n", &p, &db).ok());
+  GroundAtom a;
+  a.pred = 0;
+  a.args = {p.symbols().Find("A")};
+  EXPECT_EQ(db.Lookup(p, a), Truth::kFalse);
+}
+
+TEST(SymbolTableTest, InternIsIdempotentAndTracksDomains) {
+  SymbolTable symbols;
+  ConstantId a1 = symbols.Intern("A", "letter");
+  ConstantId a2 = symbols.Intern("A", "letter");
+  EXPECT_EQ(a1, a2);
+  symbols.Intern("B", "letter");
+  symbols.Intern("A", "other");
+  EXPECT_EQ(symbols.Domain("letter").size(), 2u);
+  EXPECT_EQ(symbols.Domain("other").size(), 1u);
+  EXPECT_EQ(symbols.Domain("missing").size(), 0u);
+  EXPECT_EQ(symbols.num_constants(), 2u);
+  EXPECT_EQ(symbols.SymbolName(a1), "A");
+}
+
+}  // namespace
+}  // namespace tuffy

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/datasets.h"
+#include "mrf/bin_packing.h"
+#include "mrf/components.h"
+#include "mrf/partitioner.h"
+
+namespace tuffy {
+namespace {
+
+GroundClause MakeClause(std::vector<Lit> lits, double w = 1.0,
+                        bool hard = false) {
+  GroundClause c;
+  c.lits = std::move(lits);
+  c.weight = w;
+  c.hard = hard;
+  return c;
+}
+
+// -------------------------------------------------------------- Components
+
+TEST(ComponentsTest, DisjointClausesFormSeparateComponents) {
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true), MakeLit(1, true)}));
+  clauses.push_back(MakeClause({MakeLit(2, true), MakeLit(3, false)}));
+  ComponentSet cs = DetectComponents(4, clauses);
+  EXPECT_EQ(cs.num_components(), 2u);
+  EXPECT_EQ(cs.component_of_atom[0], cs.component_of_atom[1]);
+  EXPECT_NE(cs.component_of_atom[0], cs.component_of_atom[2]);
+}
+
+TEST(ComponentsTest, SharedAtomMergesComponents) {
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true), MakeLit(1, true)}));
+  clauses.push_back(MakeClause({MakeLit(1, false), MakeLit(2, true)}));
+  ComponentSet cs = DetectComponents(3, clauses);
+  EXPECT_EQ(cs.num_components(), 1u);
+}
+
+TEST(ComponentsTest, IsolatedAtomsAreSingletons) {
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true)}));
+  ComponentSet cs = DetectComponents(3, clauses);
+  EXPECT_EQ(cs.num_components(), 3u);
+}
+
+TEST(ComponentsTest, ClausesAssignedToTheirComponent) {
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true), MakeLit(1, true)}));
+  clauses.push_back(MakeClause({MakeLit(0, false)}));
+  clauses.push_back(MakeClause({MakeLit(2, true)}));
+  ComponentSet cs = DetectComponents(3, clauses);
+  ASSERT_EQ(cs.num_components(), 2u);
+  size_t total_clauses = 0;
+  for (const auto& cl : cs.clauses) total_clauses += cl.size();
+  EXPECT_EQ(total_clauses, 3u);
+  int32_t comp01 = cs.component_of_atom[0];
+  EXPECT_EQ(cs.clauses[comp01].size(), 2u);
+}
+
+TEST(ComponentsTest, Example1HasNComponents) {
+  const int n = 100;
+  std::vector<GroundClause> clauses = MakeExample1Mrf(n);
+  ComponentSet cs = DetectComponents(2 * n, clauses);
+  EXPECT_EQ(cs.num_components(), static_cast<size_t>(n));
+  for (const auto& atoms : cs.atoms) EXPECT_EQ(atoms.size(), 2u);
+  for (const auto& cls : cs.clauses) EXPECT_EQ(cls.size(), 3u);
+}
+
+TEST(ComponentsTest, SizeMetricCountsAtomsAndLiterals) {
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true), MakeLit(1, true)}));
+  ComponentSet cs = DetectComponents(2, clauses);
+  // 2 atoms + 2 literals.
+  EXPECT_EQ(ComponentSizeMetric(cs, 0, clauses), 4u);
+}
+
+// -------------------------------------------------------------- Partitioner
+
+TEST(PartitionerTest, UnboundedBetaEqualsComponents) {
+  const int n = 20;
+  std::vector<GroundClause> clauses = MakeExample1Mrf(n);
+  PartitionResult pr = PartitionMrf(2 * n, clauses, UINT64_MAX);
+  ComponentSet cs = DetectComponents(2 * n, clauses);
+  EXPECT_EQ(pr.num_partitions(), cs.num_components());
+  EXPECT_TRUE(pr.cut_clauses.empty());
+}
+
+TEST(PartitionerTest, RespectsSizeBound) {
+  // A chain of 2-atom clauses: 0-1, 1-2, ..., 9-10.
+  std::vector<GroundClause> clauses;
+  for (int i = 0; i < 10; ++i) {
+    clauses.push_back(
+        MakeClause({MakeLit(i, true), MakeLit(i + 1, true)}, 1.0));
+  }
+  const uint64_t beta = 8;
+  PartitionResult pr = PartitionMrf(11, clauses, beta);
+  EXPECT_GT(pr.num_partitions(), 1u);
+  EXPECT_FALSE(pr.cut_clauses.empty());
+  // Internal clause sizes + atoms stay within beta.
+  for (size_t p = 0; p < pr.num_partitions(); ++p) {
+    uint64_t size = pr.atoms[p].size();
+    for (uint32_t ci : pr.clauses[p]) size += clauses[ci].lits.size();
+    EXPECT_LE(size, beta);
+  }
+}
+
+TEST(PartitionerTest, EveryAtomAssignedExactlyOnce) {
+  std::vector<GroundClause> clauses = MakeExample1Mrf(30);
+  PartitionResult pr = PartitionMrf(60, clauses, 5);
+  size_t total = 0;
+  for (const auto& atoms : pr.atoms) total += atoms.size();
+  EXPECT_EQ(total, 60u);
+  for (int32_t p : pr.partition_of_atom) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, static_cast<int32_t>(pr.num_partitions()));
+  }
+}
+
+TEST(PartitionerTest, EveryClauseInternalOrCut) {
+  std::vector<GroundClause> clauses;
+  for (int i = 0; i < 12; ++i) {
+    clauses.push_back(
+        MakeClause({MakeLit(i, true), MakeLit((i + 1) % 12, true)}, 1.0));
+  }
+  PartitionResult pr = PartitionMrf(12, clauses, 9);
+  size_t internal = 0;
+  for (const auto& cl : pr.clauses) internal += cl.size();
+  EXPECT_EQ(internal + pr.cut_clauses.size(), clauses.size());
+  // Cut clauses really span partitions.
+  for (uint32_t ci : pr.cut_clauses) {
+    int32_t p0 = pr.partition_of_atom[LitAtom(clauses[ci].lits[0])];
+    bool spans = false;
+    for (Lit l : clauses[ci].lits) {
+      if (pr.partition_of_atom[LitAtom(l)] != p0) spans = true;
+    }
+    EXPECT_TRUE(spans);
+  }
+  // Internal clauses do not span.
+  for (size_t p = 0; p < pr.num_partitions(); ++p) {
+    for (uint32_t ci : pr.clauses[p]) {
+      for (Lit l : clauses[ci].lits) {
+        EXPECT_EQ(pr.partition_of_atom[LitAtom(l)],
+                  static_cast<int32_t>(p));
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, HighWeightClausesMergedFirst) {
+  // Two heavy clauses and one light bridging clause; budget admits the
+  // heavy merges but not the whole graph: the light clause must be cut.
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true), MakeLit(1, true)}, 10.0));
+  clauses.push_back(MakeClause({MakeLit(2, true), MakeLit(3, true)}, 10.0));
+  clauses.push_back(MakeClause({MakeLit(1, true), MakeLit(2, true)}, 0.1));
+  PartitionResult pr = PartitionMrf(4, clauses, 6);
+  ASSERT_EQ(pr.cut_clauses.size(), 1u);
+  EXPECT_EQ(pr.cut_clauses[0], 2u);
+  EXPECT_EQ(pr.num_partitions(), 2u);
+}
+
+TEST(PartitionerTest, CutWeightComputed) {
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true), MakeLit(1, true)}, 10.0));
+  clauses.push_back(MakeClause({MakeLit(2, true), MakeLit(3, true)}, 10.0));
+  clauses.push_back(MakeClause({MakeLit(1, true), MakeLit(2, true)}, -2.5));
+  PartitionResult pr = PartitionMrf(4, clauses, 6);
+  EXPECT_DOUBLE_EQ(pr.CutWeight(clauses), 2.5);
+}
+
+TEST(PartitionerTest, HardClausesTreatedAsHeaviest) {
+  std::vector<GroundClause> clauses;
+  clauses.push_back(MakeClause({MakeLit(0, true), MakeLit(1, true)}, 0.1));
+  clauses.push_back(
+      MakeClause({MakeLit(1, true), MakeLit(2, true)}, 0.0, /*hard=*/true));
+  // Budget admits one merge only: the hard clause must win.
+  PartitionResult pr = PartitionMrf(3, clauses, 4);
+  int32_t p1 = pr.partition_of_atom[1];
+  EXPECT_EQ(pr.partition_of_atom[2], p1);
+}
+
+// -------------------------------------------------------------- BinPacking
+
+TEST(BinPackingTest, SingleBinWhenAllFit) {
+  BinPacking bp = FirstFitDecreasing({3, 2, 1}, 10);
+  EXPECT_EQ(bp.num_bins, 1);
+}
+
+TEST(BinPackingTest, SplitsWhenNeeded) {
+  BinPacking bp = FirstFitDecreasing({6, 5, 4, 3}, 9);
+  // FFD: 6+3 in one bin, 5+4 in another.
+  EXPECT_EQ(bp.num_bins, 2);
+}
+
+TEST(BinPackingTest, CapacityNeverExceeded) {
+  std::vector<uint64_t> sizes = {7, 5, 3, 3, 2, 2, 2, 1, 1, 1};
+  const uint64_t cap = 8;
+  BinPacking bp = FirstFitDecreasing(sizes, cap);
+  std::vector<uint64_t> load(bp.num_bins, 0);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    load[bp.bin_of_item[i]] += sizes[i];
+  }
+  for (uint64_t l : load) EXPECT_LE(l, cap);
+}
+
+TEST(BinPackingTest, OversizeItemGetsOwnBin) {
+  BinPacking bp = FirstFitDecreasing({20, 3, 3}, 8);
+  EXPECT_EQ(bp.num_bins, 2);
+  // The oversize item is alone in its bin.
+  int big_bin = bp.bin_of_item[0];
+  EXPECT_NE(bp.bin_of_item[1], big_bin);
+  EXPECT_NE(bp.bin_of_item[2], big_bin);
+}
+
+TEST(BinPackingTest, EmptyInput) {
+  BinPacking bp = FirstFitDecreasing({}, 8);
+  EXPECT_EQ(bp.num_bins, 0);
+}
+
+TEST(BinPackingTest, EveryItemAssigned) {
+  std::vector<uint64_t> sizes(57, 3);
+  BinPacking bp = FirstFitDecreasing(sizes, 10);
+  for (int b : bp.bin_of_item) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, bp.num_bins);
+  }
+  // 3 items of size 3 per 10-capacity bin => ceil(57/3) = 19 bins.
+  EXPECT_EQ(bp.num_bins, 19);
+}
+
+}  // namespace
+}  // namespace tuffy

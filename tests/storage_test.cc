@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace tuffy {
+namespace {
+
+// ------------------------------------------------------------ DiskManager
+
+TEST(DiskManagerTest, WriteThenReadRoundTrips) {
+  DiskManager disk;
+  PageId p = disk.AllocatePage();
+  char out[kPageSize], in[kPageSize];
+  std::memset(out, 0xAB, kPageSize);
+  ASSERT_TRUE(disk.WritePage(p, out).ok());
+  ASSERT_TRUE(disk.ReadPage(p, in).ok());
+  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+  EXPECT_EQ(disk.num_reads(), 1u);
+  EXPECT_EQ(disk.num_writes(), 1u);
+}
+
+TEST(DiskManagerTest, UnwrittenPageReadsAsZero) {
+  DiskManager disk;
+  PageId p = disk.AllocatePage();
+  char in[kPageSize];
+  std::memset(in, 0xFF, kPageSize);
+  ASSERT_TRUE(disk.ReadPage(p, in).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(in[i], 0);
+}
+
+TEST(DiskManagerTest, UnallocatedAccessFails) {
+  DiskManager disk;
+  char buf[kPageSize] = {};
+  EXPECT_EQ(disk.ReadPage(3, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.WritePage(3, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DiskManagerTest, SimulatedLatencySlowsIo) {
+  DiskManager disk;
+  PageId p = disk.AllocatePage();
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+
+  disk.set_simulated_latency_us(2000);
+  Timer t;
+  ASSERT_TRUE(disk.ReadPage(p, buf).ok());
+  EXPECT_GE(t.ElapsedSeconds(), 0.0015);
+}
+
+// ------------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, NewPageIsPinnedAndWritable) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  Page* p = page.value();
+  std::memset(p->data(), 0x42, kPageSize);
+  EXPECT_EQ(p->pin_count(), 1);
+  ASSERT_TRUE(pool.UnpinPage(p->page_id(), true).ok());
+}
+
+TEST(BufferPoolTest, FetchHitsCache) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = page.value()->page_id();
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+
+  auto again = pool.FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GE(pool.stats().hits, 1u);
+  EXPECT_EQ(disk.num_reads(), 0u);  // never went to disk
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+}
+
+TEST(BufferPoolTest, EvictionWritesBackAndDataSurvives) {
+  DiskManager disk;
+  BufferPool pool(2, &disk);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    std::memset(page.value()->data(), 0x10 + i, kPageSize);
+    ids.push_back(page.value()->page_id());
+    ASSERT_TRUE(pool.UnpinPage(ids.back(), true).ok());
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+  for (int i = 0; i < 6; ++i) {
+    auto page = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page.value()->data()[100], static_cast<char>(0x10 + i));
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST(BufferPoolTest, AllPinnedExhaustsPool) {
+  DiskManager disk;
+  BufferPool pool(2, &disk);
+  auto p1 = pool.NewPage();
+  auto p2 = pool.NewPage();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  auto p3 = pool.NewPage();
+  EXPECT_FALSE(p3.ok());
+  EXPECT_EQ(p3.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(pool.UnpinPage(p1.value()->page_id(), false).ok());
+  auto p4 = pool.NewPage();
+  EXPECT_TRUE(p4.ok());
+}
+
+TEST(BufferPoolTest, UnpinUnknownPageFails) {
+  DiskManager disk;
+  BufferPool pool(2, &disk);
+  EXPECT_EQ(pool.UnpinPage(99, false).code(), StatusCode::kNotFound);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = page.value()->page_id();
+  std::memset(page.value()->data(), 0x7E, kPageSize);
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(id, buf).ok());
+  EXPECT_EQ(buf[17], 0x7E);
+}
+
+// --------------------------------------------------------------- HeapFile
+
+TEST(HeapFileTest, AppendAndReadBack) {
+  DiskManager disk;
+  BufferPool pool(8, &disk);
+  HeapFile file(&pool, sizeof(int64_t));
+  for (int64_t i = 0; i < 100; ++i) {
+    auto rid = file.Append(reinterpret_cast<const char*>(&i));
+    ASSERT_TRUE(rid.ok());
+  }
+  EXPECT_EQ(file.num_records(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    int64_t v = -1;
+    ASSERT_TRUE(file.ReadNth(i, reinterpret_cast<char*>(&v)).ok());
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(HeapFileTest, UpdateOverwrites) {
+  DiskManager disk;
+  BufferPool pool(8, &disk);
+  HeapFile file(&pool, sizeof(int64_t));
+  int64_t v = 5;
+  auto rid = file.Append(reinterpret_cast<const char*>(&v));
+  ASSERT_TRUE(rid.ok());
+  v = 99;
+  ASSERT_TRUE(file.Update(rid.value(), reinterpret_cast<const char*>(&v)).ok());
+  int64_t back = 0;
+  ASSERT_TRUE(file.Read(rid.value(), reinterpret_cast<char*>(&back)).ok());
+  EXPECT_EQ(back, 99);
+}
+
+TEST(HeapFileTest, ScanVisitsAllInOrder) {
+  DiskManager disk;
+  BufferPool pool(8, &disk);
+  HeapFile file(&pool, sizeof(int64_t));
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(file.Append(reinterpret_cast<const char*>(&i)).ok());
+  }
+  int64_t expected = 0;
+  Status st = file.Scan([&](RecordId, const char* bytes) {
+    int64_t v;
+    std::memcpy(&v, bytes, sizeof(v));
+    EXPECT_EQ(v, expected++);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(expected, 50);
+}
+
+TEST(HeapFileTest, ReadOutOfRangeFails) {
+  DiskManager disk;
+  BufferPool pool(8, &disk);
+  HeapFile file(&pool, sizeof(int64_t));
+  int64_t v = 0;
+  EXPECT_FALSE(file.ReadNth(0, reinterpret_cast<char*>(&v)).ok());
+}
+
+TEST(HeapFileTest, SpansManyPages) {
+  DiskManager disk;
+  BufferPool pool(4, &disk);
+  struct Rec {
+    char payload[512];
+  };
+  HeapFile file(&pool, sizeof(Rec));
+  // 15 records/page => 40 pages, far beyond the 4-frame pool.
+  const int n = 600;
+  for (int i = 0; i < n; ++i) {
+    Rec r;
+    std::memset(r.payload, i % 251, sizeof(r.payload));
+    ASSERT_TRUE(file.Append(reinterpret_cast<const char*>(&r)).ok());
+  }
+  EXPECT_GT(file.num_pages(), 4u);
+  Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    uint64_t i = rng.Uniform(n);
+    Rec r;
+    ASSERT_TRUE(file.ReadNth(i, reinterpret_cast<char*>(&r)).ok());
+    EXPECT_EQ(static_cast<unsigned char>(r.payload[7]), i % 251);
+  }
+}
+
+// Property-style sweep: every (record_size, count) combination round-trips.
+class HeapFileParamTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(HeapFileParamTest, RoundTripsArbitrarySizes) {
+  auto [record_size, count] = GetParam();
+  DiskManager disk;
+  BufferPool pool(6, &disk);
+  HeapFile file(&pool, record_size);
+  Rng rng(record_size * 31 + count);
+  std::vector<std::vector<char>> expected;
+  for (int i = 0; i < count; ++i) {
+    std::vector<char> rec(record_size);
+    for (auto& b : rec) b = static_cast<char>(rng.Uniform(256));
+    ASSERT_TRUE(file.Append(rec.data()).ok());
+    expected.push_back(std::move(rec));
+  }
+  for (int i = 0; i < count; ++i) {
+    std::vector<char> got(record_size);
+    ASSERT_TRUE(file.ReadNth(i, got.data()).ok());
+    EXPECT_EQ(got, expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HeapFileParamTest,
+    ::testing::Combine(::testing::Values(1u, 8u, 100u, 333u, 4000u),
+                       ::testing::Values(1, 17, 200)));
+
+}  // namespace
+}  // namespace tuffy
