@@ -138,6 +138,19 @@ inline void PrintTrace(const std::string& series,
   }
 }
 
+/// Emits one machine-readable result line so the perf trajectory can be
+/// tracked across PRs (grep for ^BENCH_JSON and parse the rest as JSON).
+inline void PrintJsonLine(const char* bench, const std::string& dataset,
+                          const char* system, double flips_per_sec,
+                          double seconds, uint64_t flips, double cost) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"%s\",\"dataset\":\"%s\",\"system\":\"%s\","
+      "\"flips_per_sec\":%.1f,\"seconds\":%.4f,\"flips\":%llu,"
+      "\"cost\":%.4f}\n",
+      bench, dataset.c_str(), system, flips_per_sec, seconds,
+      static_cast<unsigned long long>(flips), cost);
+}
+
 inline void PrintHeader(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);

@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "datagen/datasets.h"
+#include "util/timer.h"
 #include "ground/bottom_up_grounder.h"
 #include "infer/walksat.h"
 #include "mrf/components.h"
@@ -130,4 +132,29 @@ BENCHMARK(BM_GroundRc)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace tuffy
 
-BENCHMARK_MAIN();
+// Custom main: run the registered microbenchmarks, then emit one
+// machine-readable flip-rate line (see bench_common.h) so the search-
+// kernel trajectory can be tracked across PRs alongside the
+// --benchmark_format=json output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace tuffy;  // NOLINT
+  std::vector<GroundClause> clauses = MakeExample1Mrf(10000);
+  Problem p = MakeWholeProblem(20000, clauses);
+  WalkSatOptions opts;
+  Rng rng(3);
+  IncrementalWalkSat search(&p, opts, &rng);
+  Timer timer;
+  const uint64_t kFlips = 2000000;
+  uint64_t done = search.RunFlips(kFlips);
+  double seconds = timer.ElapsedSeconds();
+  bench::PrintJsonLine("micro_ops_walksat_flips", "example1_n10000",
+                       "incremental",
+                       seconds > 0 ? static_cast<double>(done) / seconds : 0,
+                       seconds, done, search.best_cost());
+  return 0;
+}

@@ -49,10 +49,18 @@ int main() {
       Rng rng_d(3);
       WalkSatResult mm = disk.value()->Run(&rng_d);
       mm_rate = mm.FlipsPerSecond();
+      PrintJsonLine("table3_fliprate", ds.name, "tuffy-mm", mm_rate,
+                    mm.seconds, mm.flips, mm.best_cost);
     }
     std::printf("%-10s %14.0f %14.2f %14.0f\n", ds.name.c_str(),
                 alchemy.FlipsPerSecond(), mm_rate,
                 tuffy_p.FlipsPerSecond());
+    PrintJsonLine("table3_fliprate", ds.name, "alchemy",
+                  alchemy.FlipsPerSecond(), alchemy.seconds, alchemy.flips,
+                  alchemy.best_cost);
+    PrintJsonLine("table3_fliprate", ds.name, "tuffy-p",
+                  tuffy_p.FlipsPerSecond(), tuffy_p.seconds, tuffy_p.flips,
+                  tuffy_p.best_cost);
   }
   std::printf(
       "\nShape check vs paper Table 3: in-memory search sustains 10^5-10^7\n"

@@ -28,6 +28,9 @@ ComponentSearchResult RunComponentWalkSat(
     subs[i] =
         BuildSubProblem(clauses, components.clauses[i], components.atoms[i]);
     rngs[i] = std::make_unique<Rng>(seed + 0x1000 + i);
+    // Constructing the searcher here (still on this thread) builds the
+    // sub-problem's CSR clause arena; the thread-pool workers below only
+    // ever read it.
     WalkSatOptions wopts;
     wopts.p_random = options.p_random;
     wopts.hard_weight = options.hard_weight;

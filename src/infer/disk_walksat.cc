@@ -22,13 +22,16 @@ Result<std::unique_ptr<DiskWalkSat>> DiskWalkSat::Create(
   std::unique_ptr<DiskWalkSat> ws(
       new DiskWalkSat(problem.num_atoms, options));
   for (const SearchClause& c : problem.clauses) {
+    double abs_eff = std::fabs(c.hard ? options.hard_weight : c.weight);
     if (c.lits.size() > kMaxLitsPerClause) {
       ws->overflow_.push_back(c);
+      ws->overflow_abs_w_.push_back(abs_eff);
       continue;
     }
     ClauseRecord rec;
     std::memset(&rec, 0, sizeof(rec));
     rec.weight = c.weight;
+    rec.abs_eff_weight = abs_eff;
     rec.hard = c.hard ? 1 : 0;
     rec.num_lits = static_cast<uint8_t>(c.lits.size());
     for (size_t i = 0; i < c.lits.size(); ++i) rec.lits[i] = c.lits[i];
@@ -55,7 +58,7 @@ Result<bool> DiskWalkSat::ScanForViolated(Rng* rng, double* total_cost,
   Status st = file_->Scan([&](RecordId, const char* bytes) {
     const ClauseRecord* rec = reinterpret_cast<const ClauseRecord*>(bytes);
     if (IsViolated(*rec)) {
-      *total_cost += std::fabs(EffectiveWeight(*rec));
+      *total_cost += rec->abs_eff_weight;
       ++violated_seen;
       // Reservoir sampling keeps each violated clause with equal
       // probability in a single pass.
@@ -69,7 +72,8 @@ Result<bool> DiskWalkSat::ScanForViolated(Rng* rng, double* total_cost,
   });
   TUFFY_RETURN_IF_ERROR(st);
   // Memory-side overflow clauses (no I/O charged).
-  for (const SearchClause& c : overflow_) {
+  for (size_t oi = 0; oi < overflow_.size(); ++oi) {
+    const SearchClause& c = overflow_[oi];
     bool is_true = false;
     for (Lit l : c.lits) {
       if ((truth_[LitAtom(l)] != 0) == LitPositive(l)) {
@@ -79,7 +83,7 @@ Result<bool> DiskWalkSat::ScanForViolated(Rng* rng, double* total_cost,
     }
     bool violated = (c.hard || c.weight >= 0) ? !is_true : is_true;
     if (!violated) continue;
-    *total_cost += std::fabs(c.hard ? options_.hard_weight : c.weight);
+    *total_cost += overflow_abs_w_[oi];
     ++violated_seen;
     if (rng->Uniform(violated_seen) == 0) {
       out->lits = c.lits;
@@ -94,7 +98,7 @@ Status DiskWalkSat::ComputeDeltas(const std::vector<AtomId>& candidates,
                                   std::vector<double>* deltas) {
   deltas->assign(candidates.size(), 0.0);
   auto account = [&](const Lit* lits, int num_lits, double weight,
-                     bool hard) {
+                     bool hard, double abs_w) {
     for (size_t k = 0; k < candidates.size(); ++k) {
       AtomId a = candidates[k];
       bool touches = false;
@@ -117,19 +121,20 @@ Status DiskWalkSat::ComputeDeltas(const std::vector<AtomId>& candidates,
       bool viol_after = violated();
       truth_[a] ^= 1;
       if (viol_before != viol_after) {
-        double w = std::fabs(hard ? options_.hard_weight : weight);
-        (*deltas)[k] += viol_after ? w : -w;
+        (*deltas)[k] += viol_after ? abs_w : -abs_w;
       }
     }
   };
   TUFFY_RETURN_IF_ERROR(file_->Scan([&](RecordId, const char* bytes) {
     const ClauseRecord* rec = reinterpret_cast<const ClauseRecord*>(bytes);
-    account(rec->lits, rec->num_lits, rec->weight, rec->hard != 0);
+    account(rec->lits, rec->num_lits, rec->weight, rec->hard != 0,
+            rec->abs_eff_weight);
     return Status::OK();
   }));
-  for (const SearchClause& c : overflow_) {
+  for (size_t oi = 0; oi < overflow_.size(); ++oi) {
+    const SearchClause& c = overflow_[oi];
     account(c.lits.data(), static_cast<int>(c.lits.size()), c.weight,
-            c.hard);
+            c.hard, overflow_abs_w_[oi]);
   }
   return Status::OK();
 }

@@ -56,6 +56,10 @@ class DiskWalkSat {
  private:
   struct ClauseRecord {
     double weight;
+    /// |effective weight| (hard_weight for hard clauses), precomputed at
+    /// Create so the per-flip scans do a single load instead of a fabs
+    /// plus a hard-ness branch per record.
+    double abs_eff_weight;
     uint8_t hard;
     uint8_t num_lits;
     Lit lits[kMaxLitsPerClause];
@@ -99,6 +103,8 @@ class DiskWalkSat {
   std::vector<uint8_t> truth_;
   /// Clauses too long for fixed-size records (see Create).
   std::vector<SearchClause> overflow_;
+  /// Precomputed |effective weight| per overflow clause.
+  std::vector<double> overflow_abs_w_;
 };
 
 }  // namespace tuffy

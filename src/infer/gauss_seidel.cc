@@ -26,6 +26,11 @@ GaussSeidelResult RunGaussSeidel(size_t num_atoms,
   double best_cost = whole.EvalCost(result.truth, options.hard_weight);
 
   const size_t k = partitions.num_partitions();
+  WalkSatOptions wopts;
+  wopts.p_random = options.p_random;
+  wopts.hard_weight = options.hard_weight;
+  std::vector<uint8_t> init;  // reused across partitions and sweeps
+  wopts.initial = &init;
   for (int sweep = 0; sweep < options.sweeps; ++sweep) {
     if (timer.ElapsedSeconds() > options.timeout_seconds) break;
     for (size_t i = 0; i < k; ++i) {
@@ -36,14 +41,10 @@ GaussSeidelResult RunGaussSeidel(size_t num_atoms,
           partitions.atoms[i], partitions.partition_of_atom,
           static_cast<int32_t>(i), result.truth);
       // Seed the local search from the current global state.
-      std::vector<uint8_t> init(sub.global_atom.size());
+      init.resize(sub.global_atom.size());
       for (size_t j = 0; j < sub.global_atom.size(); ++j) {
         init[j] = result.truth[sub.global_atom[j]];
       }
-      WalkSatOptions wopts;
-      wopts.p_random = options.p_random;
-      wopts.hard_weight = options.hard_weight;
-      wopts.initial = &init;
       IncrementalWalkSat searcher(&sub.problem, wopts, &rng);
       searcher.RunFlips(options.flips_per_partition);
       result.flips += searcher.flips();

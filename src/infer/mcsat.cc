@@ -4,57 +4,56 @@
 
 namespace tuffy {
 
-bool SampleSat(const Problem& problem, const SampleSatOptions& options,
-               Rng* rng, std::vector<uint8_t>* out) {
-  // All clauses are hard constraints here; weight 1 keeps the annealing
-  // deltas well-scaled.
-  Problem hard = problem;
-  for (SearchClause& c : hard.clauses) {
-    c.hard = false;
-    c.weight = 1.0;
-  }
-  WalkSatState state(&hard, /*hard_weight=*/1.0);
-  state.RandomAssignment(rng);
+namespace {
 
+/// SampleSAT moves (WalkSAT + simulated annealing) on a state whose arena
+/// holds the slice's constraints as unit-cost positive clauses. Runs until
+/// every constraint is satisfied or the flip budget is exhausted. The
+/// caller seeds the assignment (MC-SAT requires a random restart).
+bool SampleSatMoves(WalkSatState* state, const SampleSatOptions& options,
+                    Rng* rng, std::vector<uint8_t>* out) {
+  const ClauseArena& arena = state->arena();
   for (uint64_t flip = 0; flip < options.max_flips; ++flip) {
-    if (!state.HasViolated()) {
-      *out = state.truth();
+    if (!state->HasViolated()) {
+      *out = state->truth();
       return true;
     }
     if (rng->NextDouble() < options.p_anneal) {
       // Simulated-annealing move: random atom, Metropolis acceptance.
-      AtomId a = static_cast<AtomId>(rng->Uniform(hard.num_atoms));
-      double delta = state.FlipDelta(a);
+      AtomId a = static_cast<AtomId>(rng->Uniform(arena.num_atoms));
+      double delta = state->FlipDelta(a);
       if (delta <= 0 ||
           rng->NextDouble() < std::exp(-delta / options.temperature)) {
-        state.Flip(a);
+        state->Flip(a);
       }
     } else {
       // WalkSAT move on a random violated clause.
-      uint32_t ci = state.SampleViolated(rng);
-      const SearchClause& clause = hard.clauses[ci];
-      AtomId chosen;
-      if (rng->NextDouble() <= options.p_random) {
-        chosen = LitAtom(clause.lits[rng->Uniform(clause.lits.size())]);
-      } else {
-        double best_delta = std::numeric_limits<double>::infinity();
-        chosen = LitAtom(clause.lits[0]);
-        for (Lit l : clause.lits) {
-          double d = state.FlipDelta(LitAtom(l));
-          if (d < best_delta) {
-            best_delta = d;
-            chosen = LitAtom(l);
-          }
-        }
-      }
-      state.Flip(chosen);
+      state->Flip(ChooseWalkSatMove(*state, options.p_random, rng));
     }
   }
-  if (!state.HasViolated()) {
-    *out = state.truth();
+  if (!state->HasViolated()) {
+    *out = state->truth();
     return true;
   }
   return false;
+}
+
+}  // namespace
+
+bool SampleSat(const Problem& problem, const SampleSatOptions& options,
+               Rng* rng, std::vector<uint8_t>* out) {
+  // Every clause becomes a unit-cost constraint directly in the arena —
+  // no copy of the Problem is made; weight 1 keeps the annealing deltas
+  // well-scaled.
+  ClauseArena constraints;
+  constraints.Clear();
+  for (const SearchClause& c : problem.clauses) {
+    constraints.AddClause(c.lits.data(), c.lits.size(), 1.0, false);
+  }
+  constraints.Finish(problem.num_atoms);
+  WalkSatState state(&constraints, /*hard_weight=*/1.0);
+  state.RandomAssignment(rng);
+  return SampleSatMoves(&state, options, rng, out);
 }
 
 McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
@@ -76,13 +75,21 @@ McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
   std::vector<uint8_t> state = init_search.Run().best_truth;
   if (state.empty()) state.assign(problem.num_atoms, 0);
 
+  // One slice arena and one search state, allocated once and reused for
+  // every sample: each round rewrites the arena in place (capacity is
+  // retained) and re-attaches the sampler — no per-sample Problem copy,
+  // no per-sample occurrence-list allocation.
+  ClauseArena slice;
+  slice.Clear();
+  WalkSatState sampler(&slice, /*hard_weight=*/1.0);
+  std::vector<uint8_t> next;
+
   std::vector<double> true_counts(problem.num_atoms, 0.0);
   int kept = 0;
   int total_rounds = options.burn_in + options.num_samples;
   for (int round = 0; round < total_rounds; ++round) {
-    // Build the slice M.
-    Problem m;
-    m.num_atoms = problem.num_atoms;
+    // Build the slice M as unit-cost constraints in the reused arena.
+    slice.Clear();
     for (const SearchClause& c : problem.clauses) {
       bool is_true = false;
       for (Lit l : c.lits) {
@@ -92,13 +99,12 @@ McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
         }
       }
       if (c.hard) {
-        SearchClause hc = c;
-        m.clauses.push_back(std::move(hc));
+        slice.AddClause(c.lits.data(), c.lits.size(), 1.0, false);
         continue;
       }
       if (c.weight > 0 && is_true) {
         if (rng.NextDouble() < 1.0 - std::exp(-c.weight)) {
-          m.clauses.push_back(c);
+          slice.AddClause(c.lits.data(), c.lits.size(), 1.0, false);
         }
       } else if (c.weight < 0 && !is_true) {
         // A false negative-weight clause is currently *satisfying* the
@@ -106,17 +112,17 @@ McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
         // the negations of its literals.
         if (rng.NextDouble() < 1.0 - std::exp(c.weight)) {
           for (Lit l : c.lits) {
-            SearchClause unit;
-            unit.weight = 1.0;
-            unit.lits.push_back(-l);
-            m.clauses.push_back(std::move(unit));
+            Lit unit = -l;
+            slice.AddClause(&unit, 1, 1.0, false);
           }
         }
       }
     }
-    std::vector<uint8_t> next;
-    if (SampleSat(m, options.sample_sat, &rng, &next)) {
-      state = std::move(next);
+    slice.Finish(problem.num_atoms);
+    sampler.Attach(&slice, /*hard_weight=*/1.0);
+    sampler.RandomAssignment(&rng);
+    if (SampleSatMoves(&sampler, options.sample_sat, &rng, &next)) {
+      state.swap(next);
     }
     // else: keep the previous state (rejected move).
     if (round >= options.burn_in) {

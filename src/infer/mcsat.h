@@ -24,7 +24,8 @@ struct SampleSatOptions {
 /// clauses are all treated as hard constraints. Starts from a *random*
 /// assignment — the random restart plus the annealing moves are what make
 /// successive MC-SAT samples mix. Returns true on success and writes the
-/// sample to `out`.
+/// sample to `out`. The constraints are staged directly into a CSR clause
+/// arena; the problem itself is never copied.
 bool SampleSat(const Problem& problem, const SampleSatOptions& options,
                Rng* rng, std::vector<uint8_t>* out);
 

@@ -5,6 +5,52 @@
 
 namespace tuffy {
 
+void ClauseArena::Clear() {
+  clause_offsets.clear();
+  clause_offsets.push_back(0);
+  lit_data.clear();
+  weight.clear();
+  abs_weight.clear();
+  hard.clear();
+  positive.clear();
+  frozen.clear();
+  num_atoms = 0;
+}
+
+void ClauseArena::AddClause(const Lit* lits, size_t n, double w,
+                            bool is_hard) {
+  if (clause_offsets.empty()) clause_offsets.push_back(0);
+  const size_t start = lit_data.size();
+  bool taut = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Lit l = lits[i];
+    bool dup = false;
+    for (size_t j = start; j < lit_data.size(); ++j) {
+      if (lit_data[j] == l) {
+        dup = true;
+        break;
+      }
+      if (lit_data[j] == -l) taut = true;
+    }
+    if (!dup) lit_data.push_back(l);
+  }
+  clause_offsets.push_back(static_cast<uint32_t>(lit_data.size()));
+  weight.push_back(w);
+  abs_weight.push_back(std::fabs(w));
+  hard.push_back(is_hard ? 1 : 0);
+  positive.push_back((is_hard || w >= 0) ? 1 : 0);
+  frozen.push_back(taut ? 1 : 0);
+}
+
+void ClauseArena::BuildFrom(size_t n_atoms,
+                            const std::vector<SearchClause>& clauses) {
+  Clear();
+  for (const SearchClause& c : clauses) {
+    AddClause(c.lits.data(), c.lits.size(), c.weight, c.hard);
+  }
+  Finish(n_atoms);
+}
+
 double Problem::EvalCost(const std::vector<uint8_t>& truth,
                          double hard_weight) const {
   double cost = 0.0;

@@ -6,16 +6,79 @@
 
 namespace tuffy {
 
-WalkSatState::WalkSatState(const Problem* problem, double hard_weight)
-    : problem_(problem), hard_weight_(hard_weight) {
-  truth_.assign(problem_->num_atoms, 0);
-  occurrences_.resize(problem_->num_atoms);
-  for (uint32_t ci = 0; ci < problem_->clauses.size(); ++ci) {
-    for (Lit l : problem_->clauses[ci].lits) {
-      occurrences_[LitAtom(l)].emplace_back(ci, l);
+WalkSatState::WalkSatState(const Problem* problem, double hard_weight) {
+  Attach(&problem->arena(), hard_weight);
+  Rebuild();
+}
+
+WalkSatState::WalkSatState(const ClauseArena* arena, double hard_weight) {
+  Attach(arena, hard_weight);
+  Rebuild();
+}
+
+double WalkSatState::SignedCost(uint32_t clause) const {
+  const double w =
+      arena_->hard[clause] ? hard_weight_ : arena_->abs_weight[clause];
+  return arena_->positive[clause] ? w : -w;
+}
+
+void WalkSatState::BuildOccurrences() {
+  const ClauseArena& a = *arena_;
+  const size_t n_atoms = a.num_atoms;
+  const size_t n_clauses = a.num_clauses();
+  // Counting sort of occurrence entries by atom. Frozen clauses have a
+  // constant truth value and take no part in flip bookkeeping.
+  occ_offsets_.assign(n_atoms + 1, 0);
+  size_t total = 0;
+  for (uint32_t c = 0; c < n_clauses; ++c) {
+    if (a.frozen[c]) continue;
+    const Lit* lits = a.clause_lits(c);
+    const uint32_t len = a.clause_size(c);
+    for (uint32_t i = 0; i < len; ++i) ++occ_offsets_[LitAtom(lits[i]) + 1];
+    total += len;
+  }
+  for (size_t at = 1; at <= n_atoms; ++at) {
+    occ_offsets_[at] += occ_offsets_[at - 1];
+  }
+  occ_entries_.resize(total);
+  for (uint32_t c = 0; c < n_clauses; ++c) {
+    if (a.frozen[c]) continue;
+    const Lit* lits = a.clause_lits(c);
+    const uint32_t len = a.clause_size(c);
+    const double sw = SignedCost(c);
+    for (uint32_t i = 0; i < len; ++i) {
+      const Lit l = lits[i];
+      OccEntry e;
+      e.clause_and_sign = (c << 1) | (LitPositive(l) ? 1u : 0u);
+      e.signed_cost = sw;
+      if (len == 1) {
+        e.other = kUnit;
+      } else if (len == 2 && LitAtom(lits[0]) != LitAtom(lits[1])) {
+        const Lit ol = lits[1 - i];
+        e.other = (LitAtom(ol) << 1) | (LitPositive(ol) ? 1u : 0u);
+      } else {
+        e.other = kGeneral;
+      }
+      occ_entries_[occ_offsets_[LitAtom(l)]++] = e;
     }
   }
-  Rebuild();
+  // The fill pass advanced each offset to the next atom's start; shift
+  // back so occ_offsets_[at] is again the start of atom at's span.
+  for (size_t at = n_atoms; at > 0; --at) {
+    occ_offsets_[at] = occ_offsets_[at - 1];
+  }
+  occ_offsets_[0] = 0;
+}
+
+void WalkSatState::Attach(const ClauseArena* arena, double hard_weight) {
+  arena_ = arena;
+  hard_weight_ = hard_weight;
+  cstate_.resize(arena_->num_clauses());
+  BuildOccurrences();
+  truth_.assign(arena_->num_atoms, 0);
+  // No Rebuild here: every assignment setter rebuilds, so doing it now
+  // would double the per-attach cost (MC-SAT attaches once per sample
+  // and immediately draws a random assignment).
 }
 
 void WalkSatState::SetAssignment(const std::vector<uint8_t>& truth) {
@@ -36,33 +99,67 @@ void WalkSatState::AllFalseAssignment() {
 }
 
 void WalkSatState::Rebuild() {
-  num_true_.assign(problem_->clauses.size(), 0);
+  const ClauseArena& a = *arena_;
+  const size_t n_clauses = a.num_clauses();
+  flip_delta_.assign(a.num_atoms, 0.0);
   violated_.clear();
-  violated_pos_.assign(problem_->clauses.size(), -1);
+  violated_pos_.assign(n_clauses, -1);
   cost_ = 0.0;
-  for (uint32_t ci = 0; ci < problem_->clauses.size(); ++ci) {
-    const SearchClause& c = problem_->clauses[ci];
-    int n = 0;
-    for (Lit l : c.lits) {
-      if ((truth_[LitAtom(l)] != 0) == LitPositive(l)) ++n;
+  for (uint32_t c = 0; c < n_clauses; ++c) {
+    if (a.frozen[c]) {
+      // Constant clause: a negative-convention tautology is permanently
+      // violated, a positive-convention one never is. No flips change it,
+      // so it contributes nothing to any cached delta.
+      if (!a.positive[c]) {
+        violated_pos_[c] = static_cast<int32_t>(violated_.size());
+        violated_.push_back(c);
+        cost_ += std::fabs(SignedCost(c));
+      }
+      continue;
     }
-    num_true_[ci] = n;
-    if (IsViolated(ci)) {
-      violated_pos_[ci] = static_cast<int32_t>(violated_.size());
-      violated_.push_back(ci);
-      cost_ += std::fabs(EffectiveWeight(c));
+    const Lit* lits = a.clause_lits(c);
+    const uint32_t len = a.clause_size(c);
+    int n = 0;
+    uint32_t sum = 0;
+    for (uint32_t i = 0; i < len; ++i) {
+      AtomId atom = LitAtom(lits[i]);
+      if ((truth_[atom] != 0) == LitPositive(lits[i])) {
+        ++n;
+        sum += atom;
+      }
+    }
+    ClauseState& cs = cstate_[c];
+    cs.num_true = n;
+    cs.critical_sum = sum;
+    // sw = +w for positive-convention clauses, -w for negative ones; all
+    // make/break arithmetic below is symmetric under this sign.
+    const double sw = SignedCost(c);
+    const double w = std::fabs(sw);
+    if (n == 0) {
+      // Flipping any atom in the clause makes its literal true: a
+      // positive clause stops being violated (-w), a negative one starts
+      // being violated (+w).
+      for (uint32_t i = 0; i < len; ++i) flip_delta_[LitAtom(lits[i])] -= sw;
+    } else if (n == 1) {
+      // Only the critical atom changes the clause's status.
+      flip_delta_[sum] += sw;
+    }
+    const bool violated = std::signbit(sw) ? (n > 0) : (n == 0);
+    if (violated) {
+      violated_pos_[c] = static_cast<int32_t>(violated_.size());
+      violated_.push_back(c);
+      cost_ += w;
     }
   }
 }
 
-void WalkSatState::SetViolated(uint32_t clause, bool violated) {
+void WalkSatState::SetViolated(uint32_t clause, bool violated, double cost) {
   bool currently = violated_pos_[clause] >= 0;
   if (currently == violated) return;
-  const SearchClause& c = problem_->clauses[clause];
   if (violated) {
     violated_pos_[clause] = static_cast<int32_t>(violated_.size());
     violated_.push_back(clause);
-    cost_ += std::fabs(EffectiveWeight(c));
+    cost_ += cost;
   } else {
     int32_t pos = violated_pos_[clause];
     uint32_t last = violated_.back();
@@ -70,36 +167,98 @@ void WalkSatState::SetViolated(uint32_t clause, bool violated) {
     violated_pos_[last] = pos;
     violated_.pop_back();
     violated_pos_[clause] = -1;
-    cost_ -= std::fabs(EffectiveWeight(c));
+    cost_ -= cost;
   }
-}
-
-double WalkSatState::FlipDelta(AtomId atom) const {
-  double delta = 0.0;
-  bool value = truth_[atom] != 0;
-  for (const auto& [ci, lit] : occurrences_[atom]) {
-    const SearchClause& c = problem_->clauses[ci];
-    bool lit_true = (value == LitPositive(lit));
-    int n_before = num_true_[ci];
-    int n_after = lit_true ? n_before - 1 : n_before + 1;
-    bool pos_clause = c.hard || c.weight >= 0;
-    bool viol_before = pos_clause ? (n_before == 0) : (n_before > 0);
-    bool viol_after = pos_clause ? (n_after == 0) : (n_after > 0);
-    if (viol_before != viol_after) {
-      double w = std::fabs(EffectiveWeight(c));
-      delta += viol_after ? w : -w;
-    }
-  }
-  return delta;
 }
 
 void WalkSatState::Flip(AtomId atom) {
-  bool value = truth_[atom] != 0;
-  truth_[atom] = value ? 0 : 1;
-  for (const auto& [ci, lit] : occurrences_[atom]) {
-    bool lit_true = (value == LitPositive(lit));
-    num_true_[ci] += lit_true ? -1 : 1;
-    SetViolated(ci, IsViolated(ci));
+  const ClauseArena& a = *arena_;
+  const bool was_true = truth_[atom] != 0;
+  truth_[atom] = was_true ? 0 : 1;
+  const OccEntry* occ = occ_entries_.data();
+  const uint32_t end = occ_offsets_[atom + 1];
+  for (uint32_t o = occ_offsets_[atom]; o < end; ++o) {
+    const OccEntry& e = occ[o];
+    const uint32_t c = e.clause_and_sign >> 1;
+    const bool lit_was_true = (was_true == ((e.clause_and_sign & 1u) != 0));
+    const double sw = e.signed_cost;
+    if (e.other < kGeneral) {
+      // Unit/binary fast path: the clause's true-literal count is a pure
+      // function of the (L1-resident) truth array, so no per-clause state
+      // is read or written — the occurrence walk stays sequential.
+      const AtomId other_atom = e.other >> 1;
+      const bool other_true =
+          (truth_[other_atom] != 0) == ((e.other & 1u) != 0);
+      if (lit_was_true) {
+        if (other_true) {
+          // 2 -> 1: the other atom becomes critical.
+          flip_delta_[other_atom] += sw;
+        } else {
+          // 1 -> 0: both flips now toggle the clause; the flipped atom
+          // additionally loses its critical bonus.
+          flip_delta_[atom] -= 2.0 * sw;
+          flip_delta_[other_atom] -= sw;
+          SetViolated(c, !std::signbit(sw), std::fabs(sw));
+        }
+      } else {
+        if (other_true) {
+          // 1 -> 2: the other atom is no longer critical.
+          flip_delta_[other_atom] -= sw;
+        } else {
+          // 0 -> 1: the clause toggled; the flipped atom became critical.
+          flip_delta_[atom] += 2.0 * sw;
+          flip_delta_[other_atom] += sw;
+          SetViolated(c, std::signbit(sw), std::fabs(sw));
+        }
+      }
+      continue;
+    }
+    if (e.other == kUnit) {
+      // Unit clause: every flip of its atom toggles it.
+      if (lit_was_true) {
+        flip_delta_[atom] -= 2.0 * sw;
+        SetViolated(c, !std::signbit(sw), std::fabs(sw));
+      } else {
+        flip_delta_[atom] += 2.0 * sw;
+        SetViolated(c, std::signbit(sw), std::fabs(sw));
+      }
+      continue;
+    }
+    // General path (length >= 3 or degenerate): exact counter updates.
+    ClauseState& cs = cstate_[c];
+    const int n = cs.num_true;
+    if (lit_was_true) {
+      cs.critical_sum -= atom;
+      cs.num_true = n - 1;
+      if (n == 1) {
+        // 1 -> 0: every atom's flip now toggles the clause; the flipped
+        // atom additionally loses its critical bonus.
+        const Lit* lits = a.clause_lits(c);
+        const uint32_t len = a.clause_size(c);
+        for (uint32_t i = 0; i < len; ++i) flip_delta_[LitAtom(lits[i])] -= sw;
+        flip_delta_[atom] -= sw;
+        // A positive clause just became violated; a negative one became
+        // satisfied.
+        SetViolated(c, !std::signbit(sw), std::fabs(sw));
+      } else if (n == 2) {
+        // 2 -> 1: the surviving true literal's atom becomes critical.
+        flip_delta_[cs.critical_sum] += sw;
+      }
+    } else {
+      cs.critical_sum += atom;
+      cs.num_true = n + 1;
+      if (n == 0) {
+        // 0 -> 1: the clause toggled; the flipped atom becomes critical.
+        const Lit* lits = a.clause_lits(c);
+        const uint32_t len = a.clause_size(c);
+        for (uint32_t i = 0; i < len; ++i) flip_delta_[LitAtom(lits[i])] += sw;
+        flip_delta_[atom] += sw;
+        SetViolated(c, std::signbit(sw), std::fabs(sw));
+      } else if (n == 1) {
+        // 1 -> 2: the previously-critical atom is no longer critical.
+        flip_delta_[cs.critical_sum - atom] -= sw;
+      }
+    }
   }
 }
 
@@ -107,6 +266,8 @@ WalkSatResult WalkSat::Run() {
   Timer timer;
   WalkSatResult result;
   WalkSatState state(problem_, options_.hard_weight);
+  BestTruthTracker best;
+  bool best_init = false;
 
   for (int attempt = 0; attempt < options_.max_tries; ++attempt) {
     if (options_.initial != nullptr) {
@@ -116,9 +277,12 @@ WalkSatResult WalkSat::Run() {
     } else {
       state.AllFalseAssignment();
     }
-    if (state.cost() < result.best_cost) {
-      result.best_cost = state.cost();
-      result.best_truth = state.truth();
+    if (!best_init) {
+      best.Reset(state.truth(), state.cost());
+      best_init = true;
+    } else {
+      best.RebaseTo(state.truth());
+      if (state.cost() < best.best_cost()) best.OnImproved(state.cost());
     }
 
     for (uint64_t flip = 0; flip < options_.max_flips; ++flip) {
@@ -127,42 +291,29 @@ WalkSatResult WalkSat::Run() {
           timer.ElapsedSeconds() > options_.timeout_seconds) {
         break;
       }
-      uint32_t ci = state.SampleViolated(rng_);
-      const SearchClause& clause = problem_->clauses[ci];
-      AtomId chosen;
-      if (rng_->NextDouble() <= options_.p_random) {
-        Lit l = clause.lits[rng_->Uniform(clause.lits.size())];
-        chosen = LitAtom(l);
-      } else {
-        // Flip the atom whose flip decreases cost the most.
-        double best_delta = std::numeric_limits<double>::infinity();
-        chosen = LitAtom(clause.lits[0]);
-        for (Lit l : clause.lits) {
-          AtomId a = LitAtom(l);
-          double d = state.FlipDelta(a);
-          if (d < best_delta) {
-            best_delta = d;
-            chosen = a;
-          }
-        }
-      }
+      AtomId chosen = ChooseWalkSatMove(state, options_.p_random, rng_);
       state.Flip(chosen);
+      best.OnFlip(chosen);
       ++result.flips;
-      if (state.cost() < result.best_cost) {
-        result.best_cost = state.cost();
-        result.best_truth = state.truth();
+      if (state.cost() < best.best_cost()) {
+        best.OnImproved(state.cost());
+      } else {
+        best.MaybeRebase(state.truth());
       }
       if (options_.trace_every_flips > 0 &&
           result.flips % options_.trace_every_flips == 0) {
         result.trace.push_back(
-            TracePoint{timer.ElapsedSeconds(), result.flips, result.best_cost});
+            TracePoint{timer.ElapsedSeconds(), result.flips, best.best_cost()});
       }
     }
-    if (result.best_cost == 0.0) break;
+    if (best.best_cost() == 0.0) break;
     if (timer.ElapsedSeconds() > options_.timeout_seconds) break;
   }
   result.seconds = timer.ElapsedSeconds();
-  if (result.best_truth.empty()) {
+  if (best_init) {
+    result.best_cost = best.best_cost();
+    result.best_truth = best.best_truth();
+  } else {
     result.best_truth.assign(problem_->num_atoms, 0);
     result.best_cost = state.cost();
   }
@@ -182,44 +333,27 @@ IncrementalWalkSat::IncrementalWalkSat(const Problem* problem,
   } else {
     state_.AllFalseAssignment();
   }
-  best_cost_ = state_.cost();
-  best_truth_ = state_.truth();
+  best_.Reset(state_.truth(), state_.cost());
 }
 
 void IncrementalWalkSat::SetAssignment(const std::vector<uint8_t>& truth) {
   state_.SetAssignment(truth);
-  if (state_.cost() < best_cost_) {
-    best_cost_ = state_.cost();
-    best_truth_ = state_.truth();
-  }
+  best_.RebaseTo(state_.truth());
+  if (state_.cost() < best_.best_cost()) best_.OnImproved(state_.cost());
 }
 
 uint64_t IncrementalWalkSat::RunFlips(uint64_t n) {
   uint64_t done = 0;
   while (done < n) {
     if (!state_.HasViolated()) break;
-    uint32_t ci = state_.SampleViolated(rng_);
-    const SearchClause& clause = problem_->clauses[ci];
-    AtomId chosen;
-    if (rng_->NextDouble() <= options_.p_random) {
-      chosen = LitAtom(clause.lits[rng_->Uniform(clause.lits.size())]);
-    } else {
-      double best_delta = std::numeric_limits<double>::infinity();
-      chosen = LitAtom(clause.lits[0]);
-      for (Lit l : clause.lits) {
-        AtomId a = LitAtom(l);
-        double d = state_.FlipDelta(a);
-        if (d < best_delta) {
-          best_delta = d;
-          chosen = a;
-        }
-      }
-    }
+    AtomId chosen = ChooseWalkSatMove(state_, options_.p_random, rng_);
     state_.Flip(chosen);
+    best_.OnFlip(chosen);
     ++done;
-    if (state_.cost() < best_cost_) {
-      best_cost_ = state_.cost();
-      best_truth_ = state_.truth();
+    if (state_.cost() < best_.best_cost()) {
+      best_.OnImproved(state_.cost());
+    } else {
+      best_.MaybeRebase(state_.truth());
     }
   }
   flips_ += done;

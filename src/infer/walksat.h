@@ -48,13 +48,27 @@ struct WalkSatResult {
 };
 
 /// Incremental clause-evaluation state shared by WalkSAT, SampleSAT, and
-/// the Gauss-Seidel driver: per-clause true-literal counts, the violated
-/// set, and O(degree(atom)) flips. A clause with w >= 0 (or hard) is
+/// the Gauss-Seidel driver, running off a flat ClauseArena: per-clause
+/// true-literal counts, the violated set, cached per-atom flip-cost
+/// deltas (UBCSAT-style make/break bookkeeping), and O(degree(atom))
+/// flips with O(1) FlipDelta reads. A clause with w >= 0 (or hard) is
 /// violated when no literal is true; a clause with w < 0 is violated when
-/// some literal is true (Section 2.2).
+/// some literal is true (Section 2.2). See docs/INFER_KERNEL.md for the
+/// layout and the invariants tying truth_, num_true_, flip_delta_, and
+/// cost_ together.
 class WalkSatState {
  public:
   WalkSatState(const Problem* problem, double hard_weight);
+  /// Runs directly off an arena that is not owned by a Problem (MC-SAT
+  /// slice sampling). The arena must outlive the state.
+  WalkSatState(const ClauseArena* arena, double hard_weight);
+
+  /// Re-attaches to a (possibly different) arena, reusing this state's
+  /// buffers — the zero-allocation path MC-SAT uses once per sample. The
+  /// assignment is reset to all-false but the derived bookkeeping is NOT
+  /// rebuilt: call one of the assignment setters below (each rebuilds)
+  /// before querying or flipping.
+  void Attach(const ClauseArena* arena, double hard_weight);
 
   void SetAssignment(const std::vector<uint8_t>& truth);
   void RandomAssignment(Rng* rng);
@@ -69,36 +83,151 @@ class WalkSatState {
     return violated_[rng->Uniform(violated_.size())];
   }
 
-  /// Cost change if `atom` were flipped.
-  double FlipDelta(AtomId atom) const;
+  /// Cost change if `atom` were flipped — a cached O(1) read.
+  double FlipDelta(AtomId atom) const { return flip_delta_[atom]; }
 
-  /// Flips `atom`, updating all bookkeeping.
+  /// Flips `atom`, updating all bookkeeping (including the cached deltas
+  /// of every atom sharing a clause whose criticality changed).
   void Flip(AtomId atom);
 
   const std::vector<uint8_t>& truth() const { return truth_; }
-  const Problem& problem() const { return *problem_; }
-  double EffectiveWeight(const SearchClause& c) const {
-    return c.hard ? hard_weight_ : c.weight;
-  }
+  const ClauseArena& arena() const { return *arena_; }
+  double hard_weight() const { return hard_weight_; }
 
  private:
-  void Rebuild();
-  void SetViolated(uint32_t clause, bool violated);
-  bool IsViolated(uint32_t clause) const {
-    const SearchClause& c = problem_->clauses[clause];
-    bool has_true = num_true_[clause] > 0;
-    return (c.hard || c.weight >= 0) ? !has_true : has_true;
-  }
+  /// One entry of an atom's occurrence list, self-contained so that unit
+  /// and binary clauses — the bulk of every MLN workload — are handled
+  /// without touching any per-clause state:
+  ///  - `clause_and_sign` packs (clause index << 1) | literal-is-positive.
+  ///  - `other` is (other atom << 1) | other-literal-is-positive for a
+  ///    binary clause over two distinct atoms, kUnit for a unit clause,
+  ///    kGeneral for anything else (length >= 3, or a degenerate binary
+  ///    clause mentioning one atom twice) — those walk cstate_.
+  ///  - `signed_cost` is +|w_eff| for a positive-convention clause (hard
+  ///    or w >= 0), -|w_eff| for a negative one, with hard clauses
+  ///    resolved to hard_weight at Attach. The sign *is* the violation
+  ///    convention (std::signbit distinguishes, including w == 0 ->
+  ///    +0.0), so the flip loop needs no weight array, fabs(), or
+  ///    hard-ness branch.
+  /// Occurrence lists are walked sequentially; at 16 bytes per entry the
+  /// walk streams instead of gathering per-clause cache lines.
+  struct OccEntry {
+    uint32_t clause_and_sign;
+    uint32_t other;
+    double signed_cost;
+  };
+  static constexpr uint32_t kGeneral = 0xFFFFFFFEu;
+  static constexpr uint32_t kUnit = 0xFFFFFFFFu;
 
-  const Problem* problem_;
+  /// Mutable per-clause counters, consulted only for kGeneral clauses.
+  struct ClauseState {
+    int32_t num_true;
+    /// Sum (mod 2^32) of the atom ids of the currently-true literals.
+    /// When num_true == 1 this *is* the critical atom.
+    uint32_t critical_sum;
+  };
+
+  void BuildOccurrences();
+  void Rebuild();
+  void SetViolated(uint32_t clause, bool violated, double cost);
+  double SignedCost(uint32_t clause) const;
+
+  const ClauseArena* arena_;
   double hard_weight_;
   std::vector<uint8_t> truth_;
-  std::vector<int32_t> num_true_;
-  /// Occurrence lists: for each atom, (clause index, literal) pairs.
-  std::vector<std::vector<std::pair<uint32_t, Lit>>> occurrences_;
+  /// Atom-side occurrence CSR (see OccEntry).
+  std::vector<uint32_t> occ_offsets_;  // size num_atoms + 1
+  std::vector<OccEntry> occ_entries_;
+  std::vector<ClauseState> cstate_;
+  /// Cached flip-cost delta per atom (see FlipDelta).
+  std::vector<double> flip_delta_;
   std::vector<uint32_t> violated_;
   std::vector<int32_t> violated_pos_;  // index into violated_, or -1
   double cost_ = 0.0;
+};
+
+/// One WalkSAT move (Algorithm 1, lines 5-10), shared by WalkSat,
+/// IncrementalWalkSat, and SampleSAT: sample a violated clause, then pick
+/// either a random atom of it or the cached-delta minimizer. Requires
+/// state.HasViolated().
+inline AtomId ChooseWalkSatMove(const WalkSatState& state, double p_random,
+                                Rng* rng) {
+  const ClauseArena& arena = state.arena();
+  const uint32_t ci = state.SampleViolated(rng);
+  const Lit* lits = arena.clause_lits(ci);
+  const uint32_t len = arena.clause_size(ci);
+  if (rng->NextDouble() <= p_random) {
+    return LitAtom(lits[rng->Uniform(len)]);
+  }
+  double best_delta = std::numeric_limits<double>::infinity();
+  AtomId chosen = LitAtom(lits[0]);
+  for (uint32_t i = 0; i < len; ++i) {
+    const AtomId a = LitAtom(lits[i]);
+    const double d = state.FlipDelta(a);
+    if (d < best_delta) {
+      best_delta = d;
+      chosen = a;
+    }
+  }
+  return chosen;
+}
+
+/// Best-assignment bookkeeping that avoids copying the whole truth vector
+/// on every improving flip. It keeps a base assignment plus a log of
+/// atoms flipped since; an improvement folds the log into the base (O(#
+/// flips since the last improvement), amortized O(1) per flip), and the
+/// best assignment is materialized only on request.
+class BestTruthTracker {
+ public:
+  /// Starts tracking with `truth` as the current best (cost `cost`).
+  void Reset(const std::vector<uint8_t>& truth, double cost) {
+    base_ = truth;
+    log_.clear();
+    best_cost_ = cost;
+    pinned_ = false;
+  }
+
+  /// Restarts the flip log from `current` (e.g. after a reseed or a new
+  /// try) without losing the best seen so far.
+  void RebaseTo(const std::vector<uint8_t>& current) {
+    if (!pinned_) {
+      cache_ = base_;  // pin the best before abandoning the log
+      pinned_ = true;
+    }
+    base_ = current;
+    log_.clear();
+  }
+
+  void OnFlip(AtomId atom) { log_.push_back(atom); }
+
+  /// Records that the *current* assignment (base + log) is a new best.
+  void OnImproved(double cost) {
+    best_cost_ = cost;
+    for (AtomId a : log_) base_[a] ^= 1;
+    log_.clear();
+    pinned_ = false;
+  }
+
+  /// Bounds log memory across long plateaus; call once per flip.
+  void MaybeRebase(const std::vector<uint8_t>& current) {
+    if (log_.size() > base_.size() + 64) RebaseTo(current);
+  }
+
+  double best_cost() const { return best_cost_; }
+  /// The best assignment seen. The reference stays valid but its contents
+  /// may change on the next OnImproved/Reset; copy to retain.
+  const std::vector<uint8_t>& best_truth() const {
+    return pinned_ ? cache_ : base_;
+  }
+
+ private:
+  std::vector<uint8_t> base_;  // best assignment, or rebase point
+  std::vector<AtomId> log_;    // flips applied on top of base_
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  /// True when cache_ holds the best assignment and base_ is merely the
+  /// current rebase point (no improvement since the last RebaseTo).
+  bool pinned_ = false;
+  std::vector<uint8_t> cache_;
 };
 
 /// The WalkSAT local search of Algorithm 1 (Kautz et al.), with best-
@@ -132,8 +261,8 @@ class IncrementalWalkSat {
   /// 0). Returns the number of flips actually performed.
   uint64_t RunFlips(uint64_t n);
 
-  double best_cost() const { return best_cost_; }
-  const std::vector<uint8_t>& best_truth() const { return best_truth_; }
+  double best_cost() const { return best_.best_cost(); }
+  const std::vector<uint8_t>& best_truth() const { return best_.best_truth(); }
   double current_cost() const { return state_.cost(); }
   const std::vector<uint8_t>& current_truth() const { return state_.truth(); }
   uint64_t flips() const { return flips_; }
@@ -146,8 +275,7 @@ class IncrementalWalkSat {
   WalkSatOptions options_;
   Rng* rng_;
   WalkSatState state_;
-  std::vector<uint8_t> best_truth_;
-  double best_cost_ = std::numeric_limits<double>::infinity();
+  BestTruthTracker best_;
   uint64_t flips_ = 0;
 };
 
