@@ -1,16 +1,27 @@
-// tuffy_cli: command-line MLN inference, in the spirit of the original
-// Tuffy release. Reads a program (.mln) and evidence (.db) file, runs MAP
-// or marginal inference, and prints (or writes) the query relation.
+// tuffy_cli: command-line MLN inference and weight learning, in the
+// spirit of the original Tuffy release. Reads a program (.mln) and
+// evidence (.db) file — or generates a built-in synthetic dataset — and
+// runs MAP inference, marginal inference, or weight learning.
 //
 // Usage:
 //   tuffy_cli -i prog.mln -e evidence.db -q query_pred [options]
+//   tuffy_cli -gen rc -learnwt
 //
 // Options:
-//   -i FILE        MLN program file (required)
-//   -e FILE        evidence file (required)
-//   -q PRED        query predicate to report (required; repeatable)
+//   -i FILE        MLN program file
+//   -e FILE        evidence file
+//   -gen NAME      generate a tiny built-in dataset instead of -i/-e:
+//                  rc, ie, lp, or er (default query predicate implied)
+//   -q PRED        query predicate to report / learn (repeatable)
 //   -o FILE        write results to FILE instead of stdout
 //   -marginal      marginal inference (MC-SAT) instead of MAP
+//   -learnwt       learn clause weights from the evidence: the -q
+//                  predicates become training labels, the rest stays
+//                  conditioning evidence
+//   -algo A        learning algorithm: vp (voted perceptron, default)
+//                  or dn (diagonal Newton)
+//   -epochs N      learning epochs (default 60)
+//   -lr X          learning rate (default 0.5)
 //   -flips N       WalkSAT flip budget (default 1000000)
 //   -threads N     worker threads (default 1)
 //   -budget BYTES  memory budget for search state (default unlimited)
@@ -19,8 +30,9 @@
 //   -topdown       use the Alchemy-style top-down grounder
 //   -seed N        RNG seed (default 42)
 //
-// Example:
+// Examples:
 //   ./build/examples/tuffy_cli -i prog.mln -e facts.db -q cat
+//   ./build/examples/tuffy_cli -gen rc -learnwt -algo dn -epochs 30
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "datagen/datasets.h"
 #include "exec/tuffy_engine.h"
 #include "mln/io.h"
 #include "util/string_util.h"
@@ -39,20 +52,72 @@ namespace {
 struct CliArgs {
   std::string program_file;
   std::string evidence_file;
+  std::string gen_dataset;
   std::vector<std::string> query_preds;
   std::string output_file;
   bool marginal = false;
+  bool learn = false;
   EngineOptions engine;
+  LearnOptions learnwt;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s -i prog.mln -e evidence.db -q query_pred "
-               "[-o out] [-marginal] [-flips N] [-threads N] "
+               "usage: %s (-i prog.mln -e evidence.db | -gen rc|ie|lp|er) "
+               "-q query_pred [-o out] [-marginal] [-learnwt] "
+               "[-algo vp|dn] [-epochs N] [-lr X] [-flips N] [-threads N] "
                "[-budget BYTES] [-mode component|memory|partition|disk] "
                "[-topdown] [-seed N]\n",
                argv0);
   return 2;
+}
+
+/// Tiny versions of the datagen workloads, sized so exhaustive
+/// grounding (which learning requires) stays sub-second.
+Result<Dataset> GenerateDataset(const std::string& name) {
+  if (name == "rc") {
+    RcParams p;
+    p.num_clusters = 4;
+    p.papers_per_cluster = 6;
+    p.num_categories = 3;
+    p.authors_per_cluster = 3;
+    p.citations_per_paper = 2;
+    p.labeled_fraction = 0.6;
+    return MakeRcDataset(p);
+  }
+  if (name == "ie") {
+    IeParams p;
+    p.num_citations = 20;
+    p.positions_per_citation = 3;
+    p.num_fields = 3;
+    p.vocabulary = 15;
+    p.num_token_rules = 20;
+    return MakeIeDataset(p);
+  }
+  if (name == "lp") {
+    LpParams p;
+    p.num_professors = 4;
+    p.num_students = 12;
+    p.num_courses = 6;
+    p.num_publications = 20;
+    return MakeLpDataset(p);
+  }
+  if (name == "er") {
+    ErParams p;
+    p.num_records = 12;
+    p.num_entities = 4;
+    return MakeErDataset(p);
+  }
+  return Status::InvalidArgument("unknown -gen dataset: " + name);
+}
+
+/// The natural training target of each built-in dataset.
+const char* DefaultQueryPred(const std::string& name) {
+  if (name == "rc") return "cat";
+  if (name == "ie") return "infield";
+  if (name == "lp") return "advisedBy";
+  if (name == "er") return "sameBib";
+  return "";
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -77,9 +142,34 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->output_file = v;
+    } else if (a == "-gen") {
+      const char* v = next();
+      if (!v) return false;
+      args->gen_dataset = v;
     } else if (a == "-marginal") {
       args->marginal = true;
       args->engine.task = InferenceTask::kMarginal;
+    } else if (a == "-learnwt") {
+      args->learn = true;
+    } else if (a == "-algo") {
+      const char* v = next();
+      if (!v) return false;
+      std::string algo = v;
+      if (algo == "vp") {
+        args->learnwt.algorithm = LearnAlgorithm::kVotedPerceptron;
+      } else if (algo == "dn") {
+        args->learnwt.algorithm = LearnAlgorithm::kDiagonalNewton;
+      } else {
+        return false;
+      }
+    } else if (a == "-epochs") {
+      const char* v = next();
+      if (!v) return false;
+      args->learnwt.max_epochs = std::atoi(v);
+    } else if (a == "-lr") {
+      const char* v = next();
+      if (!v) return false;
+      args->learnwt.learning_rate = std::atof(v);
     } else if (a == "-flips") {
       const char* v = next();
       if (!v) return false;
@@ -118,8 +208,61 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       return false;
     }
   }
+  if (!args->gen_dataset.empty()) {
+    if (args->query_preds.empty()) {
+      const char* pred = DefaultQueryPred(args->gen_dataset);
+      if (pred[0] == '\0') return false;  // unknown dataset: usage
+      args->query_preds.push_back(pred);
+    }
+    return true;
+  }
   return !args->program_file.empty() && !args->evidence_file.empty() &&
          !args->query_preds.empty();
+}
+
+/// Writes `out` to -o (if given) or stdout. Returns the process status.
+int EmitOutput(const CliArgs& args, const std::string& out) {
+  if (args.output_file.empty()) {
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+  Status write = WriteStringToFile(args.output_file, out);
+  if (!write.ok()) {
+    std::fprintf(stderr, "%s\n", write.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunLearn(const CliArgs& args, const MlnProgram& program,
+             const EvidenceDb& evidence) {
+  LearnOptions lopts = args.learnwt;
+  lopts.query_predicates = args.query_preds;
+  lopts.seed = args.engine.seed;
+  TuffyEngine engine(program, evidence, args.engine);
+  auto result = engine.Learn(lopts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "learning failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const LearnResult& lr = result.value();
+  std::fprintf(stderr,
+               "learnwt: %zu atoms, %zu ground clauses, %d epochs "
+               "(%s), %.3fs\n",
+               lr.num_atoms, lr.num_ground_clauses, lr.epochs,
+               lr.converged ? "converged" : "budget exhausted", lr.seconds);
+  std::string out;
+  for (size_t r = 0; r < lr.weights.size(); ++r) {
+    const Clause& rule = program.clauses()[r];
+    out += StrFormat("rule %zu: %s%g -> %g  (n_data=%lld, E[n]=%.2f)\n", r,
+                     rule.hard ? "hard " : "", lr.initial_weights[r],
+                     lr.weights[r],
+                     static_cast<long long>(lr.data_counts[r]),
+                     r < lr.expected_counts.size() ? lr.expected_counts[r]
+                                                   : 0.0);
+  }
+  return EmitOutput(args, out);
 }
 
 }  // namespace
@@ -128,20 +271,33 @@ int main(int argc, char** argv) {
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
 
-  auto program_result = LoadProgramFile(args.program_file);
-  if (!program_result.ok()) {
-    std::fprintf(stderr, "%s: %s\n", args.program_file.c_str(),
-                 program_result.status().ToString().c_str());
-    return 1;
-  }
-  MlnProgram program = program_result.TakeValue();
+  MlnProgram program;
   EvidenceDb evidence;
-  Status st = LoadEvidenceFile(args.evidence_file, &program, &evidence);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s: %s\n", args.evidence_file.c_str(),
-                 st.ToString().c_str());
-    return 1;
+  if (!args.gen_dataset.empty()) {
+    auto ds = GenerateDataset(args.gen_dataset);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+      return 1;
+    }
+    program = std::move(ds.value().program);
+    evidence = std::move(ds.value().evidence);
+  } else {
+    auto program_result = LoadProgramFile(args.program_file);
+    if (!program_result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.program_file.c_str(),
+                   program_result.status().ToString().c_str());
+      return 1;
+    }
+    program = program_result.TakeValue();
+    Status st = LoadEvidenceFile(args.evidence_file, &program, &evidence);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.evidence_file.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
   }
+
+  if (args.learn) return RunLearn(args, program, evidence);
 
   TuffyEngine engine(program, evidence, args.engine);
   auto result = engine.Run();
@@ -179,14 +335,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (args.output_file.empty()) {
-    std::fputs(out.c_str(), stdout);
-  } else {
-    Status write = WriteStringToFile(args.output_file, out);
-    if (!write.ok()) {
-      std::fprintf(stderr, "%s\n", write.ToString().c_str());
-      return 1;
-    }
-  }
-  return 0;
+  return EmitOutput(args, out);
 }

@@ -1,6 +1,7 @@
 #include "exec/tuffy_engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "exec/clause_warehouse.h"
 #include "ground/bottom_up_grounder.h"
@@ -19,10 +20,51 @@
 namespace tuffy {
 
 namespace {
-/// Rough bytes of in-memory search state per size-metric unit (an atom or
-/// a literal): truth byte + occurrence entry + clause bookkeeping.
-constexpr uint64_t kBytesPerSizeUnit = 16;
+/// Bytes of in-memory search state per size-metric unit (an atom or a
+/// literal), derived from the flat CSR layout: a literal costs 4B in the
+/// arena's lit_data plus a 16B occurrence entry; an atom costs a truth
+/// byte, an 8B cached flip delta, and a 4B occurrence offset; per-clause
+/// overhead (arena offset + weight + abs_weight + flags, ClauseState,
+/// violated bookkeeping ≈ 39B) is amortized over the clause's literals.
+/// The worst case (all unit clauses, where one clause amortizes over a
+/// single literal and the size metric charges 2 units) works out to
+/// (13 + 20 + 39) / 2 = 36 bytes/unit; 40 leaves headroom so the
+/// memory_budget partitioning never under-provisions.
+constexpr uint64_t kBytesPerSizeUnit = 40;
 }  // namespace
+
+Status ValidateEngineOptions(const EngineOptions& options) {
+  if (options.mcsat_samples <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "mcsat_samples must be positive, got %d", options.mcsat_samples));
+  }
+  if (options.mcsat_burn_in < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "mcsat_burn_in must be non-negative, got %d", options.mcsat_burn_in));
+  }
+  if (options.p_random < 0.0 || options.p_random > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("p_random must be in [0, 1], got %g", options.p_random));
+  }
+  if (!(options.hard_weight > 0.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "hard_weight must be positive, got %g", options.hard_weight));
+  }
+  if (options.rounds <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("rounds must be positive, got %d", options.rounds));
+  }
+  if (options.num_threads <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "num_threads must be positive, got %d", options.num_threads));
+  }
+  if (std::isnan(options.timeout_seconds) || options.timeout_seconds < 0.0) {
+    return Status::InvalidArgument(StrFormat(
+        "timeout_seconds must be non-negative, got %g",
+        options.timeout_seconds));
+  }
+  return Status::OK();
+}
 
 Status TuffyEngine::RunSearch(EngineResult* result) {
   const std::vector<GroundClause>& clauses =
@@ -39,8 +81,11 @@ Status TuffyEngine::RunSearch(EngineResult* result) {
   switch (options_.search_mode) {
     case SearchMode::kInMemory: {
       Problem whole = MakeWholeProblem(num_atoms, clauses);
-      result->peak_search_bytes = whole.SizeMetric() * kBytesPerSizeUnit;
-      ScopedMemCharge charge(MemCategory::kSearch, result->peak_search_bytes);
+      // The a-priori charge uses the flat-layout constant (arena + state
+      // per size unit); peak_search_bytes below reports the measured
+      // footprint from the run itself.
+      ScopedMemCharge charge(MemCategory::kSearch,
+                             whole.SizeMetric() * kBytesPerSizeUnit);
       WalkSatOptions wopts;
       wopts.max_flips = options_.total_flips;
       wopts.p_random = options_.p_random;
@@ -52,6 +97,7 @@ Status TuffyEngine::RunSearch(EngineResult* result) {
       Rng rng(options_.seed);
       WalkSat search(&whole, wopts, &rng);
       WalkSatResult wr = search.Run();
+      result->peak_search_bytes = wr.state_bytes;
       result->truth = std::move(wr.best_truth);
       result->flips = wr.flips;
       result->trace = std::move(wr.trace);
@@ -155,6 +201,7 @@ Status TuffyEngine::RunSearch(EngineResult* result) {
         ComponentSearchResult cr = RunComponentWalkSat(
             num_atoms, batch_clauses, batch_components, copts,
             options_.seed + 7919 * static_cast<uint64_t>(batch_index));
+        batch_peak = std::max<uint64_t>(batch_peak, cr.state_bytes);
         for (size_t comp : batch) {
           for (AtomId a : components.atoms[comp]) {
             result->truth[a] = cr.truth[a];
@@ -237,6 +284,7 @@ Status TuffyEngine::RunSearch(EngineResult* result) {
 }
 
 Result<EngineResult> TuffyEngine::Run() {
+  TUFFY_RETURN_IF_ERROR(ValidateEngineOptions(options_));
   EngineResult result;
 
   Timer ground_timer;
@@ -291,6 +339,35 @@ Result<EngineResult> TuffyEngine::Run() {
   }
   result.total_cost = result.search_cost + result.grounding.fixed_cost;
   return result;
+}
+
+Result<LearnResult> TuffyEngine::Learn(const LearnOptions& learn_options) {
+  TUFFY_RETURN_IF_ERROR(ValidateEngineOptions(options_));
+  TUFFY_RETURN_IF_ERROR(ValidateLearnOptions(learn_options));
+  TUFFY_ASSIGN_OR_RETURN(
+      TrainingSplit split,
+      SplitEvidenceForLearning(program_, evidence_,
+                               learn_options.query_predicates));
+
+  // Exhaustive grounding: the lazy closure keeps only clauses violable
+  // near the evidence-default world, which is sound for MAP search but
+  // biases the satisfied-grounding counts the gradient is built from.
+  GroundingOptions gopts = options_.grounding;
+  gopts.lazy_closure = false;
+  gopts.keep_zero_weight_clauses = true;
+  GroundingResult grounding;
+  if (options_.grounding_mode == GroundingMode::kBottomUp) {
+    BottomUpGrounder grounder(program_, split.evidence, gopts,
+                              options_.optimizer);
+    TUFFY_ASSIGN_OR_RETURN(grounding, grounder.Ground());
+  } else {
+    TopDownGrounder grounder(program_, split.evidence, gopts);
+    TUFFY_ASSIGN_OR_RETURN(grounding, grounder.Ground());
+  }
+
+  const size_t table_bytes = grounding.clauses.EstimateBytes();
+  ScopedMemCharge charge(MemCategory::kClauseTable, table_bytes);
+  return LearnWeights(program_, grounding, split.labels, learn_options);
 }
 
 Result<std::vector<GroundAtom>> ExtractTrueAtoms(

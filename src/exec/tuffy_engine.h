@@ -8,6 +8,8 @@
 
 #include "ground/grounding.h"
 #include "infer/walksat.h"
+#include "learn/learn_options.h"
+#include "learn/learner.h"
 #include "mln/model.h"
 #include "ra/optimizer.h"
 #include "util/result.h"
@@ -76,6 +78,11 @@ struct EngineOptions {
   uint32_t disk_io_latency_us = 20;
 };
 
+/// Validates the engine knobs up front (negative sampling budgets, bad
+/// probabilities, non-positive hard weight, ...) so a misconfiguration
+/// fails with a Status instead of silently misbehaving mid-run.
+Status ValidateEngineOptions(const EngineOptions& options);
+
 struct EngineResult {
   GroundingResult grounding;
   /// Best truth assignment over the ground atoms (MAP task).
@@ -117,6 +124,15 @@ class TuffyEngine {
       : program_(program), evidence_(evidence), options_(options) {}
 
   Result<EngineResult> Run();
+
+  /// Weight learning: splits this engine's evidence into conditioning
+  /// evidence and labels (per options.query_predicates), grounds the
+  /// program exhaustively against the evidence side (lazy closure off —
+  /// pruned clauses would bias the satisfied-grounding counts), and runs
+  /// the gradient learner. The engine's own program/evidence are not
+  /// modified; apply LearnResult::weights with
+  /// MlnProgram::SetClauseWeight to run inference with learned weights.
+  Result<LearnResult> Learn(const LearnOptions& options);
 
  private:
   Status RunSearch(EngineResult* result);

@@ -46,18 +46,41 @@ size_t GroundClauseStore::Add(GroundClause clause) {
     GroundClause& existing = clauses_[it->second];
     existing.weight += clause.weight;
     existing.hard = existing.hard || clause.hard;
+    AddContribution(it->second, clause.rule_id);
     return it->second;
   }
   size_t idx = clauses_.size();
   index_[clause.lits] = idx;
+  int rule_id = clause.rule_id;
   clauses_.push_back(std::move(clause));
+  first_contrib_.push_back(RuleContribution{rule_id, 1});
   return idx;
+}
+
+void GroundClauseStore::AddContribution(size_t idx, int rule_id) {
+  RuleContribution& first = first_contrib_[idx];
+  if (first.rule_id == rule_id) {
+    ++first.count;
+    return;
+  }
+  std::vector<RuleContribution>& extras = extra_contribs_[idx];
+  for (RuleContribution& rc : extras) {
+    if (rc.rule_id == rule_id) {
+      ++rc.count;
+      return;
+    }
+  }
+  extras.push_back(RuleContribution{rule_id, 1});
 }
 
 size_t GroundClauseStore::EstimateBytes() const {
   size_t bytes = 0;
   for (const GroundClause& c : clauses_) {
     bytes += sizeof(GroundClause) + c.lits.size() * sizeof(Lit);
+  }
+  bytes += first_contrib_.size() * sizeof(RuleContribution);
+  for (const auto& [idx, extras] : extra_contribs_) {
+    bytes += sizeof(extras) + extras.capacity() * sizeof(RuleContribution);
   }
   return bytes;
 }

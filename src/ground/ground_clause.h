@@ -58,9 +58,20 @@ class AtomStore {
   std::vector<GroundAtom> atoms_;
 };
 
+/// One first-order rule's contribution to a ground clause: `count`
+/// groundings of rule `rule_id` produced this literal set. Weight
+/// learning needs the full multiset (a satisfied merged clause counts
+/// once per contributing grounding), so merging keeps every source.
+struct RuleContribution {
+  int32_t rule_id = -1;
+  uint32_t count = 0;
+};
+
 /// Accumulates ground clauses, merging duplicates (same sorted literal
 /// set) by summing their weights, the standard grounding optimization.
-/// A hard duplicate keeps the clause hard.
+/// A hard duplicate keeps the clause hard. Provenance back to the
+/// source rules is retained per clause (see RuleContribution); it is
+/// what BuildRuleCountIndex flattens for the learning subsystem.
 class GroundClauseStore {
  public:
   /// Returned by Add when the clause is a tautology and was dropped.
@@ -74,10 +85,25 @@ class GroundClauseStore {
   std::vector<GroundClause>& mutable_clauses() { return clauses_; }
   size_t num_clauses() const { return clauses_.size(); }
 
+  /// Invokes fn(rule_id, count) for each rule contribution merged into
+  /// clause `idx` (at least one). The first contribution — almost
+  /// always the only one — is stored inline; only clauses fed by
+  /// multiple distinct rules touch the side table.
+  template <typename Fn>
+  void ForEachContribution(size_t idx, Fn&& fn) const {
+    const RuleContribution& first = first_contrib_[idx];
+    fn(first.rule_id, first.count);
+    auto it = extra_contribs_.find(idx);
+    if (it == extra_contribs_.end()) return;
+    for (const RuleContribution& rc : it->second) fn(rc.rule_id, rc.count);
+  }
+
   /// Rough memory footprint of the clause table, for Table 4.
   size_t EstimateBytes() const;
 
  private:
+  void AddContribution(size_t idx, int rule_id);
+
   struct LitsHash {
     size_t operator()(const std::vector<Lit>& lits) const {
       size_t h = 0x9E3779B97F4A7C15ull;
@@ -87,6 +113,11 @@ class GroundClauseStore {
   };
 
   std::vector<GroundClause> clauses_;
+  /// Parallel to clauses_: the first rule's grounding multiplicity,
+  /// inline so the common single-rule clause costs no extra allocation.
+  std::vector<RuleContribution> first_contrib_;
+  /// Clause index -> further distinct rules' multiplicities (rare).
+  std::unordered_map<size_t, std::vector<RuleContribution>> extra_contribs_;
   std::unordered_map<std::vector<Lit>, size_t, LitsHash> index_;
 };
 

@@ -196,7 +196,10 @@ uint32_t GroundingContext::CountMatchingTrueRows(
 void GroundingContext::ResolveCandidate(int clause_idx,
                                         const Assignment& assignment) {
   const Clause& clause = program_.clauses()[clause_idx];
-  if (!clause.hard && clause.weight == 0.0) return;
+  if (!clause.hard && clause.weight == 0.0 &&
+      !options_.keep_zero_weight_clauses) {
+    return;
+  }
 
   bool satisfied = false;
   // Equality disjuncts are fully determined by the assignment.

@@ -20,6 +20,12 @@ struct GroundingOptions {
   bool lazy_closure = true;
   /// Safety bound on closure iterations.
   int max_closure_iterations = 64;
+  /// Keep ground clauses whose soft weight is exactly 0. Inference
+  /// drops them (they cannot affect the cost), but weight learning must
+  /// ground them: the clause *structure* is weight-independent, and a
+  /// rule initialized at (or passing through) 0 still needs its
+  /// groundings counted.
+  bool keep_zero_weight_clauses = false;
 };
 
 struct GroundingStats {

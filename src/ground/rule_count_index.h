@@ -1,0 +1,64 @@
+#ifndef TUFFY_GROUND_RULE_COUNT_INDEX_H_
+#define TUFFY_GROUND_RULE_COUNT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_clause.h"
+
+namespace tuffy {
+
+/// CSR ground-clause → first-order-rule count index, flattened from the
+/// GroundClauseStore provenance. Entry `e` in
+/// `[offsets[c], offsets[c+1])` says `count[e]` groundings of rule
+/// `rule[e]` merged into ground clause `c`. This is the bridge between
+/// the search layer (which sees clause indices) and the learning layer
+/// (which needs per-formula satisfied-grounding counts n_i): when clause
+/// `c` is true in a world, every contributing rule's count rises by its
+/// multiplicity.
+struct RuleCountIndex {
+  std::vector<uint32_t> offsets;  // size num_clauses() + 1
+  std::vector<int32_t> rule;      // parallel entry arrays
+  std::vector<uint32_t> count;
+  int32_t num_rules = 0;
+
+  size_t num_clauses() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+
+  /// Adds `sign` * (multiplicity of each rule contributing to clause
+  /// `c`) into `counts`. The O(1)-per-toggle core of the sampler
+  /// statistics hooks (clauses almost always have exactly one entry).
+  template <typename T>
+  void AccumulateClause(uint32_t c, T sign, std::vector<T>* counts) const {
+    for (uint32_t e = offsets[c]; e < offsets[c + 1]; ++e) {
+      (*counts)[rule[e]] += sign * static_cast<T>(count[e]);
+    }
+  }
+
+  size_t EstimateBytes() const {
+    return offsets.size() * sizeof(uint32_t) + rule.size() * sizeof(int32_t) +
+           count.size() * sizeof(uint32_t);
+  }
+};
+
+/// Flattens the store's provenance into the CSR index. `num_rules` is
+/// the number of first-order clauses in the program; contributions with
+/// rule ids outside [0, num_rules) (e.g. hand-built clauses without
+/// provenance) are dropped.
+RuleCountIndex BuildRuleCountIndex(const GroundClauseStore& store,
+                                   int32_t num_rules);
+
+/// Recomputes each soft ground clause's weight from per-rule weights:
+/// w_c = sum over contributions of count * rule_weight. Hard clauses are
+/// left untouched. `clause_weights` must have one entry per store
+/// clause; this is the between-epoch "re-grounding" of weight learning
+/// (the clause *structure* never changes, only the summed weights).
+void RecomputeClauseWeights(const RuleCountIndex& index,
+                            const std::vector<double>& rule_weights,
+                            const std::vector<uint8_t>& clause_hard,
+                            std::vector<double>* clause_weights);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_GROUND_RULE_COUNT_INDEX_H_

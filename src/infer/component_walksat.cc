@@ -39,6 +39,8 @@ ComponentSearchResult RunComponentWalkSat(
                                                         wopts, rngs[i].get());
     budget[i] = options.total_flips * components.atoms[i].size() / total_atoms;
     if (budget[i] == 0) budget[i] = 1;
+    result.state_bytes += subs[i].problem.arena().EstimateBytes() +
+                          searchers[i]->state_bytes();
   }
 
   int rounds = std::max(1, options.rounds);

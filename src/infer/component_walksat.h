@@ -33,6 +33,9 @@ struct ComponentSearchResult {
   uint64_t flips = 0;
   double seconds = 0.0;
   std::vector<TracePoint> trace;
+  /// Measured bytes of all simultaneously-resident search state (CSR
+  /// arenas + per-searcher occurrence/delta arrays).
+  size_t state_bytes = 0;
 
   double FlipsPerSecond() const {
     return seconds > 0 ? static_cast<double>(flips) / seconds : 0.0;

@@ -1,5 +1,6 @@
 #include "infer/mcsat.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tuffy {
@@ -85,18 +86,45 @@ McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
   std::vector<uint8_t> next;
 
   std::vector<double> true_counts(problem.num_atoms, 0.0);
+
+  // Formula-count accumulators (see McSatOptions::count_index). The
+  // slice loop of round r evaluates every clause's truth in the state
+  // left by round r-1, so those evaluations double as the count
+  // statistics of the sample kept at the end of round r-1; the final
+  // round's sample is scanned once after the loop.
+  const RuleCountIndex* count_index = options.count_index;
+  const size_t num_rules =
+      count_index != nullptr ? static_cast<size_t>(count_index->num_rules) : 0;
+  std::vector<double> sample_counts(num_rules, 0.0);
+  std::vector<double> count_sum(num_rules, 0.0);
+  std::vector<double> count_sum_sq(num_rules, 0.0);
+  auto fold_sample_counts = [&]() {
+    for (size_t r = 0; r < num_rules; ++r) {
+      count_sum[r] += sample_counts[r];
+      count_sum_sq[r] += sample_counts[r] * sample_counts[r];
+      sample_counts[r] = 0.0;
+    }
+  };
+
   int kept = 0;
   int total_rounds = options.burn_in + options.num_samples;
   for (int round = 0; round < total_rounds; ++round) {
+    const bool collect_counts = count_index != nullptr &&
+                                round > options.burn_in;
     // Build the slice M as unit-cost constraints in the reused arena.
     slice.Clear();
-    for (const SearchClause& c : problem.clauses) {
+    for (size_t ci = 0; ci < problem.clauses.size(); ++ci) {
+      const SearchClause& c = problem.clauses[ci];
       bool is_true = false;
       for (Lit l : c.lits) {
         if ((state[LitAtom(l)] != 0) == LitPositive(l)) {
           is_true = true;
           break;
         }
+      }
+      if (collect_counts && is_true) {
+        count_index->AccumulateClause(static_cast<uint32_t>(ci), 1.0,
+                                      &sample_counts);
       }
       if (c.hard) {
         slice.AddClause(c.lits.data(), c.lits.size(), 1.0, false);
@@ -119,17 +147,44 @@ McSatResult RunMcSat(const Problem& problem, const McSatOptions& options,
       }
     }
     slice.Finish(problem.num_atoms);
+    if (collect_counts) fold_sample_counts();
     sampler.Attach(&slice, /*hard_weight=*/1.0);
     sampler.RandomAssignment(&rng);
     if (SampleSatMoves(&sampler, options.sample_sat, &rng, &next)) {
       state.swap(next);
     }
-    // else: keep the previous state (rejected move).
+    // else: keep the previous state (rejected move). The retained state
+    // *is* the round's sample — both the marginals below and the count
+    // statistics (which see it in the next round's slice scan, or the
+    // final pass) count it again, so `kept` always equals num_samples
+    // and the two estimators average over the same sample multiset.
     if (round >= options.burn_in) {
       for (size_t a = 0; a < problem.num_atoms; ++a) {
         true_counts[a] += state[a] != 0 ? 1.0 : 0.0;
       }
       ++kept;
+    }
+  }
+  if (count_index != nullptr && kept > 0) {
+    // The slice loops covered all kept samples but the last; scan it.
+    for (size_t ci = 0; ci < problem.clauses.size(); ++ci) {
+      const SearchClause& c = problem.clauses[ci];
+      for (Lit l : c.lits) {
+        if ((state[LitAtom(l)] != 0) == LitPositive(l)) {
+          count_index->AccumulateClause(static_cast<uint32_t>(ci), 1.0,
+                                        &sample_counts);
+          break;
+        }
+      }
+    }
+    fold_sample_counts();
+    result.formula_count_mean.resize(num_rules);
+    result.formula_count_var.resize(num_rules);
+    for (size_t r = 0; r < num_rules; ++r) {
+      const double mean = count_sum[r] / kept;
+      result.formula_count_mean[r] = mean;
+      result.formula_count_var[r] =
+          std::max(0.0, count_sum_sq[r] / kept - mean * mean);
     }
   }
   if (kept > 0) {

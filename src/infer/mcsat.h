@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ground/rule_count_index.h"
 #include "infer/problem.h"
 #include "infer/walksat.h"
 #include "util/rng.h"
@@ -36,12 +37,24 @@ struct McSatOptions {
   /// Flip budget for the initial hard-clause solution.
   uint64_t init_flips = 100000;
   double hard_weight = 1e6;
+  /// If non-null, per-first-order-formula satisfied-grounding counts are
+  /// accumulated over the kept samples (mean and variance land in
+  /// McSatResult) — the E[n_i] / Var[n_i] statistics weight learning
+  /// consumes. The index must be built over the same clause ids as
+  /// `problem.clauses` and outlive the run. The accumulation rides the
+  /// per-round slice-construction scan, which already evaluates every
+  /// clause's truth; only the final sample costs one extra scan.
+  const RuleCountIndex* count_index = nullptr;
 };
 
 struct McSatResult {
   /// Estimated marginal probability P(atom = true) per atom.
   std::vector<double> marginals;
   int samples_used = 0;
+  /// Per-rule mean / variance of the satisfied-grounding count over the
+  /// kept samples (empty unless McSatOptions::count_index was set).
+  std::vector<double> formula_count_mean;
+  std::vector<double> formula_count_var;
 };
 
 /// MC-SAT (Poon & Domingos; Appendix A.5): slice sampling over clause

@@ -42,6 +42,16 @@ void ClauseArena::AddClause(const Lit* lits, size_t n, double w,
   frozen.push_back(taut ? 1 : 0);
 }
 
+size_t ClauseArena::EstimateBytes() const {
+  return clause_offsets.capacity() * sizeof(uint32_t) +
+         lit_data.capacity() * sizeof(Lit) +
+         weight.capacity() * sizeof(double) +
+         abs_weight.capacity() * sizeof(double) +
+         hard.capacity() * sizeof(uint8_t) +
+         positive.capacity() * sizeof(uint8_t) +
+         frozen.capacity() * sizeof(uint8_t);
+}
+
 void ClauseArena::BuildFrom(size_t n_atoms,
                             const std::vector<SearchClause>& clauses) {
   Clear();

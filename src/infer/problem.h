@@ -64,6 +64,10 @@ struct ClauseArena {
     return lit_data.data() + clause_offsets[c];
   }
 
+  /// Bytes held by the arena's arrays (capacities, i.e. the real
+  /// footprint of the flat layout — what MemTracker should see).
+  size_t EstimateBytes() const;
+
   /// Resets to an empty clause set, keeping allocated capacity.
   void Clear();
   /// Appends one clause.

@@ -73,6 +73,8 @@ void WalkSatState::BuildOccurrences() {
 void WalkSatState::Attach(const ClauseArena* arena, double hard_weight) {
   arena_ = arena;
   hard_weight_ = hard_weight;
+  // A statistics index is keyed by clause id, which just changed meaning.
+  stats_index_ = nullptr;
   cstate_.resize(arena_->num_clauses());
   BuildOccurrences();
   truth_.assign(arena_->num_atoms, 0);
@@ -151,11 +153,55 @@ void WalkSatState::Rebuild() {
       cost_ += w;
     }
   }
+  if (stats_index_ != nullptr) RecomputeFormulaCounts();
+}
+
+void WalkSatState::EnableFormulaStats(const RuleCountIndex* index) {
+  stats_index_ = index;
+  RecomputeFormulaCounts();
+}
+
+void WalkSatState::RecomputeFormulaCounts() {
+  const ClauseArena& a = *arena_;
+  const size_t n_clauses = a.num_clauses();
+  formula_true_.assign(stats_index_->num_rules, 0);
+  for (uint32_t c = 0; c < n_clauses; ++c) {
+    bool is_true = a.frozen[c] != 0;  // a tautology is always true
+    if (!is_true) {
+      const Lit* lits = a.clause_lits(c);
+      const uint32_t len = a.clause_size(c);
+      for (uint32_t i = 0; i < len; ++i) {
+        if ((truth_[LitAtom(lits[i])] != 0) == LitPositive(lits[i])) {
+          is_true = true;
+          break;
+        }
+      }
+    }
+    if (is_true) stats_index_->AccumulateClause(c, int64_t{1}, &formula_true_);
+  }
+}
+
+size_t WalkSatState::EstimateBytes() const {
+  return truth_.capacity() * sizeof(uint8_t) +
+         occ_offsets_.capacity() * sizeof(uint32_t) +
+         occ_entries_.capacity() * sizeof(OccEntry) +
+         cstate_.capacity() * sizeof(ClauseState) +
+         flip_delta_.capacity() * sizeof(double) +
+         violated_.capacity() * sizeof(uint32_t) +
+         violated_pos_.capacity() * sizeof(int32_t) +
+         formula_true_.capacity() * sizeof(int64_t);
 }
 
 void WalkSatState::SetViolated(uint32_t clause, bool violated, double cost) {
   bool currently = violated_pos_[clause] >= 0;
   if (currently == violated) return;
+  if (stats_index_ != nullptr) {
+    // Violation toggles exactly when truth toggles; the convention bit
+    // turns the new violation status back into the new truth value.
+    const bool now_true = (arena_->positive[clause] != 0) != violated;
+    stats_index_->AccumulateClause(clause, now_true ? int64_t{1} : int64_t{-1},
+                                   &formula_true_);
+  }
   if (violated) {
     violated_pos_[clause] = static_cast<int32_t>(violated_.size());
     violated_.push_back(clause);
@@ -266,6 +312,8 @@ WalkSatResult WalkSat::Run() {
   Timer timer;
   WalkSatResult result;
   WalkSatState state(problem_, options_.hard_weight);
+  result.state_bytes =
+      state.EstimateBytes() + problem_->arena().EstimateBytes();
   BestTruthTracker best;
   bool best_init = false;
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "ground/rule_count_index.h"
 #include "infer/problem.h"
 #include "util/rng.h"
 
@@ -41,6 +42,9 @@ struct WalkSatResult {
   uint64_t flips = 0;
   double seconds = 0.0;
   std::vector<TracePoint> trace;
+  /// Actual bytes of the search state + arena this run held in memory
+  /// (WalkSatState::EstimateBytes + ClauseArena::EstimateBytes).
+  size_t state_bytes = 0;
 
   double FlipsPerSecond() const {
     return seconds > 0 ? static_cast<double>(flips) / seconds : 0.0;
@@ -94,6 +98,28 @@ class WalkSatState {
   const ClauseArena& arena() const { return *arena_; }
   double hard_weight() const { return hard_weight_; }
 
+  /// Enables per-first-order-formula satisfied-grounding statistics (the
+  /// n_i of weight learning): formula_true_counts()[r] is the number of
+  /// true ground clauses attributable to rule r in the *current*
+  /// assignment, weighted by grounding multiplicity. `index` must be
+  /// built over the same clause ids as this state's arena and must
+  /// outlive the state. Counts are initialized from the current
+  /// assignment (one scan), then maintained incrementally: a flip costs
+  /// O(index entries of the clauses whose truth toggled) — almost always
+  /// one entry per toggled clause — riding the same make/break
+  /// bookkeeping that maintains the violated set; no rescan ever
+  /// happens. Attach() detaches the index (slice arenas have different
+  /// clause ids); re-enable after attaching if needed.
+  void EnableFormulaStats(const RuleCountIndex* index);
+  const std::vector<int64_t>& formula_true_counts() const {
+    return formula_true_;
+  }
+
+  /// Bytes held by this state's derived arrays (occurrence CSR, cached
+  /// deltas, violated bookkeeping) — the search-state footprint that,
+  /// with ClauseArena::EstimateBytes, MemTracker charges as kSearch.
+  size_t EstimateBytes() const;
+
  private:
   /// One entry of an atom's occurrence list, self-contained so that unit
   /// and binary clauses — the bulk of every MLN workload — are handled
@@ -131,6 +157,7 @@ class WalkSatState {
   void Rebuild();
   void SetViolated(uint32_t clause, bool violated, double cost);
   double SignedCost(uint32_t clause) const;
+  void RecomputeFormulaCounts();
 
   const ClauseArena* arena_;
   double hard_weight_;
@@ -144,6 +171,9 @@ class WalkSatState {
   std::vector<uint32_t> violated_;
   std::vector<int32_t> violated_pos_;  // index into violated_, or -1
   double cost_ = 0.0;
+  /// Optional formula-statistics hook (see EnableFormulaStats).
+  const RuleCountIndex* stats_index_ = nullptr;
+  std::vector<int64_t> formula_true_;
 };
 
 /// One WalkSAT move (Algorithm 1, lines 5-10), shared by WalkSat,
@@ -266,6 +296,8 @@ class IncrementalWalkSat {
   double current_cost() const { return state_.cost(); }
   const std::vector<uint8_t>& current_truth() const { return state_.truth(); }
   uint64_t flips() const { return flips_; }
+  /// Bytes of the owned search state's derived arrays.
+  size_t state_bytes() const { return state_.EstimateBytes(); }
 
   /// Re-seeds the current state (keeps the best-so-far bookkeeping).
   void SetAssignment(const std::vector<uint8_t>& truth);

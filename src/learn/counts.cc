@@ -1,0 +1,103 @@
+#include "learn/counts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tuffy {
+
+std::vector<uint8_t> LabelAssignment(const MlnProgram& program,
+                                     const AtomStore& atoms,
+                                     const EvidenceDb& labels) {
+  std::vector<uint8_t> truth(atoms.num_atoms(), 0);
+  for (AtomId a = 0; a < atoms.num_atoms(); ++a) {
+    truth[a] = labels.Lookup(program, atoms.atom(a)) == Truth::kTrue ? 1 : 0;
+  }
+  return truth;
+}
+
+namespace {
+
+/// True iff the clause has at least one true literal under `truth`.
+inline bool ClauseTrue(const SearchClause& c,
+                       const std::vector<uint8_t>& truth) {
+  for (Lit l : c.lits) {
+    if ((truth[LitAtom(l)] != 0) == LitPositive(l)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<int64_t> CountSatisfiedGroundings(
+    const Problem& problem, const RuleCountIndex& index,
+    const std::vector<uint8_t>& truth) {
+  std::vector<int64_t> counts(index.num_rules, 0);
+  for (size_t ci = 0; ci < problem.clauses.size(); ++ci) {
+    if (ClauseTrue(problem.clauses[ci], truth)) {
+      index.AccumulateClause(static_cast<uint32_t>(ci), int64_t{1}, &counts);
+    }
+  }
+  return counts;
+}
+
+Result<FormulaExpectations> ExactFormulaExpectations(
+    const Problem& problem, const RuleCountIndex& index, size_t max_atoms) {
+  if (problem.num_atoms > max_atoms) {
+    return Status::InvalidArgument(
+        StrFormat("%zu atoms exceeds brute-force limit %zu",
+                  problem.num_atoms, max_atoms));
+  }
+  const size_t num_rules = static_cast<size_t>(index.num_rules);
+  std::vector<double> sum(num_rules, 0.0);
+  std::vector<double> sum_sq(num_rules, 0.0);
+  std::vector<int64_t> counts(num_rules, 0);
+  double z = 0.0;
+  std::vector<uint8_t> truth(problem.num_atoms, 0);
+  const uint64_t worlds = 1ull << problem.num_atoms;
+  for (uint64_t w = 0; w < worlds; ++w) {
+    for (size_t i = 0; i < problem.num_atoms; ++i) {
+      truth[i] = (w >> i) & 1 ? 1 : 0;
+    }
+    // Soft cost and count accumulation in one pass; hard-violating
+    // worlds are excluded (probability zero), as in ExactMarginals.
+    bool hard_violated = false;
+    double cost = 0.0;
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t ci = 0; ci < problem.clauses.size(); ++ci) {
+      const SearchClause& c = problem.clauses[ci];
+      const bool is_true = ClauseTrue(c, truth);
+      if (is_true) {
+        index.AccumulateClause(static_cast<uint32_t>(ci), int64_t{1},
+                               &counts);
+      }
+      if (c.hard) {
+        if (!is_true) hard_violated = true;
+      } else if (c.weight > 0 && !is_true) {
+        cost += c.weight;
+      } else if (c.weight < 0 && is_true) {
+        cost += -c.weight;
+      }
+    }
+    if (hard_violated) continue;
+    const double p = std::exp(-cost);
+    z += p;
+    for (size_t r = 0; r < num_rules; ++r) {
+      sum[r] += p * static_cast<double>(counts[r]);
+      sum_sq[r] += p * static_cast<double>(counts[r]) *
+                   static_cast<double>(counts[r]);
+    }
+  }
+  if (z <= 0) return Status::Internal("no world satisfies the hard clauses");
+  FormulaExpectations out;
+  out.mean.resize(num_rules);
+  out.var.resize(num_rules);
+  for (size_t r = 0; r < num_rules; ++r) {
+    out.mean[r] = sum[r] / z;
+    out.var[r] = std::max(0.0, sum_sq[r] / z - out.mean[r] * out.mean[r]);
+  }
+  return out;
+}
+
+}  // namespace tuffy

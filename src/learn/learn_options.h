@@ -1,0 +1,80 @@
+#ifndef TUFFY_LEARN_LEARN_OPTIONS_H_
+#define TUFFY_LEARN_LEARN_OPTIONS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tuffy {
+
+/// Which gradient estimator drives weight learning.
+enum class LearnAlgorithm {
+  /// Voted perceptron (Singla & Domingos): E[n_i] approximated by the
+  /// satisfied-grounding counts in the MAP state found by WalkSAT; the
+  /// returned weights are the average over epochs, which smooths the
+  /// oscillation the crude MAP approximation induces.
+  kVotedPerceptron,
+  /// Diagonal Newton (Lowd & Domingos): E[n_i] and Var[n_i] estimated by
+  /// MC-SAT; each step is the gradient scaled by the inverse per-formula
+  /// count variance (the diagonal of the negative Hessian).
+  kDiagonalNewton,
+};
+
+struct LearnOptions {
+  LearnAlgorithm algorithm = LearnAlgorithm::kVotedPerceptron;
+
+  /// Predicates whose atoms are the training targets; their evidence
+  /// entries become labels and the rest stays conditioning evidence
+  /// (see SplitEvidenceForLearning).
+  std::vector<std::string> query_predicates;
+
+  int max_epochs = 60;
+  /// Step size. For voted perceptron the raw gradient is scaled by this;
+  /// for diagonal Newton the variance-normalized gradient is.
+  double learning_rate = 0.5;
+  /// Voted-perceptron step decay: epoch t uses
+  /// learning_rate / (1 + lr_decay * t). The MAP approximation of E[n_i]
+  /// is piecewise constant, so the raw weights orbit the optimum; the
+  /// harmonic decay shrinks the orbit so the running average settles.
+  /// 0 = constant step size. Ignored by diagonal Newton, whose
+  /// variance-scaled steps already contract.
+  double lr_decay = 1.0;
+  /// Variance σ² of the zero-mean Gaussian (ℓ2) prior on each weight:
+  /// the gradient gets -w/σ² and the Newton curvature +1/σ².
+  /// infinity = no prior.
+  double l2_prior_variance = 100.0;
+  /// Converged when the per-epoch max weight movement (of the running
+  /// average for voted perceptron, of the raw weights for diagonal
+  /// Newton) drops below this.
+  double convergence_tol = 0.05;
+  /// Weights are clamped to [-max_weight, max_weight].
+  double max_weight = 50.0;
+
+  /// Voted-perceptron knob: per-epoch WalkSAT flip budget for the MAP
+  /// state.
+  uint64_t map_flips = 200000;
+  double p_random = 0.5;
+
+  /// Diagonal-Newton knobs: per-epoch MC-SAT sampling budget.
+  int mcsat_samples = 100;
+  int mcsat_burn_in = 10;
+  /// Damping added to Var[n_i] before dividing (keeps steps finite for
+  /// near-deterministic formulas).
+  double newton_damping = 1.0;
+
+  double hard_weight = 1e6;
+  uint64_t seed = 1234;
+};
+
+/// Validates the knobs up front so a bad configuration fails loudly
+/// instead of silently misbehaving (e.g. a zero learning rate would
+/// "converge" immediately; a burn-in at least as large as the sample
+/// count discards the majority of every epoch's sampling budget).
+Status ValidateLearnOptions(const LearnOptions& options);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_LEARN_LEARN_OPTIONS_H_

@@ -1,0 +1,273 @@
+#include "learn/learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "infer/mcsat.h"
+#include "learn/counts.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+Status ValidateLearnOptions(const LearnOptions& options) {
+  if (options.max_epochs <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("max_epochs must be positive, got %d", options.max_epochs));
+  }
+  if (!(options.learning_rate > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("learning_rate must be positive, got %g",
+                  options.learning_rate));
+  }
+  if (!(options.lr_decay >= 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("lr_decay must be non-negative, got %g",
+                  options.lr_decay));
+  }
+  if (!(options.l2_prior_variance > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("l2_prior_variance must be positive (infinity disables "
+                  "the prior), got %g",
+                  options.l2_prior_variance));
+  }
+  if (!(options.convergence_tol >= 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("convergence_tol must be non-negative, got %g",
+                  options.convergence_tol));
+  }
+  if (!(options.max_weight > 0.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "max_weight must be positive, got %g", options.max_weight));
+  }
+  if (options.map_flips == 0) {
+    return Status::InvalidArgument("map_flips must be positive");
+  }
+  if (options.p_random < 0.0 || options.p_random > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("p_random must be in [0, 1], got %g", options.p_random));
+  }
+  if (options.mcsat_samples <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "mcsat_samples must be positive, got %d", options.mcsat_samples));
+  }
+  if (options.mcsat_burn_in < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "mcsat_burn_in must be non-negative, got %d", options.mcsat_burn_in));
+  }
+  if (options.mcsat_burn_in >= options.mcsat_samples) {
+    return Status::InvalidArgument(StrFormat(
+        "mcsat_burn_in (%d) must be smaller than mcsat_samples (%d): "
+        "burning in at least as many rounds as are kept discards the "
+        "majority of every epoch's sampling budget",
+        options.mcsat_burn_in, options.mcsat_samples));
+  }
+  if (!(options.newton_damping >= 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("newton_damping must be non-negative, got %g",
+                  options.newton_damping));
+  }
+  if (!(options.hard_weight > 0.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "hard_weight must be positive, got %g", options.hard_weight));
+  }
+  return Status::OK();
+}
+
+WeightLearner::WeightLearner(const MlnProgram& program,
+                             const GroundingResult& grounding,
+                             const EvidenceDb& labels, LearnOptions options)
+    : program_(program),
+      grounding_(grounding),
+      labels_(labels),
+      options_(std::move(options)) {}
+
+void WeightLearner::RefreshClauseWeights() {
+  RecomputeClauseWeights(index_, weights_, clause_hard_, &clause_weights_);
+  for (size_t c = 0; c < problem_.clauses.size(); ++c) {
+    problem_.clauses[c].weight = clause_weights_[c];
+  }
+  // The arena is rebuilt in place on next use, reusing its capacity.
+  problem_.InvalidateArena();
+}
+
+void WeightLearner::ExpectedCountsMap(uint64_t seed,
+                                      std::vector<double>* mean) {
+  // The MAP search runs directly on a stats-enabled state: the hook
+  // maintains the per-rule counts O(1) per flip alongside the make/break
+  // bookkeeping, and the best state's counts are captured by snapshot
+  // whenever the cost improves — never by rescanning the clause set.
+  // Attach reuses this state's buffers across epochs (the arena was
+  // rebuilt in place with the new weights); the index must be re-enabled
+  // after it.
+  Rng rng(seed);
+  if (!stats_state_.has_value()) {
+    stats_state_.emplace(&problem_.arena(), options_.hard_weight);
+  } else {
+    stats_state_->Attach(&problem_.arena(), options_.hard_weight);
+  }
+  // Seed the assignment before enabling stats: Rebuild skips the count
+  // scan while the hook is off, so the counts are derived exactly once.
+  stats_state_->RandomAssignment(&rng);
+  stats_state_->EnableFormulaStats(&index_);
+  WalkSatState& state = *stats_state_;
+  double best_cost = state.cost();
+  const std::vector<int64_t>& counts = state.formula_true_counts();
+  mean->assign(counts.begin(), counts.end());
+  for (uint64_t flip = 0; flip < options_.map_flips; ++flip) {
+    if (!state.HasViolated()) break;  // cost 0: optimal
+    state.Flip(ChooseWalkSatMove(state, options_.p_random, &rng));
+    if (state.cost() < best_cost) {
+      best_cost = state.cost();
+      mean->assign(counts.begin(), counts.end());
+    }
+  }
+}
+
+void WeightLearner::ExpectedCountsMcSat(uint64_t seed,
+                                        std::vector<double>* mean,
+                                        std::vector<double>* var) {
+  McSatOptions mopts;
+  mopts.num_samples = options_.mcsat_samples;
+  mopts.burn_in = options_.mcsat_burn_in;
+  mopts.hard_weight = options_.hard_weight;
+  mopts.count_index = &index_;
+  McSatResult mr = RunMcSat(problem_, mopts, seed);
+  *mean = std::move(mr.formula_count_mean);
+  *var = std::move(mr.formula_count_var);
+  // Unreachable with validated options (mcsat_samples > 0 guarantees
+  // kept samples), but guard library misuse: an empty statistics vector
+  // must not be indexed by the epoch loop.
+  const size_t num_rules = static_cast<size_t>(index_.num_rules);
+  if (mean->size() != num_rules) mean->assign(num_rules, 0.0);
+  if (var->size() != num_rules) var->assign(num_rules, 0.0);
+}
+
+Result<LearnResult> WeightLearner::Learn() {
+  TUFFY_RETURN_IF_ERROR(ValidateLearnOptions(options_));
+  Timer timer;
+
+  const std::vector<GroundClause>& clauses = grounding_.clauses.clauses();
+  const size_t num_atoms = grounding_.atoms.num_atoms();
+  const int32_t num_rules = static_cast<int32_t>(program_.clauses().size());
+  if (num_rules == 0) {
+    return Status::InvalidArgument("program has no clauses to learn");
+  }
+
+  problem_ = MakeWholeProblem(num_atoms, clauses);
+  index_ = BuildRuleCountIndex(grounding_.clauses, num_rules);
+  clause_hard_.resize(clauses.size());
+  clause_weights_.resize(clauses.size());
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    clause_hard_[c] = clauses[c].hard ? 1 : 0;
+    clause_weights_[c] = clauses[c].weight;
+  }
+
+  LearnResult result;
+  result.num_atoms = num_atoms;
+  result.num_ground_clauses = clauses.size();
+
+  weights_.resize(num_rules);
+  learnable_.resize(num_rules);
+  for (int32_t r = 0; r < num_rules; ++r) {
+    const Clause& rule = program_.clauses()[r];
+    weights_[r] = rule.weight;
+    learnable_[r] = rule.hard ? 0 : 1;
+  }
+  result.initial_weights = weights_;
+
+  // The data-world counts n_i(x, y) are fixed across epochs.
+  const std::vector<uint8_t> label_truth =
+      LabelAssignment(program_, grounding_.atoms, labels_);
+  result.data_counts = CountSatisfiedGroundings(problem_, index_, label_truth);
+
+  const bool perceptron =
+      options_.algorithm == LearnAlgorithm::kVotedPerceptron;
+  const double inv_prior_var =
+      std::isinf(options_.l2_prior_variance)
+          ? 0.0
+          : 1.0 / options_.l2_prior_variance;
+
+  // Voted-perceptron averaging state.
+  std::vector<double> weight_sum(num_rules, 0.0);
+  std::vector<double> prev_avg = weights_;
+
+  std::vector<double> expected;
+  std::vector<double> variance;
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    Timer epoch_timer;
+    RefreshClauseWeights();
+    const uint64_t seed = options_.seed + 0x9E37u * (epoch + 1);
+    if (perceptron) {
+      ExpectedCountsMap(seed, &expected);
+    } else {
+      ExpectedCountsMcSat(seed, &expected, &variance);
+    }
+
+    LearnEpochStats stats;
+    stats.epoch = epoch;
+    double max_delta = 0.0;
+    for (int32_t r = 0; r < num_rules; ++r) {
+      if (!learnable_[r]) continue;
+      const double g = static_cast<double>(result.data_counts[r]) -
+                       expected[r] - weights_[r] * inv_prior_var;
+      stats.max_abs_gradient = std::max(stats.max_abs_gradient, std::fabs(g));
+      double step;
+      if (perceptron) {
+        step = options_.learning_rate / (1.0 + options_.lr_decay * epoch) * g;
+      } else {
+        const double curvature =
+            variance[r] + inv_prior_var + options_.newton_damping;
+        step = options_.learning_rate * g / curvature;
+      }
+      const double updated =
+          std::clamp(weights_[r] + step, -options_.max_weight,
+                     options_.max_weight);
+      if (!perceptron) {
+        max_delta = std::max(max_delta, std::fabs(updated - weights_[r]));
+      }
+      weights_[r] = updated;
+    }
+
+    if (perceptron) {
+      // Convergence is judged on the running average (the "voted"
+      // weights), which settles even while the raw weights oscillate
+      // around the optimum of the MAP approximation.
+      for (int32_t r = 0; r < num_rules; ++r) weight_sum[r] += weights_[r];
+      for (int32_t r = 0; r < num_rules; ++r) {
+        const double avg = weight_sum[r] / (epoch + 1);
+        max_delta = std::max(max_delta, std::fabs(avg - prev_avg[r]));
+        prev_avg[r] = avg;
+      }
+    }
+
+    stats.max_weight_delta = max_delta;
+    stats.seconds = epoch_timer.ElapsedSeconds();
+    result.history.push_back(stats);
+    result.epochs = epoch + 1;
+    if (epoch > 0 && max_delta < options_.convergence_tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (perceptron && result.epochs > 0) {
+    for (int32_t r = 0; r < num_rules; ++r) {
+      if (learnable_[r]) weights_[r] = weight_sum[r] / result.epochs;
+    }
+  }
+  result.weights = weights_;
+  result.expected_counts = std::move(expected);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<LearnResult> LearnWeights(const MlnProgram& program,
+                                 const GroundingResult& grounding,
+                                 const EvidenceDb& labels,
+                                 const LearnOptions& options) {
+  WeightLearner learner(program, grounding, labels, options);
+  return learner.Learn();
+}
+
+}  // namespace tuffy

@@ -198,4 +198,32 @@ Truth EvidenceDb::Lookup(const MlnProgram& program,
   return Truth::kUnknown;
 }
 
+Result<TrainingSplit> SplitEvidenceForLearning(
+    const MlnProgram& program, const EvidenceDb& full,
+    const std::vector<std::string>& query_predicates) {
+  if (query_predicates.empty()) {
+    return Status::InvalidArgument("no query predicates to learn over");
+  }
+  std::vector<uint8_t> is_query(program.num_predicates(), 0);
+  for (const std::string& name : query_predicates) {
+    TUFFY_ASSIGN_OR_RETURN(PredicateId pid, program.FindPredicate(name));
+    if (program.predicate(pid).closed_world) {
+      return Status::InvalidArgument(StrFormat(
+          "query predicate %s is closed-world: its unknown atoms would "
+          "resolve to false during grounding and never be learnable",
+          name.c_str()));
+    }
+    is_query[pid] = 1;
+  }
+  TrainingSplit split;
+  for (const auto& [atom, truth] : full.entries()) {
+    if (is_query[atom.pred]) {
+      split.labels.Add(atom, truth);
+    } else {
+      split.evidence.Add(atom, truth);
+    }
+  }
+  return split;
+}
+
 }  // namespace tuffy

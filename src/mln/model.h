@@ -123,6 +123,13 @@ class MlnProgram {
   Status AddClause(Clause clause);
   const std::vector<Clause>& clauses() const { return clauses_; }
 
+  /// Overwrites the weight of clause `idx` — the mutation weight
+  /// learning applies between training and inference. The hard flag is
+  /// not touched: hard clauses stay hard regardless of weight.
+  void SetClauseWeight(size_t idx, double weight) {
+    clauses_[idx].weight = weight;
+  }
+
   SymbolTable& symbols() { return symbols_; }
   const SymbolTable& symbols() const { return symbols_; }
 
@@ -191,6 +198,26 @@ class EvidenceDb {
  private:
   std::unordered_map<GroundAtom, bool, GroundAtomHash> truth_;
 };
+
+/// A fully-labeled database split for discriminative weight learning:
+/// `evidence` holds the non-query relations (the conditioned-on side X),
+/// `labels` the query relations (the training targets Y). Grounding for
+/// learning runs against `evidence` only, so the query atoms stay
+/// unknown and appear in the ground MRF; `labels` then provides the
+/// data-world truth assignment for the satisfied-grounding counts.
+struct TrainingSplit {
+  EvidenceDb evidence;
+  EvidenceDb labels;
+};
+
+/// Splits `full` by predicate: entries of `query_predicates` go to
+/// labels, everything else to evidence. Fails on an unknown predicate
+/// name, an empty query set, or a closed-world query predicate (closed-
+/// world query atoms would be resolved to false during grounding and
+/// never reach the MRF, making them unlearnable).
+Result<TrainingSplit> SplitEvidenceForLearning(
+    const MlnProgram& program, const EvidenceDb& full,
+    const std::vector<std::string>& query_predicates);
 
 }  // namespace tuffy
 
