@@ -15,6 +15,17 @@
 //   -q PRED        query predicate to report / learn (repeatable)
 //   -o FILE        write results to FILE instead of stdout
 //   -marginal      marginal inference (MC-SAT) instead of MAP
+//   -session       open a long-lived serving session instead of a batch
+//                  run, then read delta commands from stdin (see
+//                  docs/SERVING.md):
+//                    assert pred(a,b) [false]   stage an assertion
+//                    retract pred(a,b)          stage a retraction
+//                    apply                      apply staged delta
+//                    cost                       print current MAP cost
+//                    query PRED                 print true atoms of PRED
+//                    marginals PRED             per-atom P(true) (-marginal)
+//                    stats                      session counters
+//                    quit
 //   -learnwt       learn clause weights from the evidence: the -q
 //                  predicates become training labels, the rest stays
 //                  conditioning evidence
@@ -37,6 +48,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -57,6 +69,7 @@ struct CliArgs {
   std::string output_file;
   bool marginal = false;
   bool learn = false;
+  bool session = false;
   EngineOptions engine;
   LearnOptions learnwt;
 };
@@ -64,7 +77,7 @@ struct CliArgs {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (-i prog.mln -e evidence.db | -gen rc|ie|lp|er) "
-               "-q query_pred [-o out] [-marginal] [-learnwt] "
+               "-q query_pred [-o out] [-marginal] [-session] [-learnwt] "
                "[-algo vp|dn] [-epochs N] [-lr X] [-flips N] [-threads N] "
                "[-budget BYTES] [-mode component|memory|partition|disk] "
                "[-topdown] [-seed N]\n",
@@ -149,6 +162,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     } else if (a == "-marginal") {
       args->marginal = true;
       args->engine.task = InferenceTask::kMarginal;
+    } else if (a == "-session") {
+      args->session = true;
     } else if (a == "-learnwt") {
       args->learn = true;
     } else if (a == "-algo") {
@@ -265,6 +280,194 @@ int RunLearn(const CliArgs& args, const MlnProgram& program,
   return EmitOutput(args, out);
 }
 
+// ----------------------------------------------------------- -session
+
+/// Parses "pred(arg1, arg2, ...)" against the program's symbol table.
+bool ParseAtomSpec(const MlnProgram& program, const std::string& spec,
+                   GroundAtom* atom) {
+  size_t open = spec.find('(');
+  size_t close = spec.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    std::fprintf(stderr, "bad atom syntax: %s\n", spec.c_str());
+    return false;
+  }
+  auto pid = program.FindPredicate(spec.substr(0, open));
+  if (!pid.ok()) {
+    std::fprintf(stderr, "unknown predicate in: %s\n", spec.c_str());
+    return false;
+  }
+  atom->pred = pid.value();
+  atom->args.clear();
+  std::string args = spec.substr(open + 1, close - open - 1);
+  size_t pos = 0;
+  while (pos <= args.size()) {
+    size_t comma = args.find(',', pos);
+    std::string tok = args.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    // Trim blanks and optional quotes.
+    size_t b = tok.find_first_not_of(" \t\"");
+    size_t e = tok.find_last_not_of(" \t\"");
+    if (b == std::string::npos) break;
+    tok = tok.substr(b, e - b + 1);
+    ConstantId c = program.symbols().Find(tok);
+    if (c < 0) {
+      std::fprintf(stderr,
+                   "unknown constant %s (sessions serve the loaded "
+                   "universe; see docs/SERVING.md)\n",
+                   tok.c_str());
+      return false;
+    }
+    atom->args.push_back(c);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  const Predicate& pred = program.predicate(atom->pred);
+  if (atom->args.size() != static_cast<size_t>(pred.arity())) {
+    std::fprintf(stderr, "%s expects %d arguments\n", pred.name.c_str(),
+                 pred.arity());
+    return false;
+  }
+  return true;
+}
+
+/// Interactive serving session: reads delta commands from stdin.
+int RunSession(const CliArgs& args, const MlnProgram& program,
+               const EvidenceDb& evidence) {
+  TuffyEngine engine(program, evidence, args.engine);
+  auto session = engine.OpenSession();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session open failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  InferenceSession& s = *session.value();
+  std::fprintf(stderr,
+               "session open: %zu atoms, %zu clauses, %zu components, "
+               "cost %.2f\n> ",
+               s.atoms().num_atoms(), s.clauses().size(),
+               s.num_components(), s.map_cost());
+
+  EvidenceDelta staged;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    size_t sp = line.find(' ');
+    std::string cmd = line.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+
+    if (cmd.empty()) {
+    } else if (cmd == "assert" || cmd == "retract") {
+      // "assert pred(...) [true|false]" / "retract pred(...)". Anything
+      // after the closing paren must be a recognized truth flag —
+      // silently dropping a typo like "False" would stage the opposite
+      // of what the user meant.
+      size_t close = rest.rfind(')');
+      std::string spec =
+          close == std::string::npos ? rest : rest.substr(0, close + 1);
+      std::string suffix =
+          close == std::string::npos ? "" : rest.substr(close + 1);
+      size_t b = suffix.find_first_not_of(" \t");
+      size_t e = suffix.find_last_not_of(" \t");
+      suffix = b == std::string::npos ? "" : suffix.substr(b, e - b + 1);
+      bool truth = true;
+      bool parsed = true;
+      if (cmd == "retract") {
+        if (!suffix.empty()) {
+          std::fprintf(stderr, "retract takes no flag, got '%s'\n",
+                       suffix.c_str());
+          parsed = false;
+        }
+      } else if (suffix == "false") {
+        truth = false;
+      } else if (!suffix.empty() && suffix != "true") {
+        std::fprintf(stderr, "expected 'true' or 'false', got '%s'\n",
+                     suffix.c_str());
+        parsed = false;
+      }
+      GroundAtom atom;
+      if (parsed && ParseAtomSpec(program, spec, &atom)) {
+        if (cmd == "assert") {
+          staged.Assert(std::move(atom), truth);
+        } else {
+          staged.Retract(std::move(atom));
+        }
+        std::fprintf(stderr, "staged (%zu assertions, %zu retractions)\n",
+                     staged.assertions.size(), staged.retractions.size());
+      }
+    } else if (cmd == "apply") {
+      auto r = s.ApplyDelta(staged);
+      staged = EvidenceDelta{};
+      if (!r.ok()) {
+        std::fprintf(stderr, "delta failed: %s\n",
+                     r.status().ToString().c_str());
+      } else {
+        std::fprintf(
+            stderr,
+            "%s: %zu rules re-ground, +%zu/-%zu/~%zu clauses, %zu/%zu "
+            "components re-searched, %.3fs ground + %.3fs search, "
+            "cost %.2f\n",
+            r.value().edits.no_op ? "no-op" : "applied",
+            r.value().edits.rules_reground, r.value().edits.clauses_added,
+            r.value().edits.clauses_removed,
+            r.value().edits.clauses_reweighted, r.value().components_dirty,
+            r.value().components_total, r.value().edits.ground_seconds,
+            r.value().search_seconds, r.value().map_cost);
+      }
+    } else if (cmd == "cost") {
+      std::fprintf(stderr, "map cost: %.4f\n", s.map_cost());
+    } else if (cmd == "query") {
+      auto atoms = ExtractTrueAtoms(program, s.atoms(), s.truth(), rest);
+      if (!atoms.ok()) {
+        std::fprintf(stderr, "%s\n", atoms.status().ToString().c_str());
+      } else {
+        for (const GroundAtom& atom : atoms.value()) {
+          AtomId id;
+          if (s.atoms().Find(atom, &id)) {
+            std::printf("%s\n", s.atoms().AtomName(program, id).c_str());
+          }
+        }
+        std::fflush(stdout);
+      }
+    } else if (cmd == "marginals") {
+      if (s.marginals().empty()) {
+        std::fprintf(stderr, "session opened without -marginal\n");
+      } else {
+        auto pid = program.FindPredicate(rest);
+        if (!pid.ok()) {
+          std::fprintf(stderr, "unknown predicate %s\n", rest.c_str());
+        } else {
+          for (AtomId a = 0; a < s.atoms().num_atoms(); ++a) {
+            if (s.atoms().atom(a).pred != pid.value()) continue;
+            std::printf("%.4f\t%s\n", s.marginals()[a],
+                        s.atoms().AtomName(program, a).c_str());
+          }
+          std::fflush(stdout);
+        }
+      }
+    } else if (cmd == "stats") {
+      const SessionStats& st = s.stats();
+      std::fprintf(stderr,
+                   "deltas %zu (no-op %zu), components re-searched %zu, "
+                   "flips %llu, resident %zu bytes\n",
+                   st.deltas_applied, st.no_op_deltas,
+                   st.components_researched,
+                   static_cast<unsigned long long>(st.flips),
+                   s.EstimateBytes());
+    } else if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else {
+      std::fprintf(stderr,
+                   "commands: assert A [false] | retract A | apply | cost "
+                   "| query P | marginals P | stats | quit\n");
+    }
+    std::fprintf(stderr, "> ");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +501,7 @@ int main(int argc, char** argv) {
   }
 
   if (args.learn) return RunLearn(args, program, evidence);
+  if (args.session) return RunSession(args, program, evidence);
 
   TuffyEngine engine(program, evidence, args.engine);
   auto result = engine.Run();

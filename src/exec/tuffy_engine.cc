@@ -200,7 +200,8 @@ Status TuffyEngine::RunSearch(EngineResult* result) {
         copts.init_random = options_.init_random;
         ComponentSearchResult cr = RunComponentWalkSat(
             num_atoms, batch_clauses, batch_components, copts,
-            options_.seed + 7919 * static_cast<uint64_t>(batch_index));
+            DeriveSeed(options_.seed,
+                       0x6261746368ull + static_cast<uint64_t>(batch_index)));
         batch_peak = std::max<uint64_t>(batch_peak, cr.state_bytes);
         for (size_t comp : batch) {
           for (AtomId a : components.atoms[comp]) {
@@ -368,6 +369,25 @@ Result<LearnResult> TuffyEngine::Learn(const LearnOptions& learn_options) {
   const size_t table_bytes = grounding.clauses.EstimateBytes();
   ScopedMemCharge charge(MemCategory::kClauseTable, table_bytes);
   return LearnWeights(program_, grounding, split.labels, learn_options);
+}
+
+Result<std::unique_ptr<InferenceSession>> TuffyEngine::OpenSession() const {
+  TUFFY_RETURN_IF_ERROR(ValidateEngineOptions(options_));
+  SessionOptions sopts;
+  sopts.total_flips = options_.total_flips;
+  sopts.p_random = options_.p_random;
+  sopts.hard_weight = options_.hard_weight;
+  sopts.num_threads = options_.num_threads;
+  sopts.init_random = options_.init_random;
+  sopts.seed = options_.seed;
+  sopts.track_marginals = options_.task == InferenceTask::kMarginal;
+  sopts.mcsat_samples = options_.mcsat_samples;
+  sopts.mcsat_burn_in = options_.mcsat_burn_in;
+  sopts.grounding = options_.grounding;
+  sopts.optimizer = options_.optimizer;
+  auto session = std::make_unique<InferenceSession>(program_, sopts);
+  TUFFY_RETURN_IF_ERROR(session->Open(evidence_));
+  return session;
 }
 
 Result<std::vector<GroundAtom>> ExtractTrueAtoms(

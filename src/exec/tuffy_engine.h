@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "learn/learner.h"
 #include "mln/model.h"
 #include "ra/optimizer.h"
+#include "serve/inference_session.h"
 #include "util/result.h"
 
 namespace tuffy {
@@ -133,6 +135,15 @@ class TuffyEngine {
   /// modified; apply LearnResult::weights with
   /// MlnProgram::SetClauseWeight to run inference with learned weights.
   Result<LearnResult> Learn(const LearnOptions& options);
+
+  /// Opens a long-lived serving session over this engine's program and
+  /// current evidence: grounds once (exhaustively — see InferenceSession)
+  /// and cold-starts the search, after which evidence deltas are served
+  /// incrementally via InferenceSession::ApplyDelta. The engine's search
+  /// knobs (flips, p_random, hard_weight, threads, seed, MC-SAT budgets
+  /// when task == kMarginal) carry over. The program must outlive the
+  /// returned session; the engine itself need not.
+  Result<std::unique_ptr<InferenceSession>> OpenSession() const;
 
  private:
   Status RunSearch(EngineResult* result);

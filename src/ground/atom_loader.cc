@@ -14,6 +14,21 @@ std::string DomainTableName(const std::string& type) {
   return "_dom_" + type;
 }
 
+namespace {
+
+/// Materializes one evidence atom as a (truth, arg0, ..., argK-1) row —
+/// the single definition of the predicate-table layout, shared by bulk
+/// loading and per-predicate refresh.
+void AppendEvidenceRow(Table* table, const GroundAtom& atom, bool truth) {
+  Row row;
+  row.reserve(atom.args.size() + 1);
+  row.push_back(Datum(static_cast<int64_t>(truth ? 1 : 0)));
+  for (ConstantId c : atom.args) row.push_back(Datum(static_cast<int64_t>(c)));
+  table->Append(std::move(row));
+}
+
+}  // namespace
+
 Status LoadMlnTables(
     const MlnProgram& program, const EvidenceDb& evidence, Catalog* catalog,
     std::unordered_map<PredicateId, uint64_t>* true_counts) {
@@ -32,11 +47,7 @@ Status LoadMlnTables(
     pred_tables[pred.id] = t;
   }
   for (const auto& [atom, truth] : evidence.entries()) {
-    Row row;
-    row.reserve(atom.args.size() + 1);
-    row.push_back(Datum(static_cast<int64_t>(truth ? 1 : 0)));
-    for (ConstantId c : atom.args) row.push_back(Datum(static_cast<int64_t>(c)));
-    pred_tables[atom.pred]->Append(std::move(row));
+    AppendEvidenceRow(pred_tables[atom.pred], atom, truth);
     if (true_counts != nullptr && truth) ++(*true_counts)[atom.pred];
   }
   for (Table* t : pred_tables) t->Analyze();
@@ -56,6 +67,30 @@ Status LoadMlnTables(
     }
     t->Analyze();
   }
+  return Status::OK();
+}
+
+Status RefreshPredicateTables(
+    const MlnProgram& program, const EvidenceDb& evidence,
+    const std::vector<PredicateId>& predicates, Catalog* catalog,
+    std::unordered_map<PredicateId, uint64_t>* true_counts) {
+  std::vector<Table*> tables(program.num_predicates(), nullptr);
+  for (PredicateId pid : predicates) {
+    const Predicate& pred = program.predicate(pid);
+    TUFFY_ASSIGN_OR_RETURN(
+        Table * t, catalog->GetTable(PredicateTableName(pred.name)));
+    t->Clear();
+    tables[pid] = t;
+    if (true_counts != nullptr) (*true_counts)[pid] = 0;
+  }
+  // One pass over the evidence repopulates every refreshed table.
+  for (const auto& [atom, truth] : evidence.entries()) {
+    Table* t = tables[atom.pred];
+    if (t == nullptr) continue;
+    AppendEvidenceRow(t, atom, truth);
+    if (true_counts != nullptr && truth) ++(*true_counts)[atom.pred];
+  }
+  for (PredicateId pid : predicates) tables[pid]->Analyze();
   return Status::OK();
 }
 

@@ -26,6 +26,17 @@ Status LoadMlnTables(
     const MlnProgram& program, const EvidenceDb& evidence, Catalog* catalog,
     std::unordered_map<PredicateId, uint64_t>* true_counts = nullptr);
 
+/// Re-materializes the atom tables of just `predicates` from the current
+/// evidence (clear, re-append, re-ANALYZE), leaving every other table
+/// untouched. This is the delta path of a long-lived serving session:
+/// after an evidence delta only the touched predicates' tables — not the
+/// whole catalog — are refreshed. `true_counts`, if non-null, has those
+/// predicates' entries recomputed in place.
+Status RefreshPredicateTables(
+    const MlnProgram& program, const EvidenceDb& evidence,
+    const std::vector<PredicateId>& predicates, Catalog* catalog,
+    std::unordered_map<PredicateId, uint64_t>* true_counts = nullptr);
+
 }  // namespace tuffy
 
 #endif  // TUFFY_GROUND_ATOM_LOADER_H_

@@ -19,10 +19,12 @@ BottomUpGrounder::BottomUpGrounder(const MlnProgram& program,
       ground_options_(ground_options),
       optimizer_options_(optimizer_options) {}
 
-Status BottomUpGrounder::GroundClauseQuery(int clause_idx,
-                                           GroundingContext* ctx,
-                                           const Catalog& catalog) {
-  const Clause& clause = program_.clauses()[clause_idx];
+Status GroundClauseCandidates(
+    const MlnProgram& program, int clause_idx, const Catalog& catalog,
+    const std::unordered_map<PredicateId, uint64_t>& true_counts,
+    const OptimizerOptions& optimizer_options, GroundingContext* ctx,
+    std::string* explain) {
+  const Clause& clause = program.clauses()[clause_idx];
 
   // Which variables are existential?
   std::vector<bool> existential(clause.num_vars, false);
@@ -51,7 +53,7 @@ Status BottomUpGrounder::GroundClauseQuery(int clause_idx,
   // no existential variables. Their atoms must be true in a violable
   // ground clause, so we join the true evidence rows.
   for (const Literal& lit : clause.literals) {
-    const Predicate& pred = program_.predicate(lit.pred);
+    const Predicate& pred = program.predicate(lit.pred);
     if (lit.positive || !pred.closed_world) continue;
     bool has_exist = false;
     for (const Term& t : lit.args) {
@@ -68,8 +70,8 @@ Status BottomUpGrounder::GroundClauseQuery(int clause_idx,
     double selectivity = 1.0;
     uint64_t rows = table->num_rows();
     if (rows > 0) {
-      auto it = true_counts_.find(pred.id);
-      uint64_t true_rows = it == true_counts_.end() ? 0 : it->second;
+      auto it = true_counts.find(pred.id);
+      uint64_t true_rows = it == true_counts.end() ? 0 : it->second;
       selectivity = static_cast<double>(true_rows) / static_cast<double>(rows);
     }
     for (size_t i = 0; i < lit.args.size(); ++i) {
@@ -127,10 +129,12 @@ Status BottomUpGrounder::GroundClauseQuery(int clause_idx,
     out_vars.push_back(v);
   }
 
-  Optimizer optimizer(optimizer_options_);
+  Optimizer optimizer(optimizer_options);
   TUFFY_ASSIGN_OR_RETURN(OptimizedPlan plan, optimizer.Plan(std::move(query)));
-  explain_ += StrFormat("-- rule %d --\n%s", clause.rule_id,
-                        plan.explain.c_str());
+  if (explain != nullptr) {
+    *explain += StrFormat("-- rule %d --\n%s", clause.rule_id,
+                          plan.explain.c_str());
+  }
 
   TUFFY_RETURN_IF_ERROR(plan.root->Open());
   Row row;
@@ -158,7 +162,10 @@ Result<GroundingResult> BottomUpGrounder::Ground() {
 
   GroundingContext ctx(program_, evidence_, ground_options_);
   for (int ci = 0; ci < static_cast<int>(program_.clauses().size()); ++ci) {
-    TUFFY_RETURN_IF_ERROR(GroundClauseQuery(ci, &ctx, catalog));
+    TUFFY_RETURN_IF_ERROR(GroundClauseCandidates(program_, ci, catalog,
+                                                 true_counts_,
+                                                 optimizer_options_, &ctx,
+                                                 &explain_));
   }
   TUFFY_ASSIGN_OR_RETURN(GroundingResult result, ctx.Finalize());
   result.stats.seconds = timer.ElapsedSeconds();

@@ -37,9 +37,6 @@ class BottomUpGrounder {
   const std::string& explain() const { return explain_; }
 
  private:
-  Status GroundClauseQuery(int clause_idx, GroundingContext* ctx,
-                           const Catalog& catalog);
-
   const MlnProgram& program_;
   const EvidenceDb& evidence_;
   GroundingOptions ground_options_;
@@ -47,6 +44,20 @@ class BottomUpGrounder {
   std::unordered_map<PredicateId, uint64_t> true_counts_;
   std::string explain_;
 };
+
+/// Compiles and runs the binding query of one first-order clause against
+/// already-loaded predicate/domain tables, feeding every candidate
+/// variable assignment into `ctx`. This is the per-rule unit of bottom-up
+/// grounding; BottomUpGrounder::Ground runs it for every clause, and the
+/// serving layer's DeltaGrounder re-runs it for just the rules a delta
+/// touches. `true_counts` drives selectivity estimation (see
+/// LoadMlnTables); `explain`, if non-null, receives the plan's EXPLAIN
+/// text.
+Status GroundClauseCandidates(
+    const MlnProgram& program, int clause_idx, const Catalog& catalog,
+    const std::unordered_map<PredicateId, uint64_t>& true_counts,
+    const OptimizerOptions& optimizer_options, GroundingContext* ctx,
+    std::string* explain);
 
 }  // namespace tuffy
 

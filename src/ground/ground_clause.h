@@ -67,6 +67,16 @@ struct RuleContribution {
   uint32_t count = 0;
 };
 
+/// Hash over a literal vector, shared by the grounding store's duplicate
+/// index and the serving layer's per-rule/global clause maps.
+struct LitVectorHash {
+  size_t operator()(const std::vector<Lit>& lits) const {
+    size_t h = 0x9E3779B97F4A7C15ull;
+    for (Lit l : lits) h = h * 1315423911u ^ std::hash<Lit>{}(l);
+    return h;
+  }
+};
+
 /// Accumulates ground clauses, merging duplicates (same sorted literal
 /// set) by summing their weights, the standard grounding optimization.
 /// A hard duplicate keeps the clause hard. Provenance back to the
@@ -104,21 +114,13 @@ class GroundClauseStore {
  private:
   void AddContribution(size_t idx, int rule_id);
 
-  struct LitsHash {
-    size_t operator()(const std::vector<Lit>& lits) const {
-      size_t h = 0x9E3779B97F4A7C15ull;
-      for (Lit l : lits) h = h * 1315423911u ^ std::hash<Lit>{}(l);
-      return h;
-    }
-  };
-
   std::vector<GroundClause> clauses_;
   /// Parallel to clauses_: the first rule's grounding multiplicity,
   /// inline so the common single-rule clause costs no extra allocation.
   std::vector<RuleContribution> first_contrib_;
   /// Clause index -> further distinct rules' multiplicities (rare).
   std::unordered_map<size_t, std::vector<RuleContribution>> extra_contribs_;
-  std::unordered_map<std::vector<Lit>, size_t, LitsHash> index_;
+  std::unordered_map<std::vector<Lit>, size_t, LitVectorHash> index_;
 };
 
 }  // namespace tuffy

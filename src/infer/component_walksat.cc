@@ -27,7 +27,7 @@ ComponentSearchResult RunComponentWalkSat(
   for (size_t i = 0; i < k; ++i) {
     subs[i] =
         BuildSubProblem(clauses, components.clauses[i], components.atoms[i]);
-    rngs[i] = std::make_unique<Rng>(seed + 0x1000 + i);
+    rngs[i] = std::make_unique<Rng>(DeriveSeed(seed, i));
     // Constructing the searcher here (still on this thread) builds the
     // sub-problem's CSR clause arena; the thread-pool workers below only
     // ever read it.

@@ -190,6 +190,10 @@ void EvidenceDb::Add(GroundAtom atom, bool truth) {
   truth_[std::move(atom)] = truth;
 }
 
+bool EvidenceDb::Remove(const GroundAtom& atom) {
+  return truth_.erase(atom) > 0;
+}
+
 Truth EvidenceDb::Lookup(const MlnProgram& program,
                          const GroundAtom& atom) const {
   auto it = truth_.find(atom);

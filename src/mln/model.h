@@ -184,6 +184,12 @@ class EvidenceDb {
   /// Records evidence; later entries overwrite earlier ones.
   void Add(GroundAtom atom, bool truth);
 
+  /// Retracts an explicit evidence entry, returning true if one existed.
+  /// The atom reverts to unknown (or to false, under a closed-world
+  /// predicate's default). This is the retraction half of a serving
+  /// session's evidence delta.
+  bool Remove(const GroundAtom& atom);
+
   /// Evidence lookup honoring the closed-world assumption for predicates
   /// marked closed_world (absent => false).
   Truth Lookup(const MlnProgram& program, const GroundAtom& atom) const;

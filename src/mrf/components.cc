@@ -45,4 +45,22 @@ uint64_t ComponentSizeMetric(const ComponentSet& components, size_t index,
   return size;
 }
 
+std::vector<int32_t> MapCleanComponents(
+    const ComponentSet& prev, const ComponentSet& next,
+    const std::vector<uint8_t>& atom_dirty) {
+  const size_t prev_atoms = prev.component_of_atom.size();
+  std::vector<int32_t> inherit(next.num_components(), -1);
+  for (size_t c = 0; c < next.num_components(); ++c) {
+    bool dirty = false;
+    for (AtomId a : next.atoms[c]) {
+      if (a >= prev_atoms || atom_dirty[a] != 0) {
+        dirty = true;
+        break;
+      }
+    }
+    if (!dirty) inherit[c] = prev.component_of_atom[next.atoms[c][0]];
+  }
+  return inherit;
+}
+
 }  // namespace tuffy

@@ -32,6 +32,24 @@ ComponentSet DetectComponents(size_t num_atoms,
 uint64_t ComponentSizeMetric(const ComponentSet& components, size_t index,
                              const std::vector<GroundClause>& clauses);
 
+/// Dirty-component bookkeeping for the serving layer (delta inference).
+/// Maps each component of `next` to the component of `prev` whose cached
+/// search state it inherits: entry c is the `prev` component id when
+/// component c is *clean*, or -1 when it is *dirty* and must be
+/// re-searched. A component is dirty iff it contains a dirty atom
+/// (`atom_dirty`, indexed by atom id and sized for `next`) or an atom
+/// that did not exist in `prev`.
+///
+/// Soundness: every clause edit (add / remove / reweight) marks the
+/// clause's atoms dirty, so a component with no dirty atom has exactly
+/// the atom and clause set of its `prev` counterpart — membership only
+/// changes through an edited clause, and both merges (added clause) and
+/// splits (removed clause) touch dirty atoms. Its cached best truth and
+/// cost therefore remain verbatim valid.
+std::vector<int32_t> MapCleanComponents(const ComponentSet& prev,
+                                        const ComponentSet& next,
+                                        const std::vector<uint8_t>& atom_dirty);
+
 }  // namespace tuffy
 
 #endif  // TUFFY_MRF_COMPONENTS_H_

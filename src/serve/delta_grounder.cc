@@ -1,0 +1,339 @@
+#include "serve/delta_grounder.h"
+
+#include <algorithm>
+
+#include "ground/atom_loader.h"
+#include "ground/bottom_up_grounder.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+DeltaGrounder::DeltaGrounder(const MlnProgram& program,
+                             GroundingOptions ground_options,
+                             OptimizerOptions optimizer_options)
+    : program_(program),
+      ground_options_(ground_options),
+      optimizer_options_(optimizer_options) {
+  // Delta composability requires rule-local grounding; the lazy closure
+  // is a whole-program fixpoint, so it is forced off (see class comment).
+  ground_options_.lazy_closure = false;
+}
+
+Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
+  if (initialized_) return Status::Internal("DeltaGrounder reinitialized");
+  initialized_ = true;
+  // Armed for the whole build: a failed initialization is half-loaded
+  // state, and ApplyDelta must refuse it just like a half-applied delta.
+  poisoned_ = true;
+  evidence_ = initial_evidence;
+
+  const size_t num_rules = program_.clauses().size();
+  rule_maps_.resize(num_rules);
+  rule_fixed_cost_.assign(num_rules, 0.0);
+  rule_contradiction_.assign(num_rules, 0);
+
+  rules_of_predicate_.assign(program_.num_predicates(), {});
+  for (size_t r = 0; r < num_rules; ++r) {
+    std::vector<uint8_t> seen(program_.num_predicates(), 0);
+    for (const Literal& lit : program_.clauses()[r].literals) {
+      if (!seen[lit.pred]) {
+        seen[lit.pred] = 1;
+        rules_of_predicate_[lit.pred].push_back(static_cast<int>(r));
+      }
+    }
+  }
+
+  TUFFY_RETURN_IF_ERROR(
+      LoadMlnTables(program_, evidence_, &catalog_, &true_counts_));
+
+  GroundEdits edits;
+  PendingEdits pending;
+  for (size_t r = 0; r < num_rules; ++r) {
+    TUFFY_ASSIGN_OR_RETURN(RuleMap next, GroundRule(static_cast<int>(r)));
+    DiffRule(static_cast<int>(r), next, &pending);
+    rule_maps_[r] = std::move(next);
+  }
+  ApplyPendingEdits(std::move(pending), &edits);
+  poisoned_ = false;
+  return Status::OK();
+}
+
+Result<DeltaGrounder::RuleMap> DeltaGrounder::GroundRule(int rule_idx) {
+  GroundingContext ctx(program_, evidence_, ground_options_);
+  TUFFY_RETURN_IF_ERROR(GroundClauseCandidates(program_, rule_idx, catalog_,
+                                               true_counts_,
+                                               optimizer_options_, &ctx,
+                                               nullptr));
+  TUFFY_ASSIGN_OR_RETURN(GroundingResult local, ctx.Finalize());
+  rule_fixed_cost_[rule_idx] = local.fixed_cost;
+  rule_contradiction_[rule_idx] = local.hard_contradiction ? 1 : 0;
+
+  // Remap the rule-local atom ids into the session atom universe. The
+  // remap is injective, so the rule-local duplicate merging carries over.
+  RuleMap out;
+  out.reserve(local.clauses.num_clauses());
+  std::vector<Lit> lits;
+  for (const GroundClause& c : local.clauses.clauses()) {
+    lits.clear();
+    lits.reserve(c.lits.size());
+    for (Lit l : c.lits) {
+      AtomId global = atoms_.GetOrCreate(local.atoms.atom(LitAtom(l)));
+      lits.push_back(MakeLit(global, LitPositive(l)));
+    }
+    std::sort(lits.begin(), lits.end());
+    Contribution& contrib = out[lits];
+    contrib.weight += c.weight;
+    contrib.hard = contrib.hard || c.hard;
+  }
+  return out;
+}
+
+void DeltaGrounder::DiffRule(int rule_idx, const RuleMap& next,
+                             PendingEdits* pending) {
+  const RuleMap& prev = rule_maps_[rule_idx];
+  for (const auto& [lits, contrib] : next) {
+    auto it = prev.find(lits);
+    if (it == prev.end()) {
+      PendingEdit& pe = (*pending)[lits];
+      pe.dweight += contrib.weight;
+      pe.dhard += contrib.hard ? 1 : 0;
+      pe.dcontribs += 1;
+    } else if (it->second.weight != contrib.weight ||
+               it->second.hard != contrib.hard) {
+      PendingEdit& pe = (*pending)[lits];
+      pe.dweight += contrib.weight - it->second.weight;
+      pe.dhard += (contrib.hard ? 1 : 0) - (it->second.hard ? 1 : 0);
+    }
+  }
+  for (const auto& [lits, contrib] : prev) {
+    if (next.find(lits) != next.end()) continue;
+    PendingEdit& pe = (*pending)[lits];
+    pe.dweight -= contrib.weight;
+    pe.dhard -= contrib.hard ? 1 : 0;
+    pe.dcontribs -= 1;
+  }
+}
+
+void DeltaGrounder::ApplyPendingEdits(PendingEdits pending,
+                                      GroundEdits* edits) {
+  for (auto& [lits, pe] : pending) {
+    auto it = global_.find(lits);
+    if (it == global_.end()) {
+      if (pe.dcontribs <= 0) continue;  // cancelled within one delta
+      GlobalEntry entry;
+      entry.weight = pe.dweight;
+      entry.hard_refs = pe.dhard;
+      entry.contribs = pe.dcontribs;
+      entry.index = static_cast<uint32_t>(clauses_.size());
+      GroundClause gc;
+      gc.lits = lits;
+      gc.weight = entry.weight;
+      gc.hard = entry.hard_refs > 0;
+      clauses_.push_back(std::move(gc));
+      global_.emplace(lits, entry);
+      ++edits->clauses_added;
+      for (Lit l : lits) edits->dirty_atoms.push_back(LitAtom(l));
+      continue;
+    }
+
+    GlobalEntry& entry = it->second;
+    const double old_weight = entry.weight;
+    const bool old_hard = entry.hard_refs > 0;
+    entry.weight += pe.dweight;
+    entry.hard_refs += pe.dhard;
+    entry.contribs += pe.dcontribs;
+
+    if (entry.contribs <= 0) {
+      // Last contribution gone: swap-remove from the clause list.
+      const uint32_t idx = entry.index;
+      for (Lit l : clauses_[idx].lits) {
+        edits->dirty_atoms.push_back(LitAtom(l));
+      }
+      const uint32_t last = static_cast<uint32_t>(clauses_.size()) - 1;
+      if (idx != last) {
+        clauses_[idx] = std::move(clauses_[last]);
+        global_.at(clauses_[idx].lits).index = idx;
+      }
+      clauses_.pop_back();
+      global_.erase(it);
+      ++edits->clauses_removed;
+      continue;
+    }
+
+    const bool new_hard = entry.hard_refs > 0;
+    if (entry.weight != old_weight || new_hard != old_hard) {
+      clauses_[entry.index].weight = entry.weight;
+      clauses_[entry.index].hard = new_hard;
+      ++edits->clauses_reweighted;
+      for (Lit l : lits) edits->dirty_atoms.push_back(LitAtom(l));
+    }
+  }
+  std::sort(edits->dirty_atoms.begin(), edits->dirty_atoms.end());
+  edits->dirty_atoms.erase(
+      std::unique(edits->dirty_atoms.begin(), edits->dirty_atoms.end()),
+      edits->dirty_atoms.end());
+}
+
+Result<GroundEdits> DeltaGrounder::ApplyDelta(const EvidenceDelta& delta) {
+  if (!initialized_) return Status::Internal("DeltaGrounder not initialized");
+  if (poisoned_) {
+    return Status::Internal(
+        "session poisoned by an earlier failed delta; reopen the session");
+  }
+  Timer timer;
+  GroundEdits edits;
+
+  // Fold the batch into one net operation per atom. A delta is a set,
+  // not a sequence: an atom both retracted and asserted in one batch
+  // nets to the assertion (among duplicate assertions the later one
+  // wins). Then reduce to the *effective* delta: net ops matching the
+  // existing evidence — including false-assertions on absent
+  // closed-world atoms, indistinguishable from absence — are dropped,
+  // so a semantic no-op touches nothing.
+  enum class NetOp : uint8_t { kRetract, kAssertTrue, kAssertFalse };
+  std::unordered_map<GroundAtom, NetOp, GroundAtomHash> net;
+  for (const GroundAtom& atom : delta.retractions) {
+    if (atom.pred < 0 ||
+        atom.pred >= static_cast<PredicateId>(program_.num_predicates())) {
+      return Status::InvalidArgument("delta retraction: unknown predicate id");
+    }
+    net[atom] = NetOp::kRetract;
+  }
+  for (const auto& [atom, truth] : delta.assertions) {
+    if (atom.pred < 0 ||
+        atom.pred >= static_cast<PredicateId>(program_.num_predicates())) {
+      return Status::InvalidArgument("delta assertion: unknown predicate id");
+    }
+    const Predicate& pred = program_.predicate(atom.pred);
+    if (atom.args.size() != static_cast<size_t>(pred.arity())) {
+      return Status::InvalidArgument(StrFormat(
+          "delta assertion: %s expects %d arguments, got %zu",
+          pred.name.c_str(), pred.arity(), atom.args.size()));
+    }
+    net[atom] = truth ? NetOp::kAssertTrue : NetOp::kAssertFalse;
+  }
+
+  std::vector<uint8_t> pred_touched(program_.num_predicates(), 0);
+  std::vector<std::pair<GroundAtom, bool>> effective_asserts;
+  std::vector<GroundAtom> effective_retracts;
+  const auto& entries = evidence_.entries();
+  for (const auto& [atom, op] : net) {
+    auto it = entries.find(atom);
+    if (op == NetOp::kRetract) {
+      if (it == entries.end()) continue;
+      effective_retracts.push_back(atom);
+    } else {
+      const bool truth = op == NetOp::kAssertTrue;
+      if (it != entries.end() && it->second == truth) continue;
+      if (it == entries.end() && !truth &&
+          program_.predicate(atom.pred).closed_world) {
+        continue;
+      }
+      effective_asserts.emplace_back(atom, truth);
+    }
+    pred_touched[atom.pred] = 1;
+  }
+  if (effective_asserts.empty() && effective_retracts.empty()) {
+    edits.no_op = true;
+    return edits;
+  }
+
+  // Mutation begins: any error path from here on leaves evidence,
+  // tables, and rule maps mutually inconsistent, so arm the fail-stop
+  // guard and disarm it only on full success.
+  poisoned_ = true;
+  for (auto& [atom, truth] : effective_asserts) evidence_.Add(atom, truth);
+  for (const GroundAtom& atom : effective_retracts) evidence_.Remove(atom);
+
+  std::vector<PredicateId> refresh;
+  for (PredicateId p = 0;
+       p < static_cast<PredicateId>(program_.num_predicates()); ++p) {
+    if (pred_touched[p]) refresh.push_back(p);
+  }
+  TUFFY_RETURN_IF_ERROR(RefreshPredicateTables(program_, evidence_, refresh,
+                                               &catalog_, &true_counts_));
+  edits.predicates_refreshed = refresh.size();
+
+  // Fan out to the rules that mention a touched predicate and re-ground
+  // just those.
+  std::vector<uint8_t> rule_touched(program_.clauses().size(), 0);
+  for (PredicateId p : refresh) {
+    for (int r : rules_of_predicate_[p]) rule_touched[r] = 1;
+  }
+  PendingEdits pending;
+  for (size_t r = 0; r < rule_touched.size(); ++r) {
+    if (!rule_touched[r]) continue;
+    TUFFY_ASSIGN_OR_RETURN(RuleMap next, GroundRule(static_cast<int>(r)));
+    DiffRule(static_cast<int>(r), next, &pending);
+    rule_maps_[r] = std::move(next);
+    ++edits.rules_reground;
+  }
+  ApplyPendingEdits(std::move(pending), &edits);
+
+  // The delta's own atoms are dirty even without clause edits: an atom
+  // that just became evidence leaves every clause, and its cached truth
+  // must be refreshed from the evidence rather than reported stale.
+  bool appended = false;
+  AtomId id;
+  for (const auto& [atom, truth] : effective_asserts) {
+    if (atoms_.Find(atom, &id)) {
+      edits.dirty_atoms.push_back(id);
+      appended = true;
+    }
+  }
+  for (const GroundAtom& atom : effective_retracts) {
+    if (atoms_.Find(atom, &id)) {
+      edits.dirty_atoms.push_back(id);
+      appended = true;
+    }
+  }
+  if (appended) {
+    std::sort(edits.dirty_atoms.begin(), edits.dirty_atoms.end());
+    edits.dirty_atoms.erase(
+        std::unique(edits.dirty_atoms.begin(), edits.dirty_atoms.end()),
+        edits.dirty_atoms.end());
+  }
+  poisoned_ = false;
+  edits.ground_seconds = timer.ElapsedSeconds();
+  return edits;
+}
+
+double DeltaGrounder::fixed_cost() const {
+  double total = 0.0;
+  for (double c : rule_fixed_cost_) total += c;
+  return total;
+}
+
+bool DeltaGrounder::hard_contradiction() const {
+  for (uint8_t c : rule_contradiction_) {
+    if (c) return true;
+  }
+  return false;
+}
+
+size_t DeltaGrounder::EstimateBytes() const {
+  // Hash-map entries are charged a flat node overhead on top of their
+  // key payload; this is admission-control accounting, not malloc truth.
+  constexpr size_t kNodeOverhead = 64;
+  size_t bytes = catalog_.EstimateBytes();
+  for (const GroundClause& c : clauses_) {
+    bytes += sizeof(GroundClause) + c.lits.capacity() * sizeof(Lit);
+  }
+  // Each resident clause has one global_ entry and >= 1 rule-map entry,
+  // each keyed by a copy of the literal vector.
+  size_t map_entries = global_.size();
+  for (const RuleMap& rm : rule_maps_) map_entries += rm.size();
+  bytes += map_entries * kNodeOverhead;
+  for (const auto& [lits, entry] : global_) {
+    bytes += 2 * lits.capacity() * sizeof(Lit);  // global + rule copy
+  }
+  for (AtomId a = 0; a < atoms_.num_atoms(); ++a) {
+    bytes += sizeof(GroundAtom) + atoms_.atom(a).args.capacity() *
+                                      sizeof(ConstantId) +
+             kNodeOverhead;  // interner entry
+  }
+  return bytes;
+}
+
+}  // namespace tuffy

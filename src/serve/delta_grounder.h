@@ -1,0 +1,181 @@
+#ifndef TUFFY_SERVE_DELTA_GROUNDER_H_
+#define TUFFY_SERVE_DELTA_GROUNDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ground/ground_clause.h"
+#include "ground/grounding.h"
+#include "mln/model.h"
+#include "ra/catalog.h"
+#include "ra/optimizer.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// One batch of evidence changes applied to a serving session.
+/// Assertions overwrite any existing entry for the atom; retractions
+/// remove the explicit entry, reverting the atom to unknown (or to the
+/// closed-world default false). A delta is a *set*, not a sequence: an
+/// atom both asserted and retracted in the same batch nets to the
+/// assertion, and among duplicate assertions the later one wins.
+struct EvidenceDelta {
+  std::vector<std::pair<GroundAtom, bool>> assertions;
+  std::vector<GroundAtom> retractions;
+
+  bool empty() const { return assertions.empty() && retractions.empty(); }
+
+  void Assert(GroundAtom atom, bool truth) {
+    assertions.emplace_back(std::move(atom), truth);
+  }
+  void Retract(GroundAtom atom) { retractions.push_back(std::move(atom)); }
+};
+
+/// Outcome of one DeltaGrounder::ApplyDelta call: what changed in the
+/// ground clause set, and which session atoms the edits touched (the seed
+/// set of the dirty-component computation).
+struct GroundEdits {
+  /// True when the delta was a semantic no-op (every assertion matched
+  /// the existing evidence, every retraction named an absent atom): the
+  /// clause set, catalog, and caches were not touched at all.
+  bool no_op = false;
+  size_t predicates_refreshed = 0;
+  size_t rules_reground = 0;
+  size_t clauses_added = 0;
+  size_t clauses_removed = 0;
+  size_t clauses_reweighted = 0;
+  /// Deduplicated session atom ids appearing in any edited clause.
+  std::vector<AtomId> dirty_atoms;
+  double ground_seconds = 0.0;
+};
+
+/// Incremental grounding for long-lived inference sessions. Grounds the
+/// whole program once (bottom-up, through the RA layer), then serves
+/// evidence deltas by re-grounding only the first-order rules whose
+/// literals mention a predicate the delta touched, diffing each rule's
+/// new ground clauses against its previous ones, and applying the
+/// resulting add / remove / reweight edits in place to the resident
+/// clause list.
+///
+/// Resident state: the persistent RA catalog (predicate atom tables are
+/// refreshed per touched predicate, never rebuilt wholesale), a grow-only
+/// session AtomStore, and per-rule clause maps keyed by sorted literal
+/// sets so cross-rule weight merging stays exact under any edit order.
+///
+/// Sessions ground *exhaustively* (the lazy-inference closure is forced
+/// off): the closure is a whole-program fixpoint, so one rule's clauses
+/// could not be re-derived in isolation under it. This makes a session's
+/// clause set — and hence its MAP cost and marginals — match a
+/// from-scratch grounding of the accumulated evidence with
+/// `lazy_closure = false` after any sequence of deltas.
+class DeltaGrounder {
+ public:
+  DeltaGrounder(const MlnProgram& program, GroundingOptions ground_options,
+                OptimizerOptions optimizer_options);
+
+  DeltaGrounder(const DeltaGrounder&) = delete;
+  DeltaGrounder& operator=(const DeltaGrounder&) = delete;
+
+  /// Loads the RA tables and grounds every rule against
+  /// `initial_evidence`. Call exactly once, before any ApplyDelta.
+  Status Initialize(const EvidenceDb& initial_evidence);
+
+  /// Applies one evidence delta: updates the resident evidence copy and
+  /// the touched predicate tables, re-grounds the affected rules, and
+  /// edits the clause list in place. Failure semantics are fail-stop:
+  /// an error after the evidence mutation began leaves the resident
+  /// state inconsistent, so the grounder poisons itself and every later
+  /// call fails rather than silently serving a half-applied state.
+  Result<GroundEdits> ApplyDelta(const EvidenceDelta& delta);
+
+  /// The session's ground atom universe. Grow-only: an atom that loses
+  /// all its clauses stays registered (as a clause-less singleton) so
+  /// truth/marginal vectors never shrink or renumber.
+  const AtomStore& atoms() const { return atoms_; }
+
+  /// The resident ground clause set. Clause order is not stable across
+  /// deltas (removal is swap-with-last); literal order within a clause is
+  /// sorted.
+  const std::vector<GroundClause>& clauses() const { return clauses_; }
+
+  /// Cost contributed by clauses fully determined by the evidence,
+  /// summed over rules (same semantics as GroundingResult::fixed_cost).
+  double fixed_cost() const;
+
+  /// True if any rule currently has a hard clause violated by evidence
+  /// alone.
+  bool hard_contradiction() const;
+
+  /// The accumulated evidence the current clause set reflects.
+  const EvidenceDb& evidence() const { return evidence_; }
+
+  /// Rough resident footprint: clause list, per-rule maps, atom store,
+  /// and RA tables.
+  size_t EstimateBytes() const;
+
+ private:
+  /// One rule's merged contribution to a literal set: summed soft weight
+  /// over that rule's duplicate groundings, plus hardness.
+  struct Contribution {
+    double weight = 0.0;
+    bool hard = false;
+  };
+  using RuleMap =
+      std::unordered_map<std::vector<Lit>, Contribution, LitVectorHash>;
+
+  /// Aggregated entry across rules for one literal set.
+  struct GlobalEntry {
+    double weight = 0.0;  // sum of soft contributions
+    int32_t hard_refs = 0;
+    int32_t contribs = 0;  // number of rules contributing
+    uint32_t index = 0;    // position in clauses_
+  };
+
+  /// Contribution delta accumulated across all re-ground rules before
+  /// application, so a clause touched by several rules is edited once.
+  struct PendingEdit {
+    double dweight = 0.0;
+    int32_t dhard = 0;
+    int32_t dcontribs = 0;
+  };
+  using PendingEdits =
+      std::unordered_map<std::vector<Lit>, PendingEdit, LitVectorHash>;
+
+  /// Re-grounds one rule into a fresh RuleMap (remapped to session atom
+  /// ids) and replaces its fixed-cost / contradiction entries.
+  Result<RuleMap> GroundRule(int rule_idx);
+
+  /// Diffs `next` against rule_maps_[rule_idx] into `pending`.
+  void DiffRule(int rule_idx, const RuleMap& next, PendingEdits* pending);
+
+  /// Applies accumulated contribution deltas to the global map and the
+  /// clause list, recording edit counts and dirty atoms.
+  void ApplyPendingEdits(PendingEdits pending, GroundEdits* edits);
+
+  const MlnProgram& program_;
+  GroundingOptions ground_options_;
+  OptimizerOptions optimizer_options_;
+
+  EvidenceDb evidence_;
+  Catalog catalog_;
+  std::unordered_map<PredicateId, uint64_t> true_counts_;
+  /// Predicate -> rules with a literal over it (delta fan-out).
+  std::vector<std::vector<int>> rules_of_predicate_;
+
+  AtomStore atoms_;
+  std::vector<RuleMap> rule_maps_;
+  std::vector<double> rule_fixed_cost_;
+  std::vector<uint8_t> rule_contradiction_;
+  std::unordered_map<std::vector<Lit>, GlobalEntry, LitVectorHash> global_;
+  std::vector<GroundClause> clauses_;
+
+  bool initialized_ = false;
+  /// Set when a delta failed after mutation began (see ApplyDelta).
+  bool poisoned_ = false;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_SERVE_DELTA_GROUNDER_H_

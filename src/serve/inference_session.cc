@@ -1,0 +1,275 @@
+#include "serve/inference_session.h"
+
+#include <algorithm>
+
+#include "infer/mcsat.h"
+#include "infer/walksat.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+Status ValidateSessionOptions(const SessionOptions& options) {
+  if (options.p_random < 0.0 || options.p_random > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("p_random must be in [0, 1], got %g", options.p_random));
+  }
+  if (!(options.hard_weight > 0.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "hard_weight must be positive, got %g", options.hard_weight));
+  }
+  if (options.num_threads <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "num_threads must be positive, got %d", options.num_threads));
+  }
+  if (options.track_marginals) {
+    if (options.mcsat_samples <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "mcsat_samples must be positive, got %d", options.mcsat_samples));
+    }
+    if (options.mcsat_burn_in < 0) {
+      return Status::InvalidArgument(
+          StrFormat("mcsat_burn_in must be non-negative, got %d",
+                    options.mcsat_burn_in));
+    }
+  }
+  return Status::OK();
+}
+
+InferenceSession::InferenceSession(const MlnProgram& program,
+                                   SessionOptions options)
+    : program_(program),
+      options_(options),
+      grounder_(program, options.grounding, options.optimizer) {}
+
+Status InferenceSession::Open(const EvidenceDb& initial_evidence,
+                              ThreadPool* shared_pool) {
+  if (open_) return Status::Internal("session already open");
+  TUFFY_RETURN_IF_ERROR(ValidateSessionOptions(options_));
+
+  if (shared_pool != nullptr) {
+    pool_ = shared_pool;
+  } else if (options_.num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = owned_pool_.get();
+  }
+
+  TUFFY_RETURN_IF_ERROR(grounder_.Initialize(initial_evidence));
+
+  const size_t num_atoms = grounder_.atoms().num_atoms();
+  truth_.assign(num_atoms, 0);
+  if (options_.track_marginals) marginals_.assign(num_atoms, 0.5);
+
+  comps_ = DetectComponents(num_atoms, grounder_.clauses());
+  comp_cost_.assign(comps_.num_components(), 0.0);
+  comp_flips_.assign(comps_.num_components(), 0);
+
+  std::vector<size_t> all(comps_.num_components());
+  for (size_t c = 0; c < all.size(); ++c) all[c] = c;
+  DeltaApplyResult cold;
+  SearchComponents(all, /*cold=*/true, &cold);
+  arena_dirty_ = true;
+  open_ = true;  // only a fully-initialized session accepts deltas
+  return Status::OK();
+}
+
+Result<DeltaApplyResult> InferenceSession::ApplyDelta(
+    const EvidenceDelta& delta) {
+  if (!open_) return Status::Internal("session not open");
+
+  TUFFY_ASSIGN_OR_RETURN(GroundEdits edits, grounder_.ApplyDelta(delta));
+  ++stats_.deltas_applied;
+  DeltaApplyResult result;
+  result.edits = std::move(edits);
+  if (result.edits.no_op) {
+    // Cached result, verbatim: no component scan, no arena touch.
+    ++stats_.no_op_deltas;
+    result.components_total = comps_.num_components();
+    result.map_cost = map_cost();
+    return result;
+  }
+  ++epoch_;
+
+  const size_t prev_atoms = truth_.size();
+  const size_t num_atoms = grounder_.atoms().num_atoms();
+  if (num_atoms > prev_atoms) {
+    truth_.resize(num_atoms, 0);
+    if (options_.track_marginals) marginals_.resize(num_atoms, 0.5);
+  }
+
+  // Dirty-component computation: re-scan the clause table (one
+  // union-find pass), then inherit cached state for every component that
+  // contains no edited atom.
+  std::vector<uint8_t> atom_dirty(num_atoms, 0);
+  for (AtomId a : result.edits.dirty_atoms) atom_dirty[a] = 1;
+  ComponentSet next = DetectComponents(num_atoms, grounder_.clauses());
+  std::vector<int32_t> inherit = MapCleanComponents(comps_, next, atom_dirty);
+
+  std::vector<double> next_cost(next.num_components(), 0.0);
+  std::vector<size_t> dirty;
+  for (size_t c = 0; c < next.num_components(); ++c) {
+    if (inherit[c] >= 0) {
+      next_cost[c] = comp_cost_[inherit[c]];
+    } else {
+      dirty.push_back(c);
+    }
+  }
+  comps_ = std::move(next);
+  comp_cost_ = std::move(next_cost);
+  comp_flips_.assign(comps_.num_components(), 0);
+
+  SearchComponents(dirty, /*cold=*/false, &result);
+  arena_dirty_ = true;
+  result.map_cost = map_cost();
+  return result;
+}
+
+void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
+                                        bool cold, DeltaApplyResult* result) {
+  Timer timer;
+  result->components_total = comps_.num_components();
+  result->components_dirty = dirty.size();
+
+  const uint64_t total_atoms =
+      std::max<size_t>(grounder_.atoms().num_atoms(), 1);
+  // Two decorrelated per-epoch streams: one for search, one for MC-SAT.
+  const uint64_t search_base = DeriveSeed(options_.seed, 2 * epoch_);
+  const uint64_t mcsat_base = DeriveSeed(options_.seed, 2 * epoch_ + 1);
+
+  TaskGroup group(pool_);
+  for (size_t c : dirty) {
+    uint64_t budget = std::max<uint64_t>(
+        1, options_.total_flips * comps_.atoms[c].size() / total_atoms);
+    // Keyed by the component's smallest atom id — stable across thread
+    // counts and scheduling order, so results are bit-identical for any
+    // num_threads.
+    const uint64_t comp_key = comps_.atoms[c][0];
+    const uint64_t search_seed = DeriveSeed(search_base, comp_key);
+    const uint64_t mcsat_seed = DeriveSeed(mcsat_base, comp_key);
+    group.Submit([this, c, budget, cold, search_seed, mcsat_seed] {
+      SearchOneComponent(c, budget, cold, search_seed, mcsat_seed);
+    });
+  }
+  group.Wait();
+
+  for (size_t c : dirty) result->flips += comp_flips_[c];
+  stats_.components_researched += dirty.size();
+  stats_.flips += result->flips;
+  result->search_seconds = timer.ElapsedSeconds();
+}
+
+void InferenceSession::SearchOneComponent(size_t comp, uint64_t budget,
+                                          bool cold, uint64_t search_seed,
+                                          uint64_t mcsat_seed) {
+  const std::vector<AtomId>& comp_atoms = comps_.atoms[comp];
+  if (comps_.clauses[comp].empty()) {
+    // Clause-less singleton: nothing to search. The atom is either
+    // evidence-determined (it left every clause when the evidence fixed
+    // it — report that truth) or genuinely unconstrained (false default,
+    // marginal exactly 1/2, matching an atom absent from a fresh MRF).
+    comp_cost_[comp] = 0.0;
+    comp_flips_[comp] = 0;
+    for (AtomId a : comp_atoms) {
+      Truth t = grounder_.evidence().Lookup(program_, grounder_.atoms().atom(a));
+      truth_[a] = t == Truth::kTrue ? 1 : 0;
+      if (options_.track_marginals) {
+        marginals_[a] =
+            t == Truth::kTrue ? 1.0 : (t == Truth::kFalse ? 0.0 : 0.5);
+      }
+    }
+    return;
+  }
+
+  SubProblem sub =
+      BuildSubProblem(grounder_.clauses(), comps_.clauses[comp], comp_atoms);
+
+  WalkSatOptions wopts;
+  wopts.p_random = options_.p_random;
+  wopts.hard_weight = options_.hard_weight;
+  std::vector<uint8_t> init(comp_atoms.size());
+  if (cold) {
+    wopts.init_random = options_.init_random;
+  } else {
+    // Warm start from the session's current MAP truth (atoms new this
+    // epoch default to false).
+    for (size_t i = 0; i < comp_atoms.size(); ++i) {
+      init[i] = truth_[comp_atoms[i]];
+    }
+    wopts.initial = &init;
+  }
+
+  Rng rng(search_seed);
+  IncrementalWalkSat search(&sub.problem, wopts, &rng);
+  search.RunFlips(budget);
+  comp_cost_[comp] = search.best_cost();
+  comp_flips_[comp] = search.flips();
+  const std::vector<uint8_t>& best = search.best_truth();
+  for (size_t i = 0; i < comp_atoms.size(); ++i) {
+    truth_[comp_atoms[i]] = best[i];
+  }
+
+  if (options_.track_marginals) {
+    McSatOptions mopts;
+    mopts.num_samples = options_.mcsat_samples;
+    mopts.burn_in = options_.mcsat_burn_in;
+    mopts.hard_weight = options_.hard_weight;
+    McSatResult mr = RunMcSat(sub.problem, mopts, mcsat_seed);
+    for (size_t i = 0; i < comp_atoms.size(); ++i) {
+      marginals_[comp_atoms[i]] = mr.marginals[i];
+    }
+  }
+}
+
+double InferenceSession::map_cost() const {
+  double cost = grounder_.fixed_cost();
+  for (double c : comp_cost_) cost += c;
+  return cost;
+}
+
+double InferenceSession::EvalCurrentCost() {
+  if (arena_dirty_) {
+    arena_.Clear();
+    for (const GroundClause& c : grounder_.clauses()) {
+      arena_.AddClause(c.lits.data(), c.lits.size(), c.weight, c.hard);
+    }
+    arena_.Finish(grounder_.atoms().num_atoms());
+    arena_dirty_ = false;
+    ++stats_.arena_rebuilds;
+  }
+  double cost = grounder_.fixed_cost();
+  for (uint32_t c = 0; c < arena_.num_clauses(); ++c) {
+    const Lit* lits = arena_.clause_lits(c);
+    const uint32_t len = arena_.clause_size(c);
+    bool is_true = false;
+    for (uint32_t i = 0; i < len; ++i) {
+      if ((truth_[LitAtom(lits[i])] != 0) == LitPositive(lits[i])) {
+        is_true = true;
+        break;
+      }
+    }
+    const bool violated = arena_.positive[c] ? !is_true : is_true;
+    if (violated) {
+      cost += arena_.hard[c] ? options_.hard_weight : arena_.abs_weight[c];
+    }
+  }
+  return cost;
+}
+
+size_t InferenceSession::EstimateBytes() const {
+  size_t bytes = grounder_.EstimateBytes() + arena_.EstimateBytes();
+  bytes += truth_.capacity() * sizeof(uint8_t);
+  bytes += marginals_.capacity() * sizeof(double);
+  bytes += comp_cost_.capacity() * sizeof(double) +
+           comp_flips_.capacity() * sizeof(uint64_t);
+  bytes += comps_.component_of_atom.capacity() * sizeof(int32_t);
+  for (const std::vector<AtomId>& v : comps_.atoms) {
+    bytes += v.capacity() * sizeof(AtomId);
+  }
+  for (const std::vector<uint32_t>& v : comps_.clauses) {
+    bytes += v.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace tuffy

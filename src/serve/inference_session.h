@@ -1,0 +1,166 @@
+#ifndef TUFFY_SERVE_INFERENCE_SESSION_H_
+#define TUFFY_SERVE_INFERENCE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "infer/problem.h"
+#include "mrf/components.h"
+#include "serve/delta_grounder.h"
+#include "util/thread_pool.h"
+
+namespace tuffy {
+
+/// Knobs of a long-lived inference session. Mirrors the search half of
+/// EngineOptions (the serving layer sits below exec and cannot see it);
+/// TuffyEngine::OpenSession translates.
+struct SessionOptions {
+  /// Flip budget of the cold start; each delta re-search scales this by
+  /// the dirty fraction of atoms, exactly like the batch engine scales
+  /// per-component budgets.
+  uint64_t total_flips = 1000000;
+  double p_random = 0.5;
+  double hard_weight = 1e6;
+  /// Worker threads for the session-owned pool. Ignored when a shared
+  /// pool is passed to Open (the SessionManager case). Thread count
+  /// never affects results, only wall clock.
+  int num_threads = 1;
+  bool init_random = true;
+  uint64_t seed = 42;
+  /// If true, per-atom marginals are maintained: MC-SAT runs per dirty
+  /// component (the MRF distribution factorizes over components, so
+  /// clean components' marginals stay valid verbatim).
+  bool track_marginals = false;
+  int mcsat_samples = 200;
+  int mcsat_burn_in = 20;
+  GroundingOptions grounding;  // lazy_closure is forced off
+  OptimizerOptions optimizer;
+};
+
+/// Rejects out-of-range session knobs with an explanatory Status.
+Status ValidateSessionOptions(const SessionOptions& options);
+
+/// Outcome of one InferenceSession::ApplyDelta call.
+struct DeltaApplyResult {
+  GroundEdits edits;
+  size_t components_total = 0;
+  size_t components_dirty = 0;
+  uint64_t flips = 0;
+  /// Wall clock of the re-search + marginal refresh (grounding time is
+  /// in edits.ground_seconds).
+  double search_seconds = 0.0;
+  /// Session MAP cost after the delta (search cost + fixed cost).
+  double map_cost = 0.0;
+};
+
+/// Cumulative session counters.
+struct SessionStats {
+  size_t deltas_applied = 0;
+  size_t no_op_deltas = 0;
+  size_t components_researched = 0;
+  uint64_t flips = 0;
+  /// Rebuilds of the verification arena (EvalCurrentCost). Stays flat
+  /// across no-op deltas — the "empty delta touches nothing" guarantee.
+  size_t arena_rebuilds = 0;
+};
+
+/// A standing MLN inference state: grounds once, then serves a stream of
+/// evidence deltas without redoing work. Per delta, the DeltaGrounder
+/// edits the resident clause set, the dirty-component tracker
+/// (MapCleanComponents over the union-find component scan) decides which
+/// components the edits touched, and only those are re-searched — warm-
+/// started from the previous MAP truth — while clean components keep
+/// their cached best truth, cost, and marginals verbatim.
+///
+/// After any sequence of deltas, map_cost() and marginals() match a
+/// from-scratch TuffyEngine::Infer over the accumulated evidence with
+/// `lazy_closure = false` (cost exactly, given converged search on both
+/// sides; marginals within sampling tolerance).
+class InferenceSession {
+ public:
+  InferenceSession(const MlnProgram& program, SessionOptions options);
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// Grounds against the initial evidence and runs the cold-start
+  /// search (every component dirty). `shared_pool`, if non-null, is used
+  /// for all parallel work and must outlive the session; otherwise the
+  /// session owns a pool of options.num_threads workers.
+  Status Open(const EvidenceDb& initial_evidence,
+              ThreadPool* shared_pool = nullptr);
+
+  /// Applies one evidence delta end to end: delta grounding, dirty
+  /// component re-search, marginal refresh. An effectively-empty delta
+  /// returns the cached result without touching the clause set, the
+  /// arena, or any component.
+  Result<DeltaApplyResult> ApplyDelta(const EvidenceDelta& delta);
+
+  /// Current MAP cost: sum of per-component best costs plus the
+  /// evidence-determined fixed cost. Maintained incrementally.
+  double map_cost() const;
+
+  /// Best truth assignment per session atom.
+  const std::vector<uint8_t>& truth() const { return truth_; }
+  /// P(atom = true) per session atom (empty unless track_marginals).
+  const std::vector<double>& marginals() const { return marginals_; }
+
+  const AtomStore& atoms() const { return grounder_.atoms(); }
+  const std::vector<GroundClause>& clauses() const {
+    return grounder_.clauses();
+  }
+  const EvidenceDb& evidence() const { return grounder_.evidence(); }
+  const MlnProgram& program() const { return program_; }
+  bool hard_contradiction() const { return grounder_.hard_contradiction(); }
+  size_t num_components() const { return comps_.num_components(); }
+  const SessionStats& stats() const { return stats_; }
+
+  /// Re-evaluates the current truth against the full clause set through
+  /// the session's capacity-reusing verification arena (rebuilt lazily
+  /// only after structural edits), plus the fixed cost. Equals
+  /// map_cost() up to floating-point association; used by tests and the
+  /// serving smoke check.
+  double EvalCurrentCost();
+
+  /// Resident footprint for SessionManager admission: grounder state,
+  /// truth/marginal vectors, component structure, verification arena.
+  size_t EstimateBytes() const;
+
+ private:
+  /// Searches the given components (and refreshes their marginals),
+  /// writing per-component cost/flip slots and the global truth slices.
+  /// `cold` selects the initial-assignment policy; warm runs start from
+  /// the previous MAP truth.
+  void SearchComponents(const std::vector<size_t>& dirty, bool cold,
+                        DeltaApplyResult* result);
+  void SearchOneComponent(size_t comp, uint64_t budget, bool cold,
+                          uint64_t search_seed, uint64_t mcsat_seed);
+
+  const MlnProgram& program_;
+  SessionOptions options_;
+  DeltaGrounder grounder_;
+
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // null = run inline
+
+  ComponentSet comps_;
+  std::vector<double> comp_cost_;
+  std::vector<uint64_t> comp_flips_;
+  std::vector<uint8_t> truth_;
+  std::vector<double> marginals_;
+
+  /// Verification arena (EvalCurrentCost); rebuilt with capacity reuse.
+  ClauseArena arena_;
+  bool arena_dirty_ = true;
+
+  /// Delta epoch, folded into per-component seed derivation so repeated
+  /// re-searches of one component use fresh, decorrelated streams.
+  uint64_t epoch_ = 0;
+  bool open_ = false;
+  SessionStats stats_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_SERVE_INFERENCE_SESSION_H_

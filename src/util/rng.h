@@ -5,6 +5,26 @@
 
 namespace tuffy {
 
+/// One SplitMix64 mixing round: a bijective avalanche over 64 bits, so
+/// nearby inputs map to decorrelated outputs.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of stream `stream` from a base seed. Equivalent to
+/// reading position `stream` of the SplitMix64 sequence started at
+/// `base`, so distinct streams are decorrelated even when base seeds or
+/// stream indices are adjacent — unlike `base + k + stream`, which hands
+/// nearby seeds to nearby streams. Every parallel searcher (per-component
+/// WalkSAT workers, per-session search state) derives its Rng seed
+/// through this.
+inline uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
+  return SplitMix64(base + 0x9E3779B97F4A7C15ull * stream);
+}
+
 /// Deterministic xoshiro256**-based pseudo-random generator. Every
 /// stochastic component in the library (WalkSAT, SampleSAT, MC-SAT, data
 /// generators) takes an explicit `Rng` so runs are reproducible.

@@ -55,4 +55,26 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void TaskGroup::Submit(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  if (pool_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 }  // namespace tuffy

@@ -41,6 +41,32 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// Completion tracking for one client's batch of tasks on a *shared*
+/// ThreadPool. Several serving sessions submit work to the same pool
+/// concurrently; ThreadPool::WaitIdle would make each wait for everyone's
+/// tasks, so a session instead submits through its own TaskGroup and
+/// waits for just its batch. With a null pool, tasks run inline on the
+/// submitting thread (the single-threaded configuration).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted through *this* group has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_done_;
+  size_t pending_ = 0;
+};
+
 }  // namespace tuffy
 
 #endif  // TUFFY_UTIL_THREAD_POOL_H_
