@@ -104,6 +104,23 @@ inline Dataset GroundingScaleRc() {
   return r.TakeValue();
 }
 
+/// The largest grounding workload in the harness: LP with the
+/// publication relation scaled until the self-join dominates everything
+/// else (the person universe stays fixed, so the candidate/clause side
+/// is constant while the relational work grows). This is the dataset the
+/// vectorized-executor speedup gate runs on — top-down grounding is far
+/// too slow here, so only the bottom-up lesion uses it.
+inline Dataset GroundingVecScaleLp() {
+  LpParams p;
+  p.num_professors = 10;
+  p.num_students = 40;
+  p.num_courses = 100;
+  p.num_publications = 128000;
+  auto r = MakeLpDataset(p);
+  if (!r.ok()) std::exit(1);
+  return r.TakeValue();
+}
+
 /// All four evaluation datasets, in the paper's order.
 inline std::vector<Dataset> AllBenchDatasets() {
   std::vector<Dataset> out;

@@ -8,7 +8,14 @@
 //    "cold_seconds":..., "open_seconds":..., "warm_seconds_avg":...,
 //    "speedup":..., "deltas_per_sec":...,
 //    "frac_components_researched":..., "session_cost":...,
-//    "fresh_cost":...}
+//    "fresh_cost":..., "ground_seconds_avg":...,
+//    "ground_seconds_avg_full":..., "binding_ground_speedup":...,
+//    "bindings_resolved_avg":...}
+//
+// ground_seconds_avg is the binding-level delta grounding (join only the
+// delta rows against the rest of each touched rule); _full re-runs the
+// touched rules' whole queries. The ratio is the binding-level win; the
+// final costs of both must match the from-scratch run exactly.
 
 #include <cstdio>
 #include <vector>
@@ -93,9 +100,7 @@ int main() {
   }
   ConstantId other_cat = ds.program.symbols().Find("Theory");
   Rng rng(7);
-
-  double warm_seconds_total = 0.0;
-  double frac_researched_total = 0.0;
+  std::vector<EvidenceDelta> deltas;
   EvidenceDb accumulated = ds.evidence;
   for (int d = 0; d < kDeltas; ++d) {
     const GroundAtom& victim = labels[rng.Uniform(labels.size())];
@@ -107,9 +112,18 @@ int main() {
             ? ds.program.symbols().Find("Networking")
             : other_cat;
     delta.Assert(relabeled, true);
+    deltas.push_back(delta);
+    accumulated.Remove(victim);
+    accumulated.Add(relabeled, true);
+  }
 
+  double warm_seconds_total = 0.0;
+  double frac_researched_total = 0.0;
+  double ground_seconds_total = 0.0;
+  double bindings_total = 0.0;
+  for (int d = 0; d < kDeltas; ++d) {
     Timer delta_timer;
-    auto r = session.ApplyDelta(delta);
+    auto r = session.ApplyDelta(deltas[d]);
     if (!r.ok()) {
       std::fprintf(stderr, "delta %d failed: %s\n", d,
                    r.status().ToString().c_str());
@@ -117,21 +131,48 @@ int main() {
     }
     double seconds = delta_timer.ElapsedSeconds();
     warm_seconds_total += seconds;
+    ground_seconds_total += r.value().edits.ground_seconds;
+    bindings_total += static_cast<double>(r.value().edits.bindings_resolved);
     double frac = r.value().components_total > 0
                       ? static_cast<double>(r.value().components_dirty) /
                             static_cast<double>(r.value().components_total)
                       : 0.0;
     frac_researched_total += frac;
     std::printf(
-        "delta %2d: %.3fs (ground %.3fs), %zu/%zu components re-searched "
-        "(%.1f%%), %llu flips, cost %.2f\n",
+        "delta %2d: %.3fs (ground %.3fs, %zu bindings), %zu/%zu components "
+        "re-searched (%.1f%%), %llu flips, cost %.2f\n",
         d, seconds, r.value().edits.ground_seconds,
-        r.value().components_dirty, r.value().components_total, 100 * frac,
+        r.value().edits.bindings_resolved, r.value().components_dirty,
+        r.value().components_total, 100 * frac,
         static_cast<unsigned long long>(r.value().flips),
         r.value().map_cost);
+  }
 
-    accumulated.Remove(victim);
-    accumulated.Add(relabeled, true);
+  // Binding-level lesion: the same delta stream with full per-rule
+  // re-grounding (binding_level_deltas off). Grounding cost scales with
+  // the touched relations' sizes there; the final cost must not move.
+  SessionOptions full_opts = sopts;
+  full_opts.grounding.binding_level_deltas = false;
+  InferenceSession full_session(ds.program, full_opts);
+  double full_ground_seconds_total = 0.0;
+  double full_session_cost = 0.0;
+  {
+    Status full_open = full_session.Open(ds.evidence);
+    if (!full_open.ok()) {
+      std::fprintf(stderr, "full-reground session open failed: %s\n",
+                   full_open.ToString().c_str());
+      return 1;
+    }
+    for (int d = 0; d < kDeltas; ++d) {
+      auto r = full_session.ApplyDelta(deltas[d]);
+      if (!r.ok()) {
+        std::fprintf(stderr, "full-reground delta %d failed: %s\n", d,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      full_ground_seconds_total += r.value().edits.ground_seconds;
+    }
+    full_session_cost = full_session.map_cost();
   }
 
   // Equivalence spot check: a from-scratch run over the accumulated
@@ -145,8 +186,23 @@ int main() {
   }
   double session_cost = session.map_cost();
   double fresh_cost = fresh.value().total_cost;
-  std::printf("final: session cost %.4f vs fresh cost %.4f (eval %.4f)\n",
-              session_cost, fresh_cost, session.EvalCurrentCost());
+  std::printf(
+      "final: session cost %.4f vs fresh cost %.4f (eval %.4f, "
+      "full-reground session %.4f)\n",
+      session_cost, fresh_cost, session.EvalCurrentCost(),
+      full_session_cost);
+  if (session_cost != fresh_cost || full_session_cost != fresh_cost) {
+    std::fprintf(stderr,
+                 "FAIL: session costs diverged from the from-scratch run\n");
+    return 1;
+  }
+  double ground_avg = ground_seconds_total / kDeltas;
+  double full_ground_avg = full_ground_seconds_total / kDeltas;
+  std::printf(
+      "delta grounding: binding-level %.4fs/delta (%.0f bindings avg) vs "
+      "full re-ground %.4fs/delta (%.1fx)\n",
+      ground_avg, bindings_total / kDeltas, full_ground_avg,
+      ground_avg > 0 ? full_ground_avg / ground_avg : 0.0);
 
   double warm_avg = warm_seconds_total / kDeltas;
   double frac_avg = frac_researched_total / kDeltas;
@@ -156,10 +212,14 @@ int main() {
       "\"open_seconds\":%.4f,\"warm_seconds_avg\":%.4f,"
       "\"speedup\":%.2f,\"deltas_per_sec\":%.2f,"
       "\"frac_components_researched\":%.4f,\"session_cost\":%.4f,"
-      "\"fresh_cost\":%.4f}\n",
+      "\"fresh_cost\":%.4f,\"ground_seconds_avg\":%.5f,"
+      "\"ground_seconds_avg_full\":%.5f,\"binding_ground_speedup\":%.2f,"
+      "\"bindings_resolved_avg\":%.1f}\n",
       ds.name.c_str(), cold_seconds, open_seconds, warm_avg,
       warm_avg > 0 ? cold_seconds / warm_avg : 0.0,
       warm_avg > 0 ? 1.0 / warm_avg : 0.0, frac_avg, session_cost,
-      fresh_cost);
+      fresh_cost, ground_avg, full_ground_avg,
+      ground_avg > 0 ? full_ground_avg / ground_avg : 0.0,
+      bindings_total / kDeltas);
   return 0;
 }

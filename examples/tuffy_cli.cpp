@@ -34,7 +34,10 @@
 //   -epochs N      learning epochs (default 60)
 //   -lr X          learning rate (default 0.5)
 //   -flips N       WalkSAT flip budget (default 1000000)
-//   -threads N     worker threads (default 1)
+//   -explain       print EXPLAIN ANALYZE of every grounding query to
+//                  stderr (per-operator rows / chunks / wall time)
+//   -threads N     worker threads (default 1; also parallelizes
+//                  per-rule grounding)
 //   -budget BYTES  memory budget for search state (default unlimited)
 //   -mode M        search mode: component (default), memory, partition,
 //                  disk
@@ -70,6 +73,7 @@ struct CliArgs {
   bool marginal = false;
   bool learn = false;
   bool session = false;
+  bool explain = false;
   EngineOptions engine;
   LearnOptions learnwt;
 };
@@ -77,7 +81,8 @@ struct CliArgs {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (-i prog.mln -e evidence.db | -gen rc|ie|lp|er) "
-               "-q query_pred [-o out] [-marginal] [-session] [-learnwt] "
+               "-q query_pred [-o out] [-marginal] [-session] [-explain] "
+               "[-learnwt] "
                "[-algo vp|dn] [-epochs N] [-lr X] [-flips N] [-threads N] "
                "[-budget BYTES] [-mode component|memory|partition|disk] "
                "[-topdown] [-seed N]\n",
@@ -164,6 +169,9 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->engine.task = InferenceTask::kMarginal;
     } else if (a == "-session") {
       args->session = true;
+    } else if (a == "-explain") {
+      args->explain = true;
+      args->engine.optimizer.analyze = true;
     } else if (a == "-learnwt") {
       args->learn = true;
     } else if (a == "-algo") {
@@ -511,6 +519,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const EngineResult& r = result.value();
+  if (args.explain) std::fputs(r.explain.c_str(), stderr);
   std::fprintf(stderr,
                "grounding: %zu atoms, %zu clauses, %.3fs; search: %.3fs, "
                "%llu flips, cost %.2f, %zu components\n",

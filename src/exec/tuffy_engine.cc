@@ -290,9 +290,14 @@ Result<EngineResult> TuffyEngine::Run() {
 
   Timer ground_timer;
   if (options_.grounding_mode == GroundingMode::kBottomUp) {
-    BottomUpGrounder grounder(program_, evidence_, options_.grounding,
+    // The engine's worker-thread knob also parallelizes per-rule
+    // grounding (results are thread-count invariant; determinism_test).
+    GroundingOptions gopts = options_.grounding;
+    gopts.num_threads = options_.num_threads;
+    BottomUpGrounder grounder(program_, evidence_, gopts,
                               options_.optimizer);
     TUFFY_ASSIGN_OR_RETURN(result.grounding, grounder.Ground());
+    result.explain = grounder.explain();
   } else {
     TopDownGrounder grounder(program_, evidence_, options_.grounding);
     TUFFY_ASSIGN_OR_RETURN(result.grounding, grounder.Ground());
@@ -358,6 +363,7 @@ Result<LearnResult> TuffyEngine::Learn(const LearnOptions& learn_options) {
   gopts.keep_zero_weight_clauses = true;
   GroundingResult grounding;
   if (options_.grounding_mode == GroundingMode::kBottomUp) {
+    gopts.num_threads = options_.num_threads;
     BottomUpGrounder grounder(program_, split.evidence, gopts,
                               options_.optimizer);
     TUFFY_ASSIGN_OR_RETURN(grounding, grounder.Ground());

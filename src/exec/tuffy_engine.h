@@ -109,6 +109,10 @@ struct EngineResult {
   size_t clause_table_bytes = 0;
   /// Peak in-memory search state (paper Table 4/5 RAM rows).
   size_t peak_search_bytes = 0;
+  /// Per-rule EXPLAIN of the grounding queries (bottom-up mode only;
+  /// includes per-operator ANALYZE lines when options.optimizer.analyze
+  /// is set). Printed by `tuffy_cli -explain`.
+  std::string explain;
 
   double FlipsPerSecond() const {
     return search_seconds > 0 ? static_cast<double>(flips) / search_seconds

@@ -17,8 +17,7 @@ std::string DomainTableName(const std::string& type) {
 namespace {
 
 /// Materializes one evidence atom as a (truth, arg0, ..., argK-1) row —
-/// the single definition of the predicate-table layout, shared by bulk
-/// loading and per-predicate refresh.
+/// shared by bulk loading and per-predicate refresh.
 void AppendEvidenceRow(Table* table, const GroundAtom& atom, bool truth) {
   Row row;
   row.reserve(atom.args.size() + 1);
@@ -29,21 +28,28 @@ void AppendEvidenceRow(Table* table, const GroundAtom& atom, bool truth) {
 
 }  // namespace
 
+Schema PredicateTableSchema(const Predicate& pred) {
+  std::vector<Column> cols;
+  cols.push_back(Column{"truth", ColumnType::kInt64});
+  for (int i = 0; i < pred.arity(); ++i) {
+    cols.push_back(Column{StrFormat("arg%d", i), ColumnType::kInt64});
+  }
+  return Schema(std::move(cols));
+}
+
+void AppendAtomRow(Table* table, const GroundAtom& atom) {
+  AppendEvidenceRow(table, atom, /*truth=*/true);
+}
+
 Status LoadMlnTables(
     const MlnProgram& program, const EvidenceDb& evidence, Catalog* catalog,
     std::unordered_map<PredicateId, uint64_t>* true_counts) {
   // Predicate tables.
   std::vector<Table*> pred_tables(program.num_predicates(), nullptr);
   for (const Predicate& pred : program.predicates()) {
-    std::vector<Column> cols;
-    cols.push_back(Column{"truth", ColumnType::kInt64});
-    for (int i = 0; i < pred.arity(); ++i) {
-      cols.push_back(Column{StrFormat("arg%d", i), ColumnType::kInt64});
-    }
     TUFFY_ASSIGN_OR_RETURN(
-        Table * t,
-        catalog->CreateTable(PredicateTableName(pred.name),
-                             Schema(std::move(cols))));
+        Table * t, catalog->CreateTable(PredicateTableName(pred.name),
+                                        PredicateTableSchema(pred)));
     pred_tables[pred.id] = t;
   }
   for (const auto& [atom, truth] : evidence.entries()) {

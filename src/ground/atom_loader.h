@@ -14,6 +14,16 @@ std::string PredicateTableName(const std::string& name);
 /// Name of the relation enumerating the domain of `type`.
 std::string DomainTableName(const std::string& type);
 
+/// The (truth, arg0, ..., argK-1) layout of a predicate's atom table —
+/// the single definition shared by bulk loading, per-predicate refresh,
+/// and the serving layer's transient delta relations.
+Schema PredicateTableSchema(const Predicate& pred);
+
+/// Appends `atom`'s argument tuple to a predicate-layout table with
+/// truth = 1 (used for delta/union side tables whose rows are all
+/// "present").
+void AppendAtomRow(Table* table, const GroundAtom& atom);
+
 /// Bulk-loads the MLN data into the relational engine (Section 3.1):
 /// one table per predicate with schema (truth, arg0, ..., argK-1) holding
 /// the explicit evidence rows (truth: 0 = false, 1 = true), and one

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "ground/atom_loader.h"
 #include "ra/operators.h"
+#include "ra/vec_ops.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tuffy {
@@ -19,12 +22,12 @@ BottomUpGrounder::BottomUpGrounder(const MlnProgram& program,
       ground_options_(ground_options),
       optimizer_options_(optimizer_options) {}
 
-Status GroundClauseCandidates(
+Result<RuleBindingQuery> BuildRuleBindingQuery(
     const MlnProgram& program, int clause_idx, const Catalog& catalog,
     const std::unordered_map<PredicateId, uint64_t>& true_counts,
-    const OptimizerOptions& optimizer_options, GroundingContext* ctx,
-    std::string* explain) {
+    const DeltaBindingSpec* delta) {
   const Clause& clause = program.clauses()[clause_idx];
+  RuleBindingQuery out;
 
   // Which variables are existential?
   std::vector<bool> existential(clause.num_vars, false);
@@ -36,11 +39,11 @@ Status GroundClauseCandidates(
     if (!existential[v]) has_universal = true;
   }
   if (!has_universal) {
-    ctx->AddCandidate(clause_idx, Assignment(clause.num_vars, -1));
-    return Status::OK();
+    out.trivial = true;
+    return out;
   }
 
-  ConjunctiveQuery query;
+  ConjunctiveQuery& query = out.query;
   // Site of each variable: (table ref index, column). -1 = unbound.
   struct Site {
     int ref = -1;
@@ -49,40 +52,27 @@ Status GroundClauseCandidates(
   std::vector<Site> var_site(clause.num_vars);
   std::vector<JoinCondition>& joins = query.joins;
 
-  // Binding literals: negative literals over closed-world predicates with
-  // no existential variables. Their atoms must be true in a violable
-  // ground clause, so we join the true evidence rows.
-  for (const Literal& lit : clause.literals) {
-    const Predicate& pred = program.predicate(lit.pred);
-    if (lit.positive || !pred.closed_world) continue;
-    bool has_exist = false;
-    for (const Term& t : lit.args) {
-      if (t.is_var && existential[t.id]) has_exist = true;
-    }
-    if (has_exist) continue;
-
-    TUFFY_ASSIGN_OR_RETURN(Table * table,
-                           catalog.GetTable(PredicateTableName(pred.name)));
+  /// Adds one literal as a binding relation over `table` (predicate-table
+  /// layout: truth, arg0, ...). Constants and repeated variables become
+  /// pushed-down filters; shared variables become join conditions. When
+  /// `skip_existential` is set (the delta occurrence of a rule),
+  /// existential argument positions are left unconstrained.
+  auto add_binding_ref = [&](const Literal& lit, const Table* table,
+                             const std::string& alias, double selectivity,
+                             bool skip_existential) {
     int ref_idx = static_cast<int>(query.tables.size());
     std::vector<ExprPtr> filters;
     // truth = 1 (column 0).
     filters.push_back(Eq(Col(0, "truth"), Val(Datum(int64_t{1}))));
-    double selectivity = 1.0;
-    uint64_t rows = table->num_rows();
-    if (rows > 0) {
-      auto it = true_counts.find(pred.id);
-      uint64_t true_rows = it == true_counts.end() ? 0 : it->second;
-      selectivity = static_cast<double>(true_rows) / static_cast<double>(rows);
-    }
     for (size_t i = 0; i < lit.args.size(); ++i) {
       const Term& t = lit.args[i];
       int col = static_cast<int>(i) + 1;
       if (!t.is_var) {
-        filters.push_back(
-            Eq(Col(col), Val(Datum(static_cast<int64_t>(t.id)))));
+        filters.push_back(Eq(Col(col), Val(Datum(static_cast<int64_t>(t.id)))));
         selectivity *= 0.1;
         continue;
       }
+      if (skip_existential && existential[t.id]) continue;
       if (var_site[t.id].ref < 0) {
         var_site[t.id] = Site{ref_idx, col};
       } else if (var_site[t.id].ref == ref_idx) {
@@ -96,18 +86,62 @@ Status GroundClauseCandidates(
     }
     TableRef ref;
     ref.table = table;
-    ref.alias = pred.name;
+    ref.alias = alias;
     ref.filter = And(std::move(filters));
     ref.selectivity = std::max(selectivity, 1e-9);
     query.tables.push_back(std::move(ref));
+  };
+
+  // Delta occurrence first, so its (few) rows anchor the variable sites
+  // and every other relation semi-joins against it.
+  if (delta != nullptr && delta->delta_lit >= 0) {
+    const Literal& lit = clause.literals[delta->delta_lit];
+    add_binding_ref(lit, delta->delta_table,
+                    "delta_" + program.predicate(lit.pred).name,
+                    /*selectivity=*/1.0, /*skip_existential=*/true);
+  }
+
+  // Binding literals: negative literals over closed-world predicates with
+  // no existential variables. Their atoms must be true in a violable
+  // ground clause, so we join the true evidence rows.
+  for (size_t li = 0; li < clause.literals.size(); ++li) {
+    if (delta != nullptr && static_cast<int>(li) == delta->delta_lit) continue;
+    const Literal& lit = clause.literals[li];
+    const Predicate& pred = program.predicate(lit.pred);
+    if (lit.positive || !pred.closed_world) continue;
+    bool has_exist = false;
+    for (const Term& t : lit.args) {
+      if (t.is_var && existential[t.id]) has_exist = true;
+    }
+    if (has_exist) continue;
+
+    const Table* table = nullptr;
+    double selectivity = 1.0;
+    if (delta != nullptr && delta->overrides != nullptr &&
+        delta->overrides->count(lit.pred) > 0) {
+      table = delta->overrides->at(lit.pred);
+    } else {
+      TUFFY_ASSIGN_OR_RETURN(Table * t,
+                             catalog.GetTable(PredicateTableName(pred.name)));
+      table = t;
+      uint64_t rows = table->num_rows();
+      if (rows > 0) {
+        auto it = true_counts.find(pred.id);
+        uint64_t true_rows = it == true_counts.end() ? 0 : it->second;
+        selectivity =
+            static_cast<double>(true_rows) / static_cast<double>(rows);
+      }
+    }
+    add_binding_ref(lit, table, pred.name, selectivity,
+                    /*skip_existential=*/false);
+    if (delta == nullptr && li < 64) out.binding_lit_mask |= uint64_t{1} << li;
   }
 
   // Every unbound universal variable ranges over its type domain.
   for (VarId v = 0; v < clause.num_vars; ++v) {
     if (existential[v] || var_site[v].ref >= 0) continue;
     const std::string& type = clause.var_types[v];
-    TUFFY_ASSIGN_OR_RETURN(Table * dom,
-                           catalog.GetTable(DomainTableName(type)));
+    TUFFY_ASSIGN_OR_RETURN(Table * dom, catalog.GetTable(DomainTableName(type)));
     int ref_idx = static_cast<int>(query.tables.size());
     TableRef ref;
     ref.table = dom;
@@ -119,21 +153,51 @@ Status GroundClauseCandidates(
   }
 
   // Output one column per universal variable, ascending by VarId.
-  std::vector<VarId> out_vars;
   for (VarId v = 0; v < clause.num_vars; ++v) {
     if (existential[v]) continue;
     query.outputs.push_back(OutputCol{
         var_site[v].ref, var_site[v].col,
         static_cast<size_t>(v) < clause.var_names.size() ? clause.var_names[v]
                                                          : ""});
-    out_vars.push_back(v);
+    out.out_vars.push_back(v);
+  }
+  return out;
+}
+
+Status GroundClauseCandidates(
+    const MlnProgram& program, int clause_idx, const Catalog& catalog,
+    const std::unordered_map<PredicateId, uint64_t>& true_counts,
+    const OptimizerOptions& optimizer_options, GroundingContext* ctx,
+    std::string* explain) {
+  const Clause& clause = program.clauses()[clause_idx];
+  TUFFY_ASSIGN_OR_RETURN(
+      RuleBindingQuery rq,
+      BuildRuleBindingQuery(program, clause_idx, catalog, true_counts));
+  if (rq.trivial) {
+    ctx->AddCandidate(clause_idx, Assignment(clause.num_vars, -1));
+    return Status::OK();
   }
 
   Optimizer optimizer(optimizer_options);
-  TUFFY_ASSIGN_OR_RETURN(OptimizedPlan plan, optimizer.Plan(std::move(query)));
+  TUFFY_ASSIGN_OR_RETURN(OptimizedPlan plan, optimizer.Plan(std::move(rq.query)));
   if (explain != nullptr) {
     *explain += StrFormat("-- rule %d --\n%s", clause.rule_id,
                           plan.explain.c_str());
+  }
+
+  if (plan.vec_root != nullptr) {
+    // Batch path: whole chunks flow from the executor into the resolver.
+    TUFFY_RETURN_IF_ERROR(
+        ForEachChunk(plan.vec_root.get(), [&](const ColumnChunk& chunk) {
+          ctx->AddCandidateChunk(clause_idx, chunk, rq.out_vars,
+                                 rq.binding_lit_mask);
+          return Status::OK();
+        }));
+    if (explain != nullptr && optimizer_options.analyze) {
+      *explain += StrFormat("-- analyze rule %d --\n", clause.rule_id);
+      AppendVecAnalyze(plan.vec_root.get(), 0, explain);
+    }
+    return Status::OK();
   }
 
   TUFFY_RETURN_IF_ERROR(plan.root->Open());
@@ -143,10 +207,59 @@ Status GroundClauseCandidates(
     auto has = plan.root->Next(&row);
     if (!has.ok()) return has.status();
     if (!has.value()) break;
+    for (size_t i = 0; i < rq.out_vars.size(); ++i) {
+      assignment[rq.out_vars[i]] = static_cast<ConstantId>(row[i].int64());
+    }
+    ctx->AddCandidate(clause_idx, assignment, rq.binding_lit_mask);
+  }
+  plan.root->Close();
+  if (explain != nullptr && optimizer_options.analyze) {
+    *explain += StrFormat("-- analyze rule %d --\n", clause.rule_id);
+    AppendAnalyze(plan.root.get(), 0, explain);
+  }
+  return Status::OK();
+}
+
+Status CollectBindings(
+    const MlnProgram& program, int clause_idx, RuleBindingQuery rule_query,
+    const OptimizerOptions& optimizer_options,
+    std::unordered_map<std::vector<ConstantId>, bool, GroundAtomHash_ArgsOnly>*
+        seen,
+    std::vector<Assignment>* out) {
+  const Clause& clause = program.clauses()[clause_idx];
+  Optimizer optimizer(optimizer_options);
+  TUFFY_ASSIGN_OR_RETURN(OptimizedPlan plan,
+                         optimizer.Plan(std::move(rule_query.query)));
+  const std::vector<VarId>& out_vars = rule_query.out_vars;
+  Assignment assignment(clause.num_vars, -1);
+  auto emit = [&]() {
+    if (seen != nullptr) {
+      auto [it, inserted] = seen->emplace(assignment, true);
+      if (!inserted) return;
+    }
+    out->push_back(assignment);
+  };
+  if (plan.vec_root != nullptr) {
+    return ForEachChunk(plan.vec_root.get(), [&](const ColumnChunk& chunk) {
+      for (uint32_t r = 0; r < chunk.num_rows; ++r) {
+        for (size_t c = 0; c < out_vars.size(); ++c) {
+          assignment[out_vars[c]] = static_cast<ConstantId>(chunk.cols[c][r]);
+        }
+        emit();
+      }
+      return Status::OK();
+    });
+  }
+  TUFFY_RETURN_IF_ERROR(plan.root->Open());
+  Row row;
+  while (true) {
+    auto has = plan.root->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
     for (size_t i = 0; i < out_vars.size(); ++i) {
       assignment[out_vars[i]] = static_cast<ConstantId>(row[i].int64());
     }
-    ctx->AddCandidate(clause_idx, assignment);
+    emit();
   }
   plan.root->Close();
   return Status::OK();
@@ -161,12 +274,46 @@ Result<GroundingResult> BottomUpGrounder::Ground() {
       LoadMlnTables(program_, evidence_, &catalog, &true_counts_));
 
   GroundingContext ctx(program_, evidence_, ground_options_);
-  for (int ci = 0; ci < static_cast<int>(program_.clauses().size()); ++ci) {
-    TUFFY_RETURN_IF_ERROR(GroundClauseCandidates(program_, ci, catalog,
-                                                 true_counts_,
-                                                 optimizer_options_, &ctx,
-                                                 &explain_));
+  const int num_rules = static_cast<int>(program_.clauses().size());
+  const int threads =
+      std::max(1, std::min(ground_options_.num_threads, num_rules));
+
+  // Every rule resolves into its own context — concurrently when a pool
+  // is available — and the contexts merge in rule-index order, so the
+  // grounding result is bit-identical for every thread count. The serial
+  // path absorbs (and frees) each context as soon as its rule finishes;
+  // only the parallel path holds locals until the merge.
+  std::vector<std::unique_ptr<GroundingContext>> locals(num_rules);
+  std::vector<std::string> explains(num_rules);
+  std::vector<Status> statuses(num_rules, Status::OK());
+  auto ground_rule = [&](int r) {
+    locals[r] = std::make_unique<GroundingContext>(program_, evidence_,
+                                                   ground_options_);
+    statuses[r] = GroundClauseCandidates(program_, r, catalog, true_counts_,
+                                         optimizer_options_, locals[r].get(),
+                                         &explains[r]);
+  };
+  auto absorb_rule = [&](int r) -> Status {
+    TUFFY_RETURN_IF_ERROR(statuses[r]);
+    explain_ += explains[r];
+    ctx.AbsorbPending(locals[r].get());
+    locals[r].reset();
+    return Status::OK();
+  };
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    for (int r = 0; r < num_rules; ++r) {
+      pool.Submit([&ground_rule, r] { ground_rule(r); });
+    }
+    pool.WaitIdle();
+    for (int r = 0; r < num_rules; ++r) TUFFY_RETURN_IF_ERROR(absorb_rule(r));
+  } else {
+    for (int r = 0; r < num_rules; ++r) {
+      ground_rule(r);
+      TUFFY_RETURN_IF_ERROR(absorb_rule(r));
+    }
   }
+
   TUFFY_ASSIGN_OR_RETURN(GroundingResult result, ctx.Finalize());
   result.stats.seconds = timer.ElapsedSeconds();
   return result;

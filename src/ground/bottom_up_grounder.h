@@ -2,6 +2,8 @@
 #define TUFFY_GROUND_BOTTOM_UP_GROUNDER_H_
 
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "ground/grounding.h"
 #include "mln/model.h"
@@ -24,6 +26,12 @@ namespace tuffy {
 /// violable clause needs those atoms true); every other universal
 /// variable ranges over its type's domain table. Constants and repeated
 /// variables become pushed-down filters.
+///
+/// Execution is batch-at-a-time whenever the optimizer can emit a
+/// vectorized plan (see OptimizerOptions::enable_vectorized), and
+/// independent rules ground in parallel (GroundingOptions::num_threads)
+/// with a rule-index-order merge, so results are bit-identical across
+/// executors and thread counts.
 class BottomUpGrounder {
  public:
   BottomUpGrounder(const MlnProgram& program, const EvidenceDb& evidence,
@@ -45,19 +53,72 @@ class BottomUpGrounder {
   std::string explain_;
 };
 
+/// The compiled binding query of one first-order clause: the conjunctive
+/// query whose output rows are candidate assignments of the clause's
+/// universal variables (one output column per variable, ascending by
+/// VarId). `trivial` marks fully-ground clauses — no universal variable,
+/// a single empty-binding candidate, no query to run.
+struct RuleBindingQuery {
+  ConjunctiveQuery query;
+  std::vector<VarId> out_vars;
+  bool trivial = false;
+  /// Bit k set = literal k joined the predicate's true evidence rows, so
+  /// its atom is known true for every output binding and resolution can
+  /// skip it (a negative literal over a true atom never satisfies nor
+  /// opens the clause). Only set for plain (non-delta) compilations —
+  /// delta substitutes may contain formerly-true rows.
+  uint64_t binding_lit_mask = 0;
+};
+
+/// Relation-substitution hooks for binding-level delta grounding (the
+/// serving path). `delta_lit` designates one literal occurrence of the
+/// clause as the *delta occurrence*: it always joins `delta_table` (the
+/// changed atoms of its predicate, in predicate-table layout with
+/// truth = 1), whether or not it would normally be a binding literal,
+/// and its existentially-quantified argument positions are left
+/// unconstrained. Every other binding literal over a predicate present
+/// in `overrides` reads the substitute relation (old-or-new true rows)
+/// instead of the catalog table, which makes the query enumerate a
+/// superset of the bindings whose ground clause could have changed.
+struct DeltaBindingSpec {
+  int delta_lit = -1;
+  const Table* delta_table = nullptr;
+  const std::unordered_map<PredicateId, const Table*>* overrides = nullptr;
+};
+
+/// Compiles the binding query of clause `clause_idx` against the loaded
+/// predicate/domain tables. `true_counts` drives selectivity estimation
+/// (see LoadMlnTables); `delta`, if non-null, applies the substitutions
+/// above.
+Result<RuleBindingQuery> BuildRuleBindingQuery(
+    const MlnProgram& program, int clause_idx, const Catalog& catalog,
+    const std::unordered_map<PredicateId, uint64_t>& true_counts,
+    const DeltaBindingSpec* delta = nullptr);
+
 /// Compiles and runs the binding query of one first-order clause against
 /// already-loaded predicate/domain tables, feeding every candidate
-/// variable assignment into `ctx`. This is the per-rule unit of bottom-up
-/// grounding; BottomUpGrounder::Ground runs it for every clause, and the
-/// serving layer's DeltaGrounder re-runs it for just the rules a delta
-/// touches. `true_counts` drives selectivity estimation (see
-/// LoadMlnTables); `explain`, if non-null, receives the plan's EXPLAIN
-/// text.
+/// variable assignment into `ctx` (whole chunks at a time on the
+/// vectorized path). This is the per-rule unit of bottom-up grounding;
+/// BottomUpGrounder::Ground runs it for every clause, and the serving
+/// layer's DeltaGrounder re-runs it for just the rules a delta touches.
+/// `explain`, if non-null, receives the plan's EXPLAIN text (plus
+/// per-operator ANALYZE lines when optimizer_options.analyze is set).
 Status GroundClauseCandidates(
     const MlnProgram& program, int clause_idx, const Catalog& catalog,
     const std::unordered_map<PredicateId, uint64_t>& true_counts,
     const OptimizerOptions& optimizer_options, GroundingContext* ctx,
     std::string* explain);
+
+/// Runs an already-built binding query, appending every candidate
+/// assignment to `out` (deduplicating against `seen` when non-null).
+/// The workhorse of the delta path, which unions the affected bindings
+/// of several delta occurrences of one rule.
+Status CollectBindings(
+    const MlnProgram& program, int clause_idx, RuleBindingQuery rule_query,
+    const OptimizerOptions& optimizer_options,
+    std::unordered_map<std::vector<ConstantId>, bool, GroundAtomHash_ArgsOnly>*
+        seen,
+    std::vector<Assignment>* out);
 
 }  // namespace tuffy
 

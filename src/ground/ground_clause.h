@@ -91,6 +91,13 @@ class GroundClauseStore {
   /// identical clause. Returns the clause index, or kTautology.
   size_t Add(GroundClause clause);
 
+  /// Allocation-free variant for hot emitters: sorts and dedups `*lits`
+  /// (a caller-owned scratch buffer, left in sorted state) and merges it
+  /// into the store, copying the literal vector only when the clause is
+  /// new. Equivalent to Add in every observable way.
+  size_t AddFromScratch(std::vector<Lit>* lits, double weight, bool hard,
+                        int rule_id);
+
   const std::vector<GroundClause>& clauses() const { return clauses_; }
   std::vector<GroundClause>& mutable_clauses() { return clauses_; }
   size_t num_clauses() const { return clauses_.size(); }
@@ -114,13 +121,25 @@ class GroundClauseStore {
  private:
   void AddContribution(size_t idx, int rule_id);
 
+  /// Open-addressing duplicate index: slot -> clause index + 1 (0 =
+  /// empty), keyed by the clause's sorted literal vector and compared
+  /// against clauses_ in place. Unlike a map keyed by the literal
+  /// vector, no second copy of each clause's literals is kept and a
+  /// probe costs one flat-array read plus one clause compare.
+  size_t FindSlot(const std::vector<Lit>& lits, size_t hash) const;
+  void GrowIndex();
+
   std::vector<GroundClause> clauses_;
+  /// Cached literal-set hash per clause: rehashing on index growth and
+  /// collision rejection never touch the clauses' heap vectors.
+  std::vector<size_t> hashes_;
   /// Parallel to clauses_: the first rule's grounding multiplicity,
   /// inline so the common single-rule clause costs no extra allocation.
   std::vector<RuleContribution> first_contrib_;
   /// Clause index -> further distinct rules' multiplicities (rare).
   std::unordered_map<size_t, std::vector<RuleContribution>> extra_contribs_;
-  std::unordered_map<std::vector<Lit>, size_t, LitVectorHash> index_;
+  std::vector<uint32_t> index_slots_;
+  size_t index_mask_ = 0;
 };
 
 }  // namespace tuffy

@@ -9,10 +9,18 @@
 
 namespace tuffy {
 
+namespace {
+/// Flush granularity of the batched MemTracker charge.
+constexpr size_t kChargeFlushBytes = size_t{1} << 20;
+constexpr AtomId kNoAtom = static_cast<AtomId>(-1);
+}  // namespace
+
 GroundingContext::GroundingContext(const MlnProgram& program,
                                    const EvidenceDb& evidence,
                                    GroundingOptions options)
-    : program_(program), evidence_(evidence), options_(options) {}
+    : program_(program), evidence_(evidence), options_(options) {
+  dense_.resize(program.num_predicates());
+}
 
 GroundingContext::~GroundingContext() {
   if (charged_bytes_ > 0) {
@@ -20,7 +28,105 @@ GroundingContext::~GroundingContext() {
   }
 }
 
+void GroundingContext::ChargeBytes(size_t bytes) {
+  pending_charge_ += bytes;
+  if (pending_charge_ >= kChargeFlushBytes) FlushCharge();
+}
+
+void GroundingContext::FlushCharge() {
+  if (pending_charge_ == 0) return;
+  MemTracker::Global().Allocate(MemCategory::kGrounding, pending_charge_);
+  charged_bytes_ += pending_charge_;
+  pending_charge_ = 0;
+}
+
+// ------------------------------------------------------- dense interner
+
+const std::vector<int32_t>* GroundingContext::TypeDenseIndex(
+    const std::string& type) {
+  auto it = type_dense_.find(type);
+  if (it == type_dense_.end()) {
+    const std::vector<ConstantId>& domain = program_.symbols().Domain(type);
+    std::vector<int32_t> index(program_.symbols().num_constants(), -1);
+    for (size_t i = 0; i < domain.size(); ++i) {
+      if (domain[i] >= 0 && domain[i] < static_cast<int32_t>(index.size())) {
+        index[domain[i]] = static_cast<int32_t>(i);
+      }
+    }
+    it = type_dense_.emplace(type, std::move(index)).first;
+  }
+  return &it->second;
+}
+
+void GroundingContext::InitDense(PredicateId pred) {
+  DenseInterner& di = dense_[pred];
+  const Predicate& p = program_.predicate(pred);
+  di.state = DenseInterner::State::kUnusable;
+  size_t slots = 1;
+  std::vector<size_t> sizes(p.arity());
+  for (int i = 0; i < p.arity(); ++i) {
+    const std::vector<ConstantId>& dom = program_.symbols().Domain(p.arg_types[i]);
+    if (dom.empty()) return;
+    sizes[i] = dom.size();
+    if (slots > kMaxDenseSlots / dom.size()) return;  // overflow / too wide
+    slots *= dom.size();
+  }
+  di.stride.assign(p.arity(), 1);
+  for (int i = p.arity() - 2; i >= 0; --i) {
+    di.stride[i] = di.stride[i + 1] * sizes[i + 1];
+  }
+  di.arg_dense.resize(p.arity());
+  for (int i = 0; i < p.arity(); ++i) {
+    di.arg_dense[i] = TypeDenseIndex(p.arg_types[i]);
+  }
+  di.cells.assign(slots, kCellUnseen);
+  ChargeBytes(slots * sizeof(int32_t));
+  di.state = DenseInterner::State::kUsable;
+}
+
+int32_t* GroundingContext::DenseCell(const GroundAtom& atom) {
+  if (!options_.dense_interner) return nullptr;
+  DenseInterner& di = dense_[atom.pred];
+  if (di.state == DenseInterner::State::kUninit) InitDense(atom.pred);
+  if (di.state != DenseInterner::State::kUsable) return nullptr;
+  size_t key = 0;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const ConstantId a = atom.args[i];
+    const std::vector<int32_t>& index = *di.arg_dense[i];
+    if (a < 0 || static_cast<size_t>(a) >= index.size()) return nullptr;
+    const int32_t d = index[a];
+    if (d < 0) return nullptr;
+    key += static_cast<size_t>(d) * di.stride[i];
+  }
+  return &di.cells[key];
+}
+
+int32_t GroundingContext::AllocCid(const GroundAtom& atom) {
+  const int32_t cid = static_cast<int32_t>(cand_atoms_.size());
+  cand_atoms_.push_back(atom);
+  cand_active_.push_back(0);
+  return cid;
+}
+
 int32_t GroundingContext::InternScratchAtom(bool* known_truth_value) {
+  int32_t* cell = DenseCell(scratch_atom_);
+  if (cell != nullptr) {
+    int32_t v = *cell;
+    if (v == kCellUnseen) {
+      const Truth truth = evidence_.Lookup(program_, scratch_atom_);
+      if (truth == Truth::kUnknown) {
+        v = AllocCid(scratch_atom_);
+      } else {
+        v = truth == Truth::kTrue ? kCellKnownTrue : kCellKnownFalse;
+      }
+      *cell = v;
+    }
+    if (v >= 0) return v;
+    *known_truth_value = v == kCellKnownTrue;
+    return -1;
+  }
+
+  // Hash fallback (wide predicates, out-of-domain constants).
   // Closed-world atoms are never unknown; answer directly instead of
   // polluting the interner (existential expansion probes huge numbers of
   // closed-world instances).
@@ -34,10 +140,8 @@ int32_t GroundingContext::InternScratchAtom(bool* known_truth_value) {
     Truth truth = evidence_.Lookup(program_, scratch_atom_);
     CandInfo info;
     if (truth == Truth::kUnknown) {
-      info.cid = static_cast<int32_t>(cand_atoms_.size());
+      info.cid = AllocCid(scratch_atom_);
       info.known_true = 0;
-      cand_atoms_.push_back(scratch_atom_);
-      cand_active_.push_back(0);
     } else {
       info.cid = -1;
       info.known_true = truth == Truth::kTrue ? 1 : 0;
@@ -52,9 +156,28 @@ int32_t GroundingContext::InternScratchAtom(bool* known_truth_value) {
   return info.cid;
 }
 
+int32_t GroundingContext::InternUnknownAtom(const GroundAtom& atom) {
+  int32_t* cell = DenseCell(atom);
+  if (cell != nullptr) {
+    if (*cell == kCellUnseen) *cell = AllocCid(atom);
+    assert(*cell >= 0 && "atom unknown locally but known globally");
+    return *cell;
+  }
+  auto it = cand_ids_.find(atom);
+  if (it == cand_ids_.end()) {
+    CandInfo info;
+    info.cid = AllocCid(atom);
+    info.known_true = 0;
+    it = cand_ids_.emplace(atom, info).first;
+  }
+  assert(it->second.cid >= 0 && "atom unknown locally but known globally");
+  return it->second.cid;
+}
+
+// ------------------------------------------------------------ resolution
+
 bool GroundingContext::ExpandLiteral(const Literal& lit,
                                      const Assignment& assignment,
-                                     std::vector<CandLit>* open,
                                      bool* satisfied) {
   // Resolve ground argument values; collect existential positions.
   scratch_atom_.pred = lit.pred;
@@ -78,7 +201,7 @@ bool GroundingContext::ExpandLiteral(const Literal& lit,
     bool known_true = false;
     int32_t cid = InternScratchAtom(&known_true);
     if (cid >= 0) {
-      open->push_back(lit.positive ? cid + 1 : -(cid + 1));
+      scratch_open_.push_back(lit.positive ? cid + 1 : -(cid + 1));
     } else if (known_true == lit.positive) {
       *satisfied = true;
       return false;
@@ -123,7 +246,7 @@ bool GroundingContext::ExpandLiteral(const Literal& lit,
   if (pred.closed_world &&
       exist_vars.size() == static_cast<size_t>(num_exist)) {
     uint32_t mask = 0;
-    std::vector<ConstantId> bound_vals;
+    scratch_bound_vals_.clear();
     for (size_t i = 0; i < lit.args.size(); ++i) {
       bool is_exist = false;
       for (int e = 0; e < num_exist; ++e) {
@@ -131,12 +254,13 @@ bool GroundingContext::ExpandLiteral(const Literal& lit,
       }
       if (!is_exist) {
         mask |= (1u << i);
-        bound_vals.push_back(scratch_atom_.args[i]);
+        scratch_bound_vals_.push_back(scratch_atom_.args[i]);
       }
     }
     uint64_t product = 1;
     for (const auto* d : var_domains) product *= d->size();
-    uint64_t true_rows = CountMatchingTrueRows(lit.pred, mask, bound_vals);
+    uint64_t true_rows =
+        CountMatchingTrueRows(lit.pred, mask, scratch_bound_vals_);
     bool some_instance_true = true_rows > 0;
     bool some_instance_false = true_rows < product;
     if ((lit.positive && some_instance_true) ||
@@ -156,7 +280,7 @@ bool GroundingContext::ExpandLiteral(const Literal& lit,
     bool known_true = false;
     int32_t cid = InternScratchAtom(&known_true);
     if (cid >= 0) {
-      open->push_back(lit.positive ? cid + 1 : -(cid + 1));
+      scratch_open_.push_back(lit.positive ? cid + 1 : -(cid + 1));
     } else if (known_true == lit.positive) {
       *satisfied = true;
       return false;
@@ -194,7 +318,8 @@ uint32_t GroundingContext::CountMatchingTrueRows(
 }
 
 void GroundingContext::ResolveCandidate(int clause_idx,
-                                        const Assignment& assignment) {
+                                        const Assignment& assignment,
+                                        uint64_t skip_lit_mask) {
   const Clause& clause = program_.clauses()[clause_idx];
   if (!clause.hard && clause.weight == 0.0 &&
       !options_.keep_zero_weight_clauses) {
@@ -212,11 +337,11 @@ void GroundingContext::ResolveCandidate(int clause_idx,
     }
   }
 
-  std::vector<CandLit> open;
+  scratch_open_.clear();
   if (!satisfied) {
-    open.reserve(clause.literals.size());
-    for (const Literal& lit : clause.literals) {
-      if (!ExpandLiteral(lit, assignment, &open, &satisfied)) break;
+    for (size_t li = 0; li < clause.literals.size(); ++li) {
+      if (li < 64 && ((skip_lit_mask >> li) & 1)) continue;
+      if (!ExpandLiteral(clause.literals[li], assignment, &satisfied)) break;
     }
   }
 
@@ -229,10 +354,11 @@ void GroundingContext::ResolveCandidate(int clause_idx,
     }
     return;
   }
-  if (open.empty()) {
+  if (scratch_open_.empty()) {
     // Constantly false.
     if (clause.hard) {
       result_.hard_contradiction = true;
+      ++result_.stats.hard_violations;
       TUFFY_LOG(Warning) << "hard clause " << clause.rule_id
                          << " violated by evidence";
     } else if (clause.weight > 0) {
@@ -240,32 +366,325 @@ void GroundingContext::ResolveCandidate(int clause_idx,
     }
     return;
   }
-  size_t bytes = sizeof(PendingClause) + open.capacity() * sizeof(CandLit);
-  charged_bytes_ += bytes;
-  MemTracker::Global().Allocate(MemCategory::kGrounding, bytes);
-  pending_.push_back(PendingClause{clause_idx, std::move(open)});
+  const uint32_t begin = static_cast<uint32_t>(pending_lits_.size());
+  pending_lits_.insert(pending_lits_.end(), scratch_open_.begin(),
+                       scratch_open_.end());
+  pending_.push_back(PendingClause{
+      clause_idx, begin, static_cast<uint32_t>(pending_lits_.size())});
+  ChargeBytes(sizeof(PendingClause) + scratch_open_.size() * sizeof(CandLit));
 }
 
 void GroundingContext::AddCandidate(int clause_idx,
-                                    const Assignment& assignment) {
+                                    const Assignment& assignment,
+                                    uint64_t skip_lit_mask) {
   assert(!finalized_);
   ++result_.stats.candidates;
-  ResolveCandidate(clause_idx, assignment);
+  ResolveCandidate(clause_idx, assignment, skip_lit_mask);
 }
+
+void GroundingContext::BuildChunkPlan(int clause_idx,
+                                      const std::vector<VarId>& out_vars,
+                                      uint64_t skip_lit_mask) {
+  ChunkPlan& p = chunk_plan_;
+  p = ChunkPlan{};
+  p.clause_idx = clause_idx;
+  p.skip_lit_mask = skip_lit_mask;
+  p.valid = true;
+
+  const Clause& clause = program_.clauses()[clause_idx];
+  p.zero_weight_skip = !clause.hard && clause.weight == 0.0 &&
+                       !options_.keep_zero_weight_clauses;
+  var_col_.assign(clause.num_vars, -1);
+  for (size_t c = 0; c < out_vars.size(); ++c) {
+    var_col_[out_vars[c]] = static_cast<int>(c);
+  }
+  if (p.zero_weight_skip) {
+    p.usable = true;
+    return;
+  }
+  if (!options_.dense_interner) return;  // generic per-row path
+
+  for (const EqualityConstraint& eq : clause.equalities) {
+    ChunkEqPlan ep;
+    ep.equal = eq.equal;
+    if (eq.lhs.is_var) {
+      ep.col_l = var_col_[eq.lhs.id];
+      if (ep.col_l < 0) return;  // existential term: generic path
+    } else {
+      ep.const_l = eq.lhs.id;
+    }
+    if (eq.rhs.is_var) {
+      ep.col_r = var_col_[eq.rhs.id];
+      if (ep.col_r < 0) return;
+    } else {
+      ep.const_r = eq.rhs.id;
+    }
+    p.eqs.push_back(ep);
+  }
+
+  for (size_t li = 0; li < clause.literals.size(); ++li) {
+    if (li < 64 && ((skip_lit_mask >> li) & 1)) continue;
+    const Literal& lit = clause.literals[li];
+    for (const Term& t : lit.args) {
+      if (t.is_var && var_col_[t.id] < 0) return;  // existential: generic
+    }
+    DenseInterner& di = dense_[lit.pred];
+    if (di.state == DenseInterner::State::kUninit) InitDense(lit.pred);
+    if (di.state != DenseInterner::State::kUsable) return;
+    ChunkLitPlan lp;
+    lp.lit_idx = static_cast<int>(li);
+    lp.positive = lit.positive;
+    lp.cells = di.cells.data();
+    lp.base = 0;
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      const Term& t = lit.args[i];
+      const std::vector<int32_t>& index = *di.arg_dense[i];
+      if (!t.is_var) {
+        if (t.id < 0 || static_cast<size_t>(t.id) >= index.size() ||
+            index[t.id] < 0) {
+          return;  // constant outside its domain: generic path
+        }
+        lp.base += static_cast<size_t>(index[t.id]) * di.stride[i];
+      } else {
+        lp.vars.push_back(ChunkLitPlan::VarTerm{
+            var_col_[t.id], di.stride[i], index.data(), index.size()});
+      }
+    }
+    p.lits.push_back(std::move(lp));
+  }
+  p.usable = true;
+}
+
+int32_t GroundingContext::ResolveUnseenCell(const Literal& lit,
+                                            const ColumnChunk& chunk,
+                                            uint32_t row,
+                                            const ChunkLitPlan& lp,
+                                            int32_t* cell) {
+  scratch_atom_.pred = lit.pred;
+  scratch_atom_.args.resize(lit.args.size());
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    const Term& t = lit.args[i];
+    scratch_atom_.args[i] =
+        t.is_var ? static_cast<ConstantId>(chunk.cols[var_col_[t.id]][row])
+                 : t.id;
+  }
+  const Truth truth = evidence_.Lookup(program_, scratch_atom_);
+  int32_t v;
+  if (truth == Truth::kUnknown) {
+    v = AllocCid(scratch_atom_);
+  } else {
+    v = truth == Truth::kTrue ? kCellKnownTrue : kCellKnownFalse;
+  }
+  *cell = v;
+  return v;
+}
+
+void GroundingContext::AddCandidateChunk(int clause_idx,
+                                         const ColumnChunk& chunk,
+                                         const std::vector<VarId>& out_vars,
+                                         uint64_t skip_lit_mask) {
+  assert(!finalized_);
+  const Clause& clause = program_.clauses()[clause_idx];
+  if (!chunk_plan_.valid || chunk_plan_.clause_idx != clause_idx ||
+      chunk_plan_.skip_lit_mask != skip_lit_mask) {
+    BuildChunkPlan(clause_idx, out_vars, skip_lit_mask);
+  }
+  result_.stats.candidates += chunk.num_rows;
+  const ChunkPlan& p = chunk_plan_;
+
+  if (!p.usable) {
+    // Generic per-row fallback (existential positions, wide predicates,
+    // out-of-domain constants).
+    scratch_assignment_.assign(clause.num_vars, -1);
+    for (uint32_t r = 0; r < chunk.num_rows; ++r) {
+      for (size_t c = 0; c < out_vars.size(); ++c) {
+        scratch_assignment_[out_vars[c]] =
+            static_cast<ConstantId>(chunk.cols[c][r]);
+      }
+      ResolveCandidate(clause_idx, scratch_assignment_, skip_lit_mask);
+    }
+    return;
+  }
+  if (p.zero_weight_skip) return;
+
+  for (uint32_t r = 0; r < chunk.num_rows; ++r) {
+    bool satisfied = false;
+    for (const ChunkEqPlan& eq : p.eqs) {
+      const ConstantId lhs =
+          eq.col_l >= 0 ? static_cast<ConstantId>(chunk.cols[eq.col_l][r])
+                        : eq.const_l;
+      const ConstantId rhs =
+          eq.col_r >= 0 ? static_cast<ConstantId>(chunk.cols[eq.col_r][r])
+                        : eq.const_r;
+      if ((lhs == rhs) == eq.equal) {
+        satisfied = true;
+        break;
+      }
+    }
+
+    scratch_open_.clear();
+    if (!satisfied) {
+      for (const ChunkLitPlan& lp : p.lits) {
+        size_t key = lp.base;
+        bool in_dense = true;
+        for (const ChunkLitPlan::VarTerm& vt : lp.vars) {
+          const int64_t v = chunk.cols[vt.col][r];
+          if (v < 0 || static_cast<size_t>(v) >= vt.index_size) {
+            in_dense = false;
+            break;
+          }
+          const int32_t d = vt.index[v];
+          if (d < 0) {
+            in_dense = false;
+            break;
+          }
+          key += static_cast<size_t>(d) * vt.stride;
+        }
+        int32_t cid;
+        bool known_true = false;
+        if (in_dense) {
+          int32_t cell = lp.cells[key];
+          if (cell == kCellUnseen) {
+            cell = ResolveUnseenCell(clause.literals[lp.lit_idx], chunk, r, lp,
+                                     &lp.cells[key]);
+          }
+          if (cell >= 0) {
+            cid = cell;
+          } else {
+            cid = -1;
+            known_true = cell == kCellKnownTrue;
+          }
+        } else {
+          // Out-of-domain constant in the row: hash-interner fallback.
+          scratch_atom_.pred = clause.literals[lp.lit_idx].pred;
+          const Literal& lit = clause.literals[lp.lit_idx];
+          scratch_atom_.args.resize(lit.args.size());
+          for (size_t i = 0; i < lit.args.size(); ++i) {
+            const Term& t = lit.args[i];
+            scratch_atom_.args[i] =
+                t.is_var
+                    ? static_cast<ConstantId>(chunk.cols[var_col_[t.id]][r])
+                    : t.id;
+          }
+          cid = InternScratchAtom(&known_true);
+        }
+        if (cid >= 0) {
+          scratch_open_.push_back(lp.positive ? cid + 1 : -(cid + 1));
+        } else if (known_true == lp.positive) {
+          satisfied = true;
+          break;
+        }
+      }
+    }
+
+    if (satisfied) {
+      ++result_.stats.satisfied_by_evidence;
+      if (!clause.hard && clause.weight < 0) {
+        result_.fixed_cost += -clause.weight;
+      }
+      continue;
+    }
+    if (scratch_open_.empty()) {
+      if (clause.hard) {
+        result_.hard_contradiction = true;
+        ++result_.stats.hard_violations;
+        TUFFY_LOG(Warning) << "hard clause " << clause.rule_id
+                           << " violated by evidence";
+      } else if (clause.weight > 0) {
+        result_.fixed_cost += clause.weight;
+      }
+      continue;
+    }
+    const uint32_t begin = static_cast<uint32_t>(pending_lits_.size());
+    pending_lits_.insert(pending_lits_.end(), scratch_open_.begin(),
+                         scratch_open_.end());
+    pending_.push_back(PendingClause{
+        clause_idx, begin, static_cast<uint32_t>(pending_lits_.size())});
+    ChargeBytes(sizeof(PendingClause) +
+                scratch_open_.size() * sizeof(CandLit));
+  }
+}
+
+void GroundingContext::AbsorbPending(GroundingContext* local) {
+  assert(!finalized_ && !local->finalized_);
+  if (cand_atoms_.empty() && pending_.empty()) {
+    // First absorb into an empty owner: steal the local context's
+    // interner and pending arena wholesale — candidate-id numbering is
+    // internal, so the result is identical to a remap, minus the work.
+    cand_atoms_.swap(local->cand_atoms_);
+    cand_active_.swap(local->cand_active_);
+    cand_ids_.swap(local->cand_ids_);
+    dense_.swap(local->dense_);
+    type_dense_.swap(local->type_dense_);
+    pending_.swap(local->pending_);
+    pending_lits_.swap(local->pending_lits_);
+    chunk_plan_ = ChunkPlan{};        // cached cell pointers moved away
+    local->chunk_plan_ = ChunkPlan{};
+    charged_bytes_ += local->charged_bytes_;
+    pending_charge_ += local->pending_charge_;
+    local->charged_bytes_ = 0;
+    local->pending_charge_ = 0;
+    const GroundingResult& lr0 = local->result_;
+    result_.stats.candidates += lr0.stats.candidates;
+    result_.stats.satisfied_by_evidence += lr0.stats.satisfied_by_evidence;
+    result_.stats.hard_violations += lr0.stats.hard_violations;
+    result_.fixed_cost += lr0.fixed_cost;
+    result_.hard_contradiction =
+        result_.hard_contradiction || lr0.hard_contradiction;
+    return;
+  }
+  // Remap local candidate ids lazily: only atoms that survived into a
+  // pending clause are interned here.
+  std::vector<int32_t> remap(local->cand_atoms_.size(), -1);
+  pending_.reserve(pending_.size() + local->pending_.size());
+  pending_lits_.reserve(pending_lits_.size() + local->pending_lits_.size());
+  for (const PendingClause& pc : local->pending_) {
+    const uint32_t begin = static_cast<uint32_t>(pending_lits_.size());
+    for (uint32_t i = pc.begin; i < pc.end; ++i) {
+      CandLit l = local->pending_lits_[i];
+      const int32_t cid = l > 0 ? l - 1 : -l - 1;
+      int32_t& m = remap[cid];
+      if (m < 0) m = InternUnknownAtom(local->cand_atoms_[cid]);
+      pending_lits_.push_back(l > 0 ? m + 1 : -(m + 1));
+    }
+    pending_.push_back(PendingClause{
+        pc.clause_idx, begin, static_cast<uint32_t>(pending_lits_.size())});
+  }
+  local->pending_.clear();
+  local->pending_lits_.clear();
+  // Take over the local context's MemTracker charge (charged and
+  // not-yet-flushed alike) instead of double-counting.
+  charged_bytes_ += local->charged_bytes_;
+  pending_charge_ += local->pending_charge_;
+  local->charged_bytes_ = 0;
+  local->pending_charge_ = 0;
+
+  const GroundingResult& lr = local->result_;
+  result_.stats.candidates += lr.stats.candidates;
+  result_.stats.satisfied_by_evidence += lr.stats.satisfied_by_evidence;
+  result_.stats.hard_violations += lr.stats.hard_violations;
+  result_.fixed_cost += lr.fixed_cost;
+  result_.hard_contradiction =
+      result_.hard_contradiction || lr.hard_contradiction;
+}
+
+// --------------------------------------------------------------- closure
 
 bool GroundingContext::IsActive(const PendingClause& pc) const {
   const Clause& clause = program_.clauses()[pc.clause_idx];
   if (clause.hard || clause.weight > 0) {
     // Violable iff every negative literal's atom can be true, i.e. is
     // active (unknown atoms default to false under lazy inference).
-    for (CandLit l : pc.open_lits) {
+    for (uint32_t i = pc.begin; i < pc.end; ++i) {
+      const CandLit l = pending_lits_[i];
       if (l < 0 && cand_active_[-l - 1] == 0) return false;
     }
     return true;
   }
   // Negative weight: violated when the clause is true, i.e. some literal
   // can be made true.
-  for (CandLit l : pc.open_lits) {
+  for (uint32_t i = pc.begin; i < pc.end; ++i) {
+    const CandLit l = pending_lits_[i];
     if (l < 0) return true;  // atom defaults to false => literal true
     if (cand_active_[l - 1] != 0) return true;
   }
@@ -274,36 +693,44 @@ bool GroundingContext::IsActive(const PendingClause& pc) const {
 
 void GroundingContext::Emit(const PendingClause& pc) {
   const Clause& clause = program_.clauses()[pc.clause_idx];
-  GroundClause gc;
-  gc.weight = clause.hard ? 0.0 : clause.weight;
-  gc.hard = clause.hard;
-  gc.rule_id = clause.rule_id;
-  gc.lits.reserve(pc.open_lits.size());
-  for (CandLit l : pc.open_lits) {
-    int32_t cid = l > 0 ? l - 1 : -l - 1;
-    AtomId id = result_.atoms.GetOrCreate(cand_atoms_[cid]);
-    gc.lits.push_back(MakeLit(id, l > 0));
+  scratch_emit_lits_.clear();
+  for (uint32_t i = pc.begin; i < pc.end; ++i) {
+    const CandLit l = pending_lits_[i];
+    const int32_t cid = l > 0 ? l - 1 : -l - 1;
+    AtomId id = cid_atom_[cid];
+    if (id == kNoAtom) {
+      id = result_.atoms.GetOrCreate(cand_atoms_[cid]);
+      cid_atom_[cid] = id;
+    }
+    scratch_emit_lits_.push_back(MakeLit(id, l > 0));
     cand_active_[cid] = 1;
   }
-  result_.clauses.Add(std::move(gc));
+  result_.clauses.AddFromScratch(&scratch_emit_lits_,
+                                 clause.hard ? 0.0 : clause.weight,
+                                 clause.hard, clause.rule_id);
 }
 
 Result<GroundingResult> GroundingContext::Finalize() {
   if (finalized_) return Status::Internal("Finalize called twice");
   finalized_ = true;
   Timer timer;
+  cid_atom_.assign(cand_atoms_.size(), kNoAtom);
 
   if (!options_.lazy_closure) {
     for (const PendingClause& pc : pending_) Emit(pc);
     pending_.clear();
+    pending_lits_.clear();
     MemTracker::Global().Release(MemCategory::kGrounding, charged_bytes_);
     charged_bytes_ = 0;
+    pending_charge_ = 0;
     result_.stats.seconds += timer.ElapsedSeconds();
     return std::move(result_);
   }
 
   // Active-closure fixpoint (Appendix A.3): emitting a clause activates
-  // its atoms, which may activate further clauses.
+  // its atoms, which may activate further clauses. The literal arena is
+  // left untouched across iterations (spans stay valid); only the span
+  // list is compacted.
   bool changed = true;
   int iterations = 0;
   std::vector<PendingClause> still_pending;
@@ -312,12 +739,12 @@ Result<GroundingResult> GroundingContext::Finalize() {
     ++iterations;
     still_pending.clear();
     still_pending.reserve(pending_.size());
-    for (PendingClause& pc : pending_) {
+    for (const PendingClause& pc : pending_) {
       if (IsActive(pc)) {
         Emit(pc);
         changed = true;
       } else {
-        still_pending.push_back(std::move(pc));
+        still_pending.push_back(pc);
       }
     }
     pending_.swap(still_pending);
@@ -325,8 +752,10 @@ Result<GroundingResult> GroundingContext::Finalize() {
   result_.stats.closure_iterations = iterations;
   result_.stats.pruned_inactive = pending_.size();
   pending_.clear();
+  pending_lits_.clear();
   MemTracker::Global().Release(MemCategory::kGrounding, charged_bytes_);
   charged_bytes_ = 0;
+  pending_charge_ = 0;
   result_.stats.seconds += timer.ElapsedSeconds();
   return std::move(result_);
 }

@@ -54,6 +54,7 @@ class LiteralExpr final : public Expr {
   explicit LiteralExpr(Datum value) : value_(std::move(value)) {}
   Datum Eval(const Row&) const override { return value_; }
   std::string ToString() const override { return value_.ToString(); }
+  const Datum& value() const { return value_; }
 
  private:
   Datum value_;
@@ -67,6 +68,8 @@ class CompareExpr final : public Expr {
   Datum Eval(const Row& row) const override;
   std::string ToString() const override;
   CompareOp op() const { return op_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
 
  private:
   CompareOp op_;
@@ -81,6 +84,7 @@ class AndExpr final : public Expr {
       : children_(std::move(children)) {}
   Datum Eval(const Row& row) const override;
   std::string ToString() const override;
+  const std::vector<ExprPtr>& children() const { return children_; }
 
  private:
   std::vector<ExprPtr> children_;

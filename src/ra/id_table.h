@@ -1,0 +1,51 @@
+#ifndef TUFFY_RA_ID_TABLE_H_
+#define TUFFY_RA_ID_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tuffy {
+
+class Table;
+
+/// Columnar mirror of a relation whose attributes are all interned
+/// constant ids (kInt64, no NULLs): one flat int64 vector per column.
+/// This is the storage format the batch executor scans — no per-row
+/// vector, no per-cell variant tag, one contiguous array per attribute
+/// (Section 3.1's atom tables, laid out the way a column store would).
+///
+/// An IdTable is a derived view: Table::Analyze builds and caches one
+/// when the schema qualifies, and any mutation invalidates it. The
+/// row-oriented Table API stays authoritative for display and tests.
+class IdTable {
+ public:
+  IdTable() = default;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return cols_.size(); }
+  const std::vector<int64_t>& col(size_t i) const { return cols_[i]; }
+
+  /// True when every value fits in [0, 2^31): the precondition for
+  /// packing two key columns into one uint64 hash-join key.
+  bool narrow() const { return narrow_; }
+
+  /// Populates `out` from `table` if every column is kInt64 and no cell
+  /// is NULL; returns false (leaving `out` unspecified) otherwise.
+  static bool Build(const Table& table, IdTable* out);
+
+  size_t EstimateBytes() const {
+    size_t bytes = 0;
+    for (const auto& c : cols_) bytes += c.capacity() * sizeof(int64_t);
+    return bytes;
+  }
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<std::vector<int64_t>> cols_;
+  bool narrow_ = true;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_RA_ID_TABLE_H_

@@ -17,6 +17,22 @@ Row ConcatRows(const Row& left, const Row& right) {
 }
 }  // namespace
 
+// --------------------------------------------------------------- Analyze
+
+void EnableAnalyze(PhysicalOp* root) {
+  root->set_analyze(true);
+  root->ForEachChild([](PhysicalOp* child) { EnableAnalyze(child); });
+}
+
+void AppendAnalyze(PhysicalOp* root, int depth, std::string* out) {
+  *out += StrFormat("%*s%s: rows=%llu time=%.3fms\n", depth * 2, "",
+                    root->name().c_str(),
+                    static_cast<unsigned long long>(root->rows_produced()),
+                    root->seconds() * 1e3);
+  root->ForEachChild(
+      [&](PhysicalOp* child) { AppendAnalyze(child, depth + 1, out); });
+}
+
 // ---------------------------------------------------------------- SeqScan
 
 Status SeqScanOp::Open() {
@@ -26,6 +42,7 @@ Status SeqScanOp::Open() {
 }
 
 Result<bool> SeqScanOp::Next(Row* out) {
+  MaybeTimer t(this);
   if (pos_ >= table_->num_rows()) return false;
   *out = table_->row(pos_++);
   ++rows_produced_;
@@ -36,10 +53,12 @@ Result<bool> SeqScanOp::Next(Row* out) {
 
 Status FilterOp::Open() {
   rows_produced_ = 0;
+  MaybeTimer t(this);
   return child_->Open();
 }
 
 Result<bool> FilterOp::Next(Row* out) {
+  MaybeTimer t(this);
   while (true) {
     TUFFY_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
@@ -66,6 +85,7 @@ ProjectOp::ProjectOp(PhysicalOpPtr child, std::vector<int> columns,
 }
 
 Result<bool> ProjectOp::Next(Row* out) {
+  MaybeTimer t(this);
   Row in;
   TUFFY_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
   if (!has) return false;
@@ -93,6 +113,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
 
 Status NestedLoopJoinOp::Open() {
   rows_produced_ = 0;
+  MaybeTimer t(this);
   TUFFY_RETURN_IF_ERROR(left_->Open());
   TUFFY_RETURN_IF_ERROR(right_->Open());
   right_rows_.clear();
@@ -109,6 +130,7 @@ Status NestedLoopJoinOp::Open() {
 }
 
 Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  MaybeTimer t(this);
   while (true) {
     if (!left_valid_) {
       TUFFY_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
@@ -159,22 +181,19 @@ HashJoinOp::HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
   schema_ = Schema::Concat(left_->output_schema(), right_->output_schema());
 }
 
-std::vector<Datum> HashJoinOp::LeftKey(const Row& row) const {
-  std::vector<Datum> key;
-  key.reserve(keys_.size());
-  for (const JoinKey& k : keys_) key.push_back(row[k.left_col]);
-  return key;
-}
-
-std::vector<Datum> HashJoinOp::RightKey(const Row& row) const {
-  std::vector<Datum> key;
-  key.reserve(keys_.size());
-  for (const JoinKey& k : keys_) key.push_back(row[k.right_col]);
-  return key;
+bool HashJoinOp::FillKey(const Row& row, bool left) {
+  scratch_key_.clear();
+  for (const JoinKey& k : keys_) {
+    const Datum& d = row[left ? k.left_col : k.right_col];
+    if (d.is_null()) return false;  // NULL keys never join
+    scratch_key_.push_back(d);
+  }
+  return true;
 }
 
 Status HashJoinOp::Open() {
   rows_produced_ = 0;
+  MaybeTimer t(this);
   TUFFY_RETURN_IF_ERROR(left_->Open());
   TUFFY_RETURN_IF_ERROR(right_->Open());
   hash_table_.clear();
@@ -183,11 +202,14 @@ Status HashJoinOp::Open() {
     auto has = right_->Next(&row);
     if (!has.ok()) return has.status();
     if (!has.value()) break;
-    std::vector<Datum> key = RightKey(row);
-    bool null_key = false;
-    for (const Datum& d : key) null_key |= d.is_null();
-    if (null_key) continue;  // NULL keys never join
-    hash_table_[std::move(key)].push_back(row);
+    if (!FillKey(row, /*left=*/false)) continue;
+    // find-then-emplace keeps the scratch buffer alive: the key vector is
+    // only copied when a new distinct key is inserted.
+    auto it = hash_table_.find(scratch_key_);
+    if (it == hash_table_.end()) {
+      it = hash_table_.emplace(scratch_key_, std::vector<Row>{}).first;
+    }
+    it->second.push_back(row);
   }
   left_valid_ = false;
   matches_ = nullptr;
@@ -196,19 +218,17 @@ Status HashJoinOp::Open() {
 }
 
 Result<bool> HashJoinOp::Next(Row* out) {
+  MaybeTimer t(this);
   while (true) {
     if (!left_valid_) {
       TUFFY_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
       if (!has) return false;
       left_valid_ = true;
-      std::vector<Datum> key = LeftKey(left_row_);
-      bool null_key = false;
-      for (const Datum& d : key) null_key |= d.is_null();
-      if (null_key) {
+      if (!FillKey(left_row_, /*left=*/true)) {
         left_valid_ = false;
         continue;
       }
-      auto it = hash_table_.find(key);
+      auto it = hash_table_.find(scratch_key_);
       if (it == hash_table_.end()) {
         left_valid_ = false;
         continue;
@@ -259,6 +279,7 @@ std::vector<Datum> SortMergeJoinOp::Key(const Row& row, bool left) const {
 
 Status SortMergeJoinOp::Open() {
   rows_produced_ = 0;
+  MaybeTimer t(this);
   TUFFY_RETURN_IF_ERROR(left_->Open());
   TUFFY_RETURN_IF_ERROR(right_->Open());
   left_rows_.clear();
@@ -268,35 +289,36 @@ Status SortMergeJoinOp::Open() {
     auto has = left_->Next(&row);
     if (!has.ok()) return has.status();
     if (!has.value()) break;
-    left_rows_.push_back(row);
+    left_rows_.emplace_back(Key(row, /*left=*/true), row);
   }
   while (true) {
     auto has = right_->Next(&row);
     if (!has.ok()) return has.status();
     if (!has.value()) break;
-    right_rows_.push_back(row);
+    right_rows_.emplace_back(Key(row, /*left=*/false), row);
   }
-  auto cmp_left = [this](const Row& a, const Row& b) {
-    return Key(a, true) < Key(b, true);
+  // Keys are computed once per row above; the sort compares the cached
+  // key vectors instead of rebuilding them on every comparison.
+  auto cmp = [](const std::pair<std::vector<Datum>, Row>& a,
+                const std::pair<std::vector<Datum>, Row>& b) {
+    return a.first < b.first;
   };
-  auto cmp_right = [this](const Row& a, const Row& b) {
-    return Key(a, false) < Key(b, false);
-  };
-  std::sort(left_rows_.begin(), left_rows_.end(), cmp_left);
-  std::sort(right_rows_.begin(), right_rows_.end(), cmp_right);
+  std::sort(left_rows_.begin(), left_rows_.end(), cmp);
+  std::sort(right_rows_.begin(), right_rows_.end(), cmp);
   li_ = ri_ = 0;
   in_group_ = false;
   return Status::OK();
 }
 
 Result<bool> SortMergeJoinOp::Next(Row* out) {
+  MaybeTimer t(this);
   while (true) {
     if (in_group_) {
       // Emit the cross product of the current equal-key groups.
       while (cur_left_ < group_left_end_) {
         while (cur_right_ < group_right_end_) {
-          Row joined =
-              ConcatRows(left_rows_[cur_left_], right_rows_[cur_right_]);
+          Row joined = ConcatRows(left_rows_[cur_left_].second,
+                                  right_rows_[cur_right_].second);
           ++cur_right_;
           if (residual_ != nullptr && !residual_->EvalBool(joined)) continue;
           *out = std::move(joined);
@@ -311,8 +333,8 @@ Result<bool> SortMergeJoinOp::Next(Row* out) {
       ri_ = group_right_end_;
     }
     if (li_ >= left_rows_.size() || ri_ >= right_rows_.size()) return false;
-    std::vector<Datum> lk = Key(left_rows_[li_], true);
-    std::vector<Datum> rk = Key(right_rows_[ri_], false);
+    const std::vector<Datum>& lk = left_rows_[li_].first;
+    const std::vector<Datum>& rk = right_rows_[ri_].first;
     bool null_key = false;
     for (const Datum& d : lk) null_key |= d.is_null();
     if (null_key) {
@@ -332,13 +354,13 @@ Result<bool> SortMergeJoinOp::Next(Row* out) {
       // Delimit both equal-key groups.
       group_left_end_ = li_;
       while (group_left_end_ < left_rows_.size() &&
-             Key(left_rows_[group_left_end_], true) == lk) {
+             left_rows_[group_left_end_].first == lk) {
         ++group_left_end_;
       }
       group_right_begin_ = ri_;
       group_right_end_ = ri_;
       while (group_right_end_ < right_rows_.size() &&
-             Key(right_rows_[group_right_end_], false) == rk) {
+             right_rows_[group_right_end_].first == rk) {
         ++group_right_end_;
       }
       cur_left_ = li_;
@@ -363,6 +385,7 @@ std::string SortMergeJoinOp::name() const {
 
 Status SortOp::Open() {
   rows_produced_ = 0;
+  MaybeTimer t(this);
   TUFFY_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   Row row;
@@ -384,6 +407,7 @@ Status SortOp::Open() {
 }
 
 Result<bool> SortOp::Next(Row* out) {
+  MaybeTimer t(this);
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   ++rows_produced_;
@@ -404,6 +428,7 @@ Status DistinctOp::Open() {
 }
 
 Result<bool> DistinctOp::Next(Row* out) {
+  MaybeTimer t(this);
   while (true) {
     TUFFY_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
@@ -434,6 +459,7 @@ HashAggregateOp::HashAggregateOp(PhysicalOpPtr child,
 
 Status HashAggregateOp::Open() {
   rows_produced_ = 0;
+  MaybeTimer t(this);
   TUFFY_RETURN_IF_ERROR(child_->Open());
   std::unordered_map<Row, int64_t, KeyHash> groups;
   Row row;
@@ -458,6 +484,7 @@ Status HashAggregateOp::Open() {
 }
 
 Result<bool> HashAggregateOp::Next(Row* out) {
+  MaybeTimer t(this);
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
   ++rows_produced_;

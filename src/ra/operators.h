@@ -1,6 +1,7 @@
 #ifndef TUFFY_RA_OPERATORS_H_
 #define TUFFY_RA_OPERATORS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "ra/table.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace tuffy {
 
@@ -26,15 +28,44 @@ class PhysicalOp {
   virtual const Schema& output_schema() const = 0;
   /// One-line description, e.g. "HashJoin(keys=1)".
   virtual std::string name() const = 0;
+  /// Visits direct children (EXPLAIN ANALYZE tree walks).
+  virtual void ForEachChild(const std::function<void(PhysicalOp*)>& fn) {}
 
   /// Rows emitted since Open (for EXPLAIN ANALYZE-style reporting).
   uint64_t rows_produced() const { return rows_produced_; }
+  /// Inclusive wall time in Open + Next; only accumulated when analyze
+  /// instrumentation is on (per-row clock reads are not free).
+  double seconds() const { return seconds_; }
+  void set_analyze(bool on) { analyze_ = on; }
 
  protected:
+  /// Accumulates inclusive time into the op when analyze mode is on;
+  /// a single predictable branch otherwise.
+  class MaybeTimer {
+   public:
+    explicit MaybeTimer(PhysicalOp* op) : op_(op->analyze_ ? op : nullptr) {}
+    ~MaybeTimer() {
+      if (op_ != nullptr) op_->seconds_ += timer_.ElapsedSeconds();
+    }
+
+   private:
+    Timer timer_;
+    PhysicalOp* op_;
+  };
+
   uint64_t rows_produced_ = 0;
+  double seconds_ = 0.0;
+  bool analyze_ = false;
 };
 
 using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+/// Turns on timing instrumentation for a whole plan.
+void EnableAnalyze(PhysicalOp* root);
+
+/// Appends one line per operator (rows, inclusive milliseconds) to `out`
+/// — the EXPLAIN ANALYZE rendering of a Volcano plan.
+void AppendAnalyze(PhysicalOp* root, int depth, std::string* out);
 
 /// Full scan of a materialized table.
 class SeqScanOp final : public PhysicalOp {
@@ -67,6 +98,9 @@ class FilterOp final : public PhysicalOp {
   std::string name() const override {
     return "Filter(" + predicate_->ToString() + ")";
   }
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(child_.get());
+  }
 
  private:
   PhysicalOpPtr child_;
@@ -84,6 +118,9 @@ class ProjectOp final : public PhysicalOp {
   void Close() override { child_->Close(); }
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override;
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(child_.get());
+  }
 
  private:
   PhysicalOpPtr child_;
@@ -112,6 +149,10 @@ class NestedLoopJoinOp final : public PhysicalOp {
   void Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override;
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(left_.get());
+    fn(right_.get());
+  }
 
  private:
   PhysicalOpPtr left_;
@@ -137,6 +178,10 @@ class HashJoinOp final : public PhysicalOp {
   void Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override;
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(left_.get());
+    fn(right_.get());
+  }
 
  private:
   struct KeyHash {
@@ -147,8 +192,9 @@ class HashJoinOp final : public PhysicalOp {
     }
   };
 
-  std::vector<Datum> LeftKey(const Row& row) const;
-  std::vector<Datum> RightKey(const Row& row) const;
+  /// Fills scratch_key_ in place (one reusable buffer instead of a
+  /// per-row vector allocation). Returns false on a NULL key component.
+  bool FillKey(const Row& row, bool left);
 
   PhysicalOpPtr left_;
   PhysicalOpPtr right_;
@@ -156,6 +202,7 @@ class HashJoinOp final : public PhysicalOp {
   ExprPtr residual_;
   Schema schema_;
   std::unordered_map<std::vector<Datum>, std::vector<Row>, KeyHash> hash_table_;
+  std::vector<Datum> scratch_key_;
   Row left_row_;
   bool left_valid_ = false;
   const std::vector<Row>* matches_ = nullptr;
@@ -174,6 +221,10 @@ class SortMergeJoinOp final : public PhysicalOp {
   void Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override;
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(left_.get());
+    fn(right_.get());
+  }
 
  private:
   std::vector<Datum> Key(const Row& row, bool left) const;
@@ -183,8 +234,10 @@ class SortMergeJoinOp final : public PhysicalOp {
   std::vector<JoinKey> keys_;
   ExprPtr residual_;
   Schema schema_;
-  std::vector<Row> left_rows_;
-  std::vector<Row> right_rows_;
+  /// Materialized inputs with their join keys computed once per row
+  /// (the sort used to rebuild the key vector on every comparison).
+  std::vector<std::pair<std::vector<Datum>, Row>> left_rows_;
+  std::vector<std::pair<std::vector<Datum>, Row>> right_rows_;
   size_t li_ = 0;
   size_t ri_ = 0;
   // Current matching key group.
@@ -209,6 +262,9 @@ class SortOp final : public PhysicalOp {
     return child_->output_schema();
   }
   std::string name() const override { return "Sort"; }
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(child_.get());
+  }
 
  private:
   PhysicalOpPtr child_;
@@ -229,6 +285,9 @@ class DistinctOp final : public PhysicalOp {
     return child_->output_schema();
   }
   std::string name() const override { return "Distinct"; }
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(child_.get());
+  }
 
  private:
   struct RowHash {
@@ -253,6 +312,9 @@ class HashAggregateOp final : public PhysicalOp {
   void Close() override;
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "HashAggregate(count)"; }
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(child_.get());
+  }
 
  private:
   struct KeyHash {

@@ -21,6 +21,42 @@ double DistinctEstimate(const Table* table, int col) {
   return std::max<double>(1.0, static_cast<double>(table->num_rows()));
 }
 
+/// Lowers a pushed-down scan filter into VecPredicates. Handles exactly
+/// the grammar the grounding compiler emits — conjunctions of col = const
+/// and col = col equalities; anything else keeps the query on the
+/// Volcano path.
+bool TryLowerPredicate(const Expr* e, std::vector<VecPredicate>* out) {
+  if (const auto* a = dynamic_cast<const AndExpr*>(e)) {
+    for (const ExprPtr& child : a->children()) {
+      if (!TryLowerPredicate(child.get(), out)) return false;
+    }
+    return true;
+  }
+  if (const auto* c = dynamic_cast<const CompareExpr*>(e)) {
+    if (c->op() != CompareOp::kEq) return false;
+    const auto* lcol = dynamic_cast<const ColumnRefExpr*>(c->lhs());
+    const auto* rcol = dynamic_cast<const ColumnRefExpr*>(c->rhs());
+    const auto* llit = dynamic_cast<const LiteralExpr*>(c->lhs());
+    const auto* rlit = dynamic_cast<const LiteralExpr*>(c->rhs());
+    if (lcol != nullptr && rcol != nullptr) {
+      out->push_back(VecPredicate::EqCols(lcol->index(), rcol->index()));
+      return true;
+    }
+    if (lcol != nullptr && rlit != nullptr && rlit->value().is_int64()) {
+      out->push_back(VecPredicate::EqConst(lcol->index(),
+                                           rlit->value().int64()));
+      return true;
+    }
+    if (rcol != nullptr && llit != nullptr && llit->value().is_int64()) {
+      out->push_back(VecPredicate::EqConst(rcol->index(),
+                                           llit->value().int64()));
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
 }  // namespace
 
 double Optimizer::EstimateFilteredRows(const TableRef& ref) const {
@@ -110,11 +146,82 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
     std::fill(placed.begin(), placed.end(), false);
   }
 
-  // ---- Physical plan construction. ----
-  std::string explain;
-  // Column offset of each placed table in the concatenated join row.
-  std::vector<int> col_offset(n, -1);
+  // ---- Vectorized eligibility (inspected before filters are moved
+  // into the Volcano plan below). Lesion configurations that disable
+  // hash joins or predicate pushdown must stay on the Volcano operators
+  // they are studying; a fixed join order, by contrast, carries over
+  // (the batch plan honors the same order).
+  bool vec_ok = options_.enable_vectorized && options_.enable_hash_join &&
+                !options_.disable_predicate_pushdown;
+  std::vector<std::vector<VecPredicate>> scan_preds(n);
+  for (size_t t = 0; vec_ok && t < n; ++t) {
+    const TableRef& ref = query.tables[t];
+    const IdTable* view = ref.table->id_view();
+    if (view == nullptr || !view->narrow()) {
+      vec_ok = false;
+      break;
+    }
+    if (ref.filter != nullptr &&
+        !TryLowerPredicate(ref.filter.get(), &scan_preds[t])) {
+      vec_ok = false;
+    }
+  }
 
+  // ---- Step schedule shared by both physical translations: join keys
+  // and cycle residuals per step, plus each table's column offset in the
+  // concatenated join row. ----
+  struct StepJoin {
+    std::vector<JoinKey> keys;
+    /// Absolute column pairs of join conditions not usable as keys.
+    std::vector<std::pair<int, int>> cycles;
+  };
+  std::vector<StepJoin> steps(order.size());
+  std::vector<int> col_offset(n, -1);
+  std::vector<bool> join_applied(query.joins.size(), false);
+  {
+    int t0 = order[0];
+    col_offset[t0] = 0;
+    int total_cols =
+        static_cast<int>(query.tables[t0].table->schema().num_columns());
+    placed[t0] = true;
+    for (size_t step = 1; step < order.size(); ++step) {
+      int t = order[step];
+      for (size_t j = 0; j < query.joins.size(); ++j) {
+        if (join_applied[j]) continue;
+        const JoinCondition& jc = query.joins[j];
+        if (jc.left_table == t && placed[jc.right_table]) {
+          steps[step].keys.push_back(
+              JoinKey{col_offset[jc.right_table] + jc.right_col, jc.left_col});
+          join_applied[j] = true;
+        } else if (jc.right_table == t && placed[jc.left_table]) {
+          steps[step].keys.push_back(
+              JoinKey{col_offset[jc.left_table] + jc.left_col, jc.right_col});
+          join_applied[j] = true;
+        }
+      }
+      col_offset[t] = total_cols;
+      total_cols +=
+          static_cast<int>(query.tables[t].table->schema().num_columns());
+      placed[t] = true;
+      // Join conditions whose both sides are now placed but which were
+      // not usable as keys (cycles in the join graph).
+      for (size_t j = 0; j < query.joins.size(); ++j) {
+        if (join_applied[j]) continue;
+        const JoinCondition& jc = query.joins[j];
+        if (placed[jc.left_table] && placed[jc.right_table]) {
+          steps[step].cycles.emplace_back(
+              col_offset[jc.left_table] + jc.left_col,
+              col_offset[jc.right_table] + jc.right_col);
+          join_applied[j] = true;
+        }
+      }
+      // The packed-key batch join handles at most two key columns.
+      if (steps[step].keys.size() > 2) vec_ok = false;
+    }
+  }
+
+  // ---- Volcano plan construction. ----
+  std::string explain;
   auto make_scan = [&](int t) -> PhysicalOpPtr {
     TableRef& ref = query.tables[t];
     PhysicalOpPtr op = std::make_unique<SeqScanOp>(ref.table);
@@ -128,31 +235,11 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
   PhysicalOpPtr root = make_scan(t0);
   explain += StrFormat("Scan %s (est_rows=%.0f)\n",
                        query.tables[t0].table->name().c_str(), base_rows[t0]);
-  col_offset[t0] = 0;
-  int total_cols =
-      static_cast<int>(query.tables[t0].table->schema().num_columns());
-  placed[t0] = true;
-  std::vector<bool> join_applied(query.joins.size(), false);
 
   for (size_t step = 1; step < order.size(); ++step) {
     int t = order[step];
     PhysicalOpPtr right = make_scan(t);
-
-    // Collect equi-join keys between the placed tree and table t.
-    std::vector<JoinKey> keys;
-    for (size_t j = 0; j < query.joins.size(); ++j) {
-      if (join_applied[j]) continue;
-      const JoinCondition& jc = query.joins[j];
-      if (jc.left_table == t && placed[jc.right_table]) {
-        keys.push_back(
-            JoinKey{col_offset[jc.right_table] + jc.right_col, jc.left_col});
-        join_applied[j] = true;
-      } else if (jc.right_table == t && placed[jc.left_table]) {
-        keys.push_back(
-            JoinKey{col_offset[jc.left_table] + jc.left_col, jc.right_col});
-        join_applied[j] = true;
-      }
-    }
+    const std::vector<JoinKey>& keys = steps[step].keys;
 
     const char* algo;
     if (keys.empty()) {
@@ -174,23 +261,12 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
     }
     explain += StrFormat("%s with %s (keys=%zu)\n", algo,
                          query.tables[t].table->name().c_str(), keys.size());
-    col_offset[t] = total_cols;
-    total_cols += static_cast<int>(query.tables[t].table->schema().num_columns());
-    placed[t] = true;
 
-    // Apply any join conditions whose both sides are now placed but which
-    // were not usable as keys (cycles in the join graph).
-    std::vector<ExprPtr> residuals;
-    for (size_t j = 0; j < query.joins.size(); ++j) {
-      if (join_applied[j]) continue;
-      const JoinCondition& jc = query.joins[j];
-      if (placed[jc.left_table] && placed[jc.right_table]) {
-        residuals.push_back(Eq(Col(col_offset[jc.left_table] + jc.left_col),
-                               Col(col_offset[jc.right_table] + jc.right_col)));
-        join_applied[j] = true;
+    if (!steps[step].cycles.empty()) {
+      std::vector<ExprPtr> residuals;
+      for (const auto& [a, b] : steps[step].cycles) {
+        residuals.push_back(Eq(Col(a), Col(b)));
       }
-    }
-    if (!residuals.empty()) {
       size_t count = residuals.size();
       root = std::make_unique<FilterOp>(std::move(root),
                                         And(std::move(residuals)));
@@ -228,9 +304,51 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
     root = std::make_unique<ProjectOp>(std::move(root), out_cols, out_names);
     explain += StrFormat("Project (%zu cols)\n", out_cols.size());
   }
+  if (options_.analyze) EnableAnalyze(root.get());
+
+  // ---- Batch plan: same join order, same keys, same output order —
+  // VecHashJoin/VecCrossJoin emit rows exactly as their Volcano
+  // counterparts do, so the two plans are interchangeable bit for bit.
+  VecOpPtr vec_root;
+  if (vec_ok) {
+    auto make_vec_scan = [&](int t) -> VecOpPtr {
+      const TableRef& ref = query.tables[t];
+      VecOpPtr op = std::make_unique<VecScanOp>(ref.table->id_view(),
+                                                ref.table->name());
+      if (!scan_preds[t].empty()) {
+        op = std::make_unique<VecFilterOp>(std::move(op), scan_preds[t]);
+      }
+      return op;
+    };
+    VecOpPtr vroot = make_vec_scan(order[0]);
+    for (size_t step = 1; step < order.size(); ++step) {
+      VecOpPtr vright = make_vec_scan(order[step]);
+      if (steps[step].keys.empty()) {
+        vroot = std::make_unique<VecCrossJoinOp>(std::move(vroot),
+                                                 std::move(vright));
+      } else {
+        vroot = std::make_unique<VecHashJoinOp>(
+            std::move(vroot), std::move(vright), steps[step].keys);
+      }
+      if (!steps[step].cycles.empty()) {
+        std::vector<VecPredicate> residuals;
+        for (const auto& [a, b] : steps[step].cycles) {
+          residuals.push_back(VecPredicate::EqCols(a, b));
+        }
+        vroot = std::make_unique<VecFilterOp>(std::move(vroot),
+                                              std::move(residuals));
+      }
+    }
+    if (!out_cols.empty()) {
+      vroot = std::make_unique<VecProjectOp>(std::move(vroot), out_cols);
+    }
+    vec_root = std::move(vroot);
+    explain += StrFormat("Vectorized: batch plan (chunk=%u)\n", kVecChunkRows);
+  }
 
   OptimizedPlan plan;
   plan.root = std::move(root);
+  plan.vec_root = std::move(vec_root);
   plan.join_order = std::move(order);
   plan.explain = std::move(explain);
   return plan;

@@ -7,6 +7,7 @@
 
 #include "ra/operators.h"
 #include "ra/query.h"
+#include "ra/vec_ops.h"
 #include "util/result.h"
 
 namespace tuffy {
@@ -23,15 +24,31 @@ struct OptimizerOptions {
   /// If true, per-table filters stay above the joins (disables predicate
   /// pushdown). The default pushes filters onto the scans.
   bool disable_predicate_pushdown = false;
+  /// If true (default), Plan additionally emits a columnar batch plan
+  /// whenever every input relation has a narrow id view, every pushed
+  /// filter fits the VecPredicate grammar, and no join step needs more
+  /// than two key columns. Executors prefer vec_root when present; the
+  /// Volcano plan remains the lesion baseline.
+  bool enable_vectorized = true;
+  /// Instruments the Volcano plan with per-operator timing so EXPLAIN
+  /// output can include ANALYZE-style rows/time per operator. Batch
+  /// operators are always instrumented (per-chunk cost is negligible).
+  bool analyze = false;
 };
 
 /// The optimized physical plan plus EXPLAIN-style metadata.
 struct OptimizedPlan {
   PhysicalOpPtr root;
+  /// Equivalent columnar batch plan, or null when the query does not
+  /// qualify (see OptimizerOptions::enable_vectorized). Produces the
+  /// same rows in the same order as `root`.
+  VecOpPtr vec_root;
   /// Join order as indices into query.tables.
   std::vector<int> join_order;
   /// Human-readable operator tree, one operator per line.
   std::string explain;
+
+  bool vectorized() const { return vec_root != nullptr; }
 };
 
 /// A System R-lite optimizer for conjunctive queries: estimates

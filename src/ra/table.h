@@ -2,9 +2,11 @@
 #define TUFFY_RA_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ra/id_table.h"
 #include "ra/schema.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -45,10 +47,24 @@ class Table {
   Status AppendChecked(Row row);
 
   void Reserve(size_t n) { rows_.reserve(n); }
-  void Clear() { rows_.clear(); stats_valid_ = false; }
+  void Clear() {
+    rows_.clear();
+    stats_valid_ = false;
+    id_view_.reset();
+  }
 
-  /// Recomputes and caches table statistics (ANALYZE).
+  /// Recomputes and caches table statistics (ANALYZE). num_distinct is
+  /// exact for small tables and a sampled GEE estimate for large ones
+  /// (deterministic sample), so ANALYZE stays linear-ish and the
+  /// optimizer's join ordering does not degenerate on large atom tables.
+  /// Also (re)builds the columnar id view when the schema qualifies.
   const TableStats& Analyze();
+
+  /// Columnar mirror for the batch executor: non-null only after Analyze
+  /// on an all-kInt64, NULL-free relation, and invalidated by any
+  /// mutation. Never built lazily — grounding reads tables from many
+  /// threads, so the build happens at ANALYZE time on the loader thread.
+  const IdTable* id_view() const { return id_view_.get(); }
 
   /// Cached stats; if never analyzed, returns row count with zero
   /// distinct estimates.
@@ -64,6 +80,7 @@ class Table {
   std::vector<Row> rows_;
   TableStats stats_;
   bool stats_valid_ = false;
+  std::unique_ptr<IdTable> id_view_;
 };
 
 }  // namespace tuffy

@@ -1,0 +1,376 @@
+#include "ra/vec_ops.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tuffy {
+
+namespace {
+
+/// Accumulates inclusive wall time into `*acc` on scope exit.
+class ScopedSeconds {
+ public:
+  explicit ScopedSeconds(double* acc) : acc_(acc) {}
+  ~ScopedSeconds() { *acc_ += timer_.ElapsedSeconds(); }
+
+ private:
+  Timer timer_;
+  double* acc_;
+};
+
+uint64_t HashKey(uint64_t key) { return SplitMix64(key); }
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool EvalPredicates(const std::vector<VecPredicate>& predicates,
+                    const ColumnChunk& chunk, uint32_t row) {
+  for (const VecPredicate& p : predicates) {
+    if (p.kind == VecPredicate::Kind::kColEqConst) {
+      if (chunk.cols[p.col_a][row] != p.value) return false;
+    } else {
+      if (chunk.cols[p.col_a][row] != chunk.cols[p.col_b][row]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- VecScan
+
+Status VecScanOp::Open() {
+  pos_ = 0;
+  rows_produced_ = 0;
+  chunks_produced_ = 0;
+  return Status::OK();
+}
+
+Result<bool> VecScanOp::NextChunk(ColumnChunk* out) {
+  ScopedSeconds t(&seconds_);
+  if (pos_ >= table_->num_rows()) return false;
+  const size_t rows =
+      std::min<size_t>(kVecChunkRows, table_->num_rows() - pos_);
+  out->Reset(table_->num_cols());
+  for (size_t c = 0; c < table_->num_cols(); ++c) {
+    const std::vector<int64_t>& col = table_->col(c);
+    out->cols[c].assign(col.begin() + pos_, col.begin() + pos_ + rows);
+  }
+  out->num_rows = static_cast<uint32_t>(rows);
+  pos_ += rows;
+  rows_produced_ += rows;
+  ++chunks_produced_;
+  return true;
+}
+
+// -------------------------------------------------------------- VecFilter
+
+Status VecFilterOp::Open() {
+  rows_produced_ = 0;
+  chunks_produced_ = 0;
+  ScopedSeconds t(&seconds_);
+  return child_->Open();
+}
+
+Result<bool> VecFilterOp::NextChunk(ColumnChunk* out) {
+  ScopedSeconds t(&seconds_);
+  while (true) {
+    TUFFY_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&scratch_));
+    if (!has) return false;
+    sel_.clear();
+    for (uint32_t r = 0; r < scratch_.num_rows; ++r) {
+      if (EvalPredicates(predicates_, scratch_, r)) sel_.push_back(r);
+    }
+    if (sel_.empty()) continue;
+    out->Reset(scratch_.cols.size());
+    for (size_t c = 0; c < scratch_.cols.size(); ++c) {
+      out->cols[c].reserve(sel_.size());
+      for (uint32_t r : sel_) out->cols[c].push_back(scratch_.cols[c][r]);
+    }
+    out->num_rows = static_cast<uint32_t>(sel_.size());
+    rows_produced_ += out->num_rows;
+    ++chunks_produced_;
+    return true;
+  }
+}
+
+std::string VecFilterOp::name() const {
+  return StrFormat("VecFilter(%zu preds)", predicates_.size());
+}
+
+// ------------------------------------------------------------- VecProject
+
+Status VecProjectOp::Open() {
+  rows_produced_ = 0;
+  chunks_produced_ = 0;
+  ScopedSeconds t(&seconds_);
+  return child_->Open();
+}
+
+Result<bool> VecProjectOp::NextChunk(ColumnChunk* out) {
+  ScopedSeconds t(&seconds_);
+  TUFFY_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&scratch_));
+  if (!has) return false;
+  out->Reset(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out->cols[i] = scratch_.cols[columns_[i]];
+  }
+  out->num_rows = scratch_.num_rows;
+  rows_produced_ += out->num_rows;
+  ++chunks_produced_;
+  return true;
+}
+
+std::string VecProjectOp::name() const {
+  return StrFormat("VecProject(%zu cols)", columns_.size());
+}
+
+// ------------------------------------------------------------ VecHashJoin
+
+VecHashJoinOp::VecHashJoinOp(VecOpPtr left, VecOpPtr right,
+                             std::vector<JoinKey> keys)
+    : left_(std::move(left)), right_(std::move(right)), keys_(std::move(keys)) {
+}
+
+uint64_t VecHashJoinOp::PackBuildKey(size_t row) const {
+  if (keys_.size() == 1) {
+    return static_cast<uint64_t>(build_cols_[keys_[0].right_col][row]);
+  }
+  return (static_cast<uint64_t>(
+              static_cast<uint32_t>(build_cols_[keys_[0].right_col][row]))
+          << 32) |
+         static_cast<uint32_t>(build_cols_[keys_[1].right_col][row]);
+}
+
+uint64_t VecHashJoinOp::PackProbeKey(uint32_t row) const {
+  if (keys_.size() == 1) {
+    return static_cast<uint64_t>(probe_.cols[keys_[0].left_col][row]);
+  }
+  return (static_cast<uint64_t>(
+              static_cast<uint32_t>(probe_.cols[keys_[0].left_col][row]))
+          << 32) |
+         static_cast<uint32_t>(probe_.cols[keys_[1].left_col][row]);
+}
+
+int32_t VecHashJoinOp::Lookup(uint64_t key) const {
+  if (build_rows_ == 0) return -1;
+  size_t slot = HashKey(key) & slot_mask_;
+  while (slot_head_[slot] >= 0) {
+    if (slot_key_[slot] == key) return slot_head_[slot];
+    slot = (slot + 1) & slot_mask_;
+  }
+  return -1;
+}
+
+Status VecHashJoinOp::Open() {
+  ScopedSeconds t(&seconds_);
+  rows_produced_ = 0;
+  chunks_produced_ = 0;
+  TUFFY_RETURN_IF_ERROR(left_->Open());
+  TUFFY_RETURN_IF_ERROR(right_->Open());
+
+  // Materialize the build side column-wise.
+  build_cols_.assign(right_->num_output_cols(), {});
+  build_rows_ = 0;
+  ColumnChunk chunk;
+  while (true) {
+    auto has = right_->NextChunk(&chunk);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    for (size_t c = 0; c < build_cols_.size(); ++c) {
+      build_cols_[c].insert(build_cols_[c].end(), chunk.cols[c].begin(),
+                            chunk.cols[c].end());
+    }
+    build_rows_ += chunk.num_rows;
+  }
+
+  // Open-addressing index over packed keys. Rows are inserted in reverse
+  // so each duplicate chain lists build rows in ascending (insertion)
+  // order — the order HashJoinOp's bucket vectors emit.
+  const size_t cap = NextPow2(build_rows_ * 2);
+  slot_key_.assign(cap, 0);
+  slot_head_.assign(cap, -1);
+  slot_mask_ = cap - 1;
+  next_.assign(build_rows_, -1);
+  for (size_t i = build_rows_; i-- > 0;) {
+    const uint64_t key = PackBuildKey(i);
+    size_t slot = HashKey(key) & slot_mask_;
+    while (slot_head_[slot] >= 0 && slot_key_[slot] != key) {
+      slot = (slot + 1) & slot_mask_;
+    }
+    next_[i] = slot_head_[slot];
+    slot_key_[slot] = key;
+    slot_head_[slot] = static_cast<int32_t>(i);
+  }
+
+  probe_valid_ = false;
+  probe_row_ = 0;
+  chain_ = -1;
+  return Status::OK();
+}
+
+Result<bool> VecHashJoinOp::NextChunk(ColumnChunk* out) {
+  ScopedSeconds t(&seconds_);
+  const size_t ncols_left = left_->num_output_cols();
+  out->Reset(num_output_cols());
+  if (build_rows_ == 0) return false;
+  for (auto& col : out->cols) col.reserve(kVecChunkRows);
+  while (out->num_rows < kVecChunkRows) {
+    if (chain_ < 0) {
+      // Current probe row exhausted: advance, refilling the probe chunk
+      // as needed.
+      if (probe_valid_) ++probe_row_;
+      if (!probe_valid_ || probe_row_ >= probe_.num_rows) {
+        TUFFY_ASSIGN_OR_RETURN(bool has, left_->NextChunk(&probe_));
+        if (!has) {
+          probe_valid_ = false;
+          break;
+        }
+        probe_valid_ = true;
+        probe_row_ = 0;
+      }
+      chain_ = Lookup(PackProbeKey(probe_row_));
+      continue;
+    }
+    for (size_t c = 0; c < ncols_left; ++c) {
+      out->cols[c].push_back(probe_.cols[c][probe_row_]);
+    }
+    for (size_t c = 0; c < build_cols_.size(); ++c) {
+      out->cols[ncols_left + c].push_back(build_cols_[c][chain_]);
+    }
+    ++out->num_rows;
+    chain_ = next_[chain_];
+  }
+  if (out->num_rows == 0) return false;
+  rows_produced_ += out->num_rows;
+  ++chunks_produced_;
+  return true;
+}
+
+void VecHashJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  build_cols_.clear();
+  slot_key_.clear();
+  slot_head_.clear();
+  next_.clear();
+  build_rows_ = 0;
+}
+
+std::string VecHashJoinOp::name() const {
+  return StrFormat("VecHashJoin(keys=%zu)", keys_.size());
+}
+
+// ----------------------------------------------------------- VecCrossJoin
+
+Status VecCrossJoinOp::Open() {
+  ScopedSeconds t(&seconds_);
+  rows_produced_ = 0;
+  chunks_produced_ = 0;
+  TUFFY_RETURN_IF_ERROR(left_->Open());
+  TUFFY_RETURN_IF_ERROR(right_->Open());
+  right_cols_.assign(right_->num_output_cols(), {});
+  right_rows_ = 0;
+  ColumnChunk chunk;
+  while (true) {
+    auto has = right_->NextChunk(&chunk);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    for (size_t c = 0; c < right_cols_.size(); ++c) {
+      right_cols_[c].insert(right_cols_[c].end(), chunk.cols[c].begin(),
+                            chunk.cols[c].end());
+    }
+    right_rows_ += chunk.num_rows;
+  }
+  probe_valid_ = false;
+  probe_row_ = 0;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> VecCrossJoinOp::NextChunk(ColumnChunk* out) {
+  ScopedSeconds t(&seconds_);
+  const size_t ncols_left = left_->num_output_cols();
+  out->Reset(num_output_cols());
+  if (right_rows_ == 0) return false;
+  for (auto& col : out->cols) col.reserve(kVecChunkRows);
+  while (out->num_rows < kVecChunkRows) {
+    if (!probe_valid_ || right_pos_ >= right_rows_) {
+      if (probe_valid_ && right_pos_ >= right_rows_) {
+        ++probe_row_;
+        right_pos_ = 0;
+      }
+      if (!probe_valid_ || probe_row_ >= probe_.num_rows) {
+        TUFFY_ASSIGN_OR_RETURN(bool has, left_->NextChunk(&probe_));
+        if (!has) {
+          probe_valid_ = false;
+          break;
+        }
+        probe_valid_ = true;
+        probe_row_ = 0;
+        right_pos_ = 0;
+      }
+    }
+    // Emit the current left row against a whole run of right rows:
+    // a value splat per left column, a bulk copy per right column.
+    const size_t run = std::min<size_t>(kVecChunkRows - out->num_rows,
+                                        right_rows_ - right_pos_);
+    for (size_t c = 0; c < ncols_left; ++c) {
+      out->cols[c].insert(out->cols[c].end(), run,
+                          probe_.cols[c][probe_row_]);
+    }
+    for (size_t c = 0; c < right_cols_.size(); ++c) {
+      out->cols[ncols_left + c].insert(
+          out->cols[ncols_left + c].end(),
+          right_cols_[c].begin() + right_pos_,
+          right_cols_[c].begin() + right_pos_ + run);
+    }
+    out->num_rows += static_cast<uint32_t>(run);
+    right_pos_ += run;
+  }
+  if (out->num_rows == 0) return false;
+  rows_produced_ += out->num_rows;
+  ++chunks_produced_;
+  return true;
+}
+
+void VecCrossJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  right_cols_.clear();
+  right_rows_ = 0;
+}
+
+// --------------------------------------------------------------- Helpers
+
+Status ForEachChunk(VecOp* root,
+                    const std::function<Status(const ColumnChunk&)>& fn) {
+  TUFFY_RETURN_IF_ERROR(root->Open());
+  ColumnChunk chunk;
+  while (true) {
+    auto has = root->NextChunk(&chunk);
+    if (!has.ok()) return has.status();
+    if (!has.value()) break;
+    TUFFY_RETURN_IF_ERROR(fn(chunk));
+  }
+  root->Close();
+  return Status::OK();
+}
+
+void AppendVecAnalyze(const VecOp* root, int depth, std::string* out) {
+  *out += StrFormat("%*s%s: rows=%llu chunks=%llu time=%.3fms\n", depth * 2,
+                    "", root->name().c_str(),
+                    static_cast<unsigned long long>(root->rows_produced()),
+                    static_cast<unsigned long long>(root->chunks_produced()),
+                    root->seconds() * 1e3);
+  root->ForEachChild(
+      [&](const VecOp* child) { AppendVecAnalyze(child, depth + 1, out); });
+}
+
+}  // namespace tuffy

@@ -1,6 +1,7 @@
 #include "serve/delta_grounder.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "ground/atom_loader.h"
 #include "ground/bottom_up_grounder.h"
@@ -8,6 +9,13 @@
 #include "util/timer.h"
 
 namespace tuffy {
+
+namespace {
+/// Above this many changed atoms a delta re-grounds touched rules in
+/// full — with a delta that large, per-occurrence semi-joins would do
+/// more work than the rule's whole binding query.
+constexpr size_t kBindingDeltaMaxAtoms = 1024;
+}  // namespace
 
 DeltaGrounder::DeltaGrounder(const MlnProgram& program,
                              GroundingOptions ground_options,
@@ -32,6 +40,8 @@ Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
   rule_maps_.resize(num_rules);
   rule_fixed_cost_.assign(num_rules, 0.0);
   rule_contradiction_.assign(num_rules, 0);
+  rule_trivial_.assign(num_rules, 0);
+  rule_binding_mask_.assign(num_rules, 0);
 
   rules_of_predicate_.assign(program_.num_predicates(), {});
   for (size_t r = 0; r < num_rules; ++r) {
@@ -47,6 +57,15 @@ Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
   TUFFY_RETURN_IF_ERROR(
       LoadMlnTables(program_, evidence_, &catalog_, &true_counts_));
 
+  for (size_t r = 0; r < num_rules; ++r) {
+    TUFFY_ASSIGN_OR_RETURN(
+        RuleBindingQuery rq,
+        BuildRuleBindingQuery(program_, static_cast<int>(r), catalog_,
+                              true_counts_));
+    rule_trivial_[r] = rq.trivial ? 1 : 0;
+    rule_binding_mask_[r] = rq.binding_lit_mask;
+  }
+
   GroundEdits edits;
   PendingEdits pending;
   for (size_t r = 0; r < num_rules; ++r) {
@@ -59,6 +78,38 @@ Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
   return Status::OK();
 }
 
+void DeltaGrounder::RuleMapFromResult(int rule_idx,
+                                      const GroundingResult& local,
+                                      RuleMap* out) {
+  // Remap the rule-local atom ids into the session atom universe. The
+  // remap is injective, so the rule-local duplicate merging carries over.
+  // Contribution weights derive as (rule weight) x (grounding count) —
+  // one multiplication, never a running sum — so the full and the
+  // binding-level re-ground paths produce bit-identical weights for any
+  // rule weight, not just ones whose repeated sums happen to be exact.
+  const Clause& rule = program_.clauses()[rule_idx];
+  const double soft_weight = rule.hard ? 0.0 : rule.weight;
+  std::vector<Lit> lits;
+  const std::vector<GroundClause>& clauses = local.clauses.clauses();
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    const GroundClause& c = clauses[i];
+    lits.clear();
+    lits.reserve(c.lits.size());
+    for (Lit l : c.lits) {
+      AtomId global = atoms_.GetOrCreate(local.atoms.atom(LitAtom(l)));
+      lits.push_back(MakeLit(global, LitPositive(l)));
+    }
+    std::sort(lits.begin(), lits.end());
+    int64_t groundings = 0;
+    local.clauses.ForEachContribution(
+        i, [&](int rule_id, uint32_t count) { groundings += count; });
+    Contribution& contrib = (*out)[lits];
+    contrib.count += groundings;
+    contrib.hard += c.hard ? groundings : 0;
+    contrib.weight = soft_weight * static_cast<double>(contrib.count);
+  }
+}
+
 Result<DeltaGrounder::RuleMap> DeltaGrounder::GroundRule(int rule_idx) {
   GroundingContext ctx(program_, evidence_, ground_options_);
   TUFFY_RETURN_IF_ERROR(GroundClauseCandidates(program_, rule_idx, catalog_,
@@ -67,26 +118,93 @@ Result<DeltaGrounder::RuleMap> DeltaGrounder::GroundRule(int rule_idx) {
                                                nullptr));
   TUFFY_ASSIGN_OR_RETURN(GroundingResult local, ctx.Finalize());
   rule_fixed_cost_[rule_idx] = local.fixed_cost;
-  rule_contradiction_[rule_idx] = local.hard_contradiction ? 1 : 0;
-
-  // Remap the rule-local atom ids into the session atom universe. The
-  // remap is injective, so the rule-local duplicate merging carries over.
+  rule_contradiction_[rule_idx] =
+      static_cast<int64_t>(local.stats.hard_violations);
   RuleMap out;
   out.reserve(local.clauses.num_clauses());
-  std::vector<Lit> lits;
-  for (const GroundClause& c : local.clauses.clauses()) {
-    lits.clear();
-    lits.reserve(c.lits.size());
-    for (Lit l : c.lits) {
-      AtomId global = atoms_.GetOrCreate(local.atoms.atom(LitAtom(l)));
-      lits.push_back(MakeLit(global, LitPositive(l)));
-    }
-    std::sort(lits.begin(), lits.end());
-    Contribution& contrib = out[lits];
-    contrib.weight += c.weight;
-    contrib.hard = contrib.hard || c.hard;
-  }
+  RuleMapFromResult(rule_idx, local, &out);
   return out;
+}
+
+Result<DeltaGrounder::RulePart> DeltaGrounder::ResolveBindings(
+    int rule_idx, const std::vector<Assignment>& bindings) {
+  // Delta batches are tiny; a dense interner would spend more time
+  // zeroing domain-product-sized cell arrays than the hash probes it
+  // saves, so only large batches opt in.
+  GroundingOptions opts = ground_options_;
+  opts.dense_interner = bindings.size() >= 4096;
+  GroundingContext ctx(program_, evidence_, opts);
+  for (const Assignment& b : bindings) ctx.AddCandidate(rule_idx, b);
+  TUFFY_ASSIGN_OR_RETURN(GroundingResult local, ctx.Finalize());
+  RulePart part;
+  part.fixed_cost = local.fixed_cost;
+  part.hard_violations = static_cast<int64_t>(local.stats.hard_violations);
+  part.map.reserve(local.clauses.num_clauses());
+  RuleMapFromResult(rule_idx, local, &part.map);
+  return part;
+}
+
+bool DeltaGrounder::BindingEnumerated(int rule_idx,
+                                      const Assignment& binding) const {
+  const Clause& clause = program_.clauses()[rule_idx];
+  const uint64_t mask = rule_binding_mask_[rule_idx];
+  GroundAtom atom;
+  for (size_t li = 0; li < clause.literals.size() && li < 64; ++li) {
+    if (((mask >> li) & 1) == 0) continue;
+    const Literal& lit = clause.literals[li];
+    atom.pred = lit.pred;
+    atom.args.resize(lit.args.size());
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      const Term& t = lit.args[i];
+      atom.args[i] = t.is_var ? binding[t.id] : t.id;
+    }
+    if (evidence_.Lookup(program_, atom) != Truth::kTrue) return false;
+  }
+  return true;
+}
+
+void DeltaGrounder::ApplyParts(int rule_idx, const RulePart& old_part,
+                               const RulePart& new_part,
+                               PendingEdits* pending) {
+  RuleMap& cur = rule_maps_[rule_idx];
+  const Clause& rule = program_.clauses()[rule_idx];
+  const double soft_weight = rule.hard ? 0.0 : rule.weight;
+  const Contribution kZero;
+  auto process = [&](const std::vector<Lit>& lits) {
+    auto o = old_part.map.find(lits);
+    auto n = new_part.map.find(lits);
+    const Contribution& oc = o != old_part.map.end() ? o->second : kZero;
+    const Contribution& nc = n != new_part.map.end() ? n->second : kZero;
+    auto it = cur.find(lits);
+    const Contribution pre = it != cur.end() ? it->second : kZero;
+    Contribution post;
+    post.hard = pre.hard - oc.hard + nc.hard;
+    post.count = pre.count - oc.count + nc.count;
+    // Re-derived, not accumulated: matches what a full re-ground would
+    // compute for the same grounding count, bit for bit.
+    post.weight = soft_weight * static_cast<double>(post.count);
+
+    PendingEdit& pe = (*pending)[lits];
+    pe.dweight += post.weight - pre.weight;
+    pe.dhard += (post.hard > 0 ? 1 : 0) - (pre.hard > 0 ? 1 : 0);
+    pe.dcontribs += (post.count > 0 ? 1 : 0) - (pre.count > 0 ? 1 : 0);
+
+    if (post.count <= 0) {
+      if (it != cur.end()) cur.erase(it);
+    } else if (it != cur.end()) {
+      it->second = post;
+    } else {
+      cur.emplace(lits, post);
+    }
+  };
+  for (const auto& [lits, contrib] : old_part.map) process(lits);
+  for (const auto& [lits, contrib] : new_part.map) {
+    if (old_part.map.count(lits) > 0) continue;
+    process(lits);
+  }
+  rule_fixed_cost_[rule_idx] += new_part.fixed_cost - old_part.fixed_cost;
+  rule_contradiction_[rule_idx] +=
+      new_part.hard_violations - old_part.hard_violations;
 }
 
 void DeltaGrounder::DiffRule(int rule_idx, const RuleMap& next,
@@ -97,20 +215,20 @@ void DeltaGrounder::DiffRule(int rule_idx, const RuleMap& next,
     if (it == prev.end()) {
       PendingEdit& pe = (*pending)[lits];
       pe.dweight += contrib.weight;
-      pe.dhard += contrib.hard ? 1 : 0;
+      pe.dhard += contrib.hard > 0 ? 1 : 0;
       pe.dcontribs += 1;
     } else if (it->second.weight != contrib.weight ||
-               it->second.hard != contrib.hard) {
+               (it->second.hard > 0) != (contrib.hard > 0)) {
       PendingEdit& pe = (*pending)[lits];
       pe.dweight += contrib.weight - it->second.weight;
-      pe.dhard += (contrib.hard ? 1 : 0) - (it->second.hard ? 1 : 0);
+      pe.dhard += (contrib.hard > 0 ? 1 : 0) - (it->second.hard > 0 ? 1 : 0);
     }
   }
   for (const auto& [lits, contrib] : prev) {
     if (next.find(lits) != next.end()) continue;
     PendingEdit& pe = (*pending)[lits];
     pe.dweight -= contrib.weight;
-    pe.dhard -= contrib.hard ? 1 : 0;
+    pe.dhard -= contrib.hard > 0 ? 1 : 0;
     pe.dcontribs -= 1;
   }
 }
@@ -239,6 +357,104 @@ Result<GroundEdits> DeltaGrounder::ApplyDelta(const EvidenceDelta& delta) {
     return edits;
   }
 
+  std::vector<PredicateId> refresh;
+  for (PredicateId p = 0;
+       p < static_cast<PredicateId>(program_.num_predicates()); ++p) {
+    if (pred_touched[p]) refresh.push_back(p);
+  }
+  std::vector<uint8_t> rule_touched(program_.clauses().size(), 0);
+  for (PredicateId p : refresh) {
+    for (int r : rules_of_predicate_[p]) rule_touched[r] = 1;
+  }
+
+  // ---- Binding-level pre-pass (read-only; runs before the evidence
+  // mutation so failures here leave the session serviceable). For each
+  // touched rule, enumerate a superset of the bindings whose ground
+  // clause could change — the changed atoms of a touched predicate
+  // semi-joined (per literal occurrence) against the rest of the rule
+  // body, with other touched binding relations widened to old-or-new
+  // true rows — then resolve the ones the old full query would have
+  // enumerated, against the old evidence.
+  const size_t total_changed =
+      effective_asserts.size() + effective_retracts.size();
+  const bool binding_level = ground_options_.binding_level_deltas &&
+                             total_changed <= kBindingDeltaMaxAtoms;
+  std::vector<std::unique_ptr<Table>> delta_tables;
+  std::vector<std::unique_ptr<Table>> union_tables;
+  std::unordered_map<PredicateId, const Table*> union_overrides;
+  std::vector<std::vector<Assignment>> affected(rule_touched.size());
+  std::vector<RulePart> old_parts(rule_touched.size());
+  std::vector<uint8_t> rule_binding_path(rule_touched.size(), 0);
+  if (binding_level) {
+    delta_tables.resize(program_.num_predicates());
+    union_tables.resize(program_.num_predicates());
+    for (PredicateId p : refresh) {
+      const Predicate& pred = program_.predicate(p);
+      delta_tables[p] = std::make_unique<Table>("delta_" + pred.name,
+                                                PredicateTableSchema(pred));
+      union_tables[p] = std::make_unique<Table>("union_" + pred.name,
+                                                PredicateTableSchema(pred));
+    }
+    for (const auto& [atom, truth] : effective_asserts) {
+      AppendAtomRow(delta_tables[atom.pred].get(), atom);
+      if (truth) AppendAtomRow(union_tables[atom.pred].get(), atom);
+    }
+    for (const GroundAtom& atom : effective_retracts) {
+      AppendAtomRow(delta_tables[atom.pred].get(), atom);
+    }
+    // Old-true rows complete the old-or-new union (an effective true
+    // assertion is never already old-true, so no duplicates arise).
+    for (const auto& [atom, truth] : evidence_.entries()) {
+      if (truth && pred_touched[atom.pred]) {
+        AppendAtomRow(union_tables[atom.pred].get(), atom);
+      }
+    }
+    for (PredicateId p : refresh) {
+      delta_tables[p]->Analyze();
+      union_tables[p]->Analyze();
+      union_overrides[p] = union_tables[p].get();
+    }
+
+    for (size_t r = 0; r < rule_touched.size(); ++r) {
+      if (!rule_touched[r] || rule_trivial_[r]) continue;
+      const Clause& clause = program_.clauses()[r];
+      // binding_lit_mask only covers the first 64 literals, so wider
+      // rules cannot be enumeration-checked — full re-ground for them.
+      if (clause.literals.size() > 64) continue;
+      rule_binding_path[r] = 1;
+      std::unordered_map<std::vector<ConstantId>, bool,
+                         GroundAtomHash_ArgsOnly>
+          seen;
+      for (size_t li = 0; li < clause.literals.size(); ++li) {
+        const PredicateId p = clause.literals[li].pred;
+        if (!pred_touched[p]) continue;
+        DeltaBindingSpec spec;
+        spec.delta_lit = static_cast<int>(li);
+        spec.delta_table = delta_tables[p].get();
+        spec.overrides = &union_overrides;
+        TUFFY_ASSIGN_OR_RETURN(
+            RuleBindingQuery rq,
+            BuildRuleBindingQuery(program_, static_cast<int>(r), catalog_,
+                                  true_counts_, &spec));
+        TUFFY_RETURN_IF_ERROR(CollectBindings(program_, static_cast<int>(r),
+                                              std::move(rq),
+                                              optimizer_options_, &seen,
+                                              &affected[r]));
+      }
+      std::vector<Assignment> old_enumerated;
+      old_enumerated.reserve(affected[r].size());
+      for (const Assignment& b : affected[r]) {
+        if (BindingEnumerated(static_cast<int>(r), b)) {
+          old_enumerated.push_back(b);
+        }
+      }
+      edits.bindings_resolved += old_enumerated.size();
+      TUFFY_ASSIGN_OR_RETURN(
+          old_parts[r],
+          ResolveBindings(static_cast<int>(r), old_enumerated));
+    }
+  }
+
   // Mutation begins: any error path from here on leaves evidence,
   // tables, and rule maps mutually inconsistent, so arm the fail-stop
   // guard and disarm it only on full success.
@@ -246,27 +462,34 @@ Result<GroundEdits> DeltaGrounder::ApplyDelta(const EvidenceDelta& delta) {
   for (auto& [atom, truth] : effective_asserts) evidence_.Add(atom, truth);
   for (const GroundAtom& atom : effective_retracts) evidence_.Remove(atom);
 
-  std::vector<PredicateId> refresh;
-  for (PredicateId p = 0;
-       p < static_cast<PredicateId>(program_.num_predicates()); ++p) {
-    if (pred_touched[p]) refresh.push_back(p);
-  }
   TUFFY_RETURN_IF_ERROR(RefreshPredicateTables(program_, evidence_, refresh,
                                                &catalog_, &true_counts_));
   edits.predicates_refreshed = refresh.size();
 
-  // Fan out to the rules that mention a touched predicate and re-ground
-  // just those.
-  std::vector<uint8_t> rule_touched(program_.clauses().size(), 0);
-  for (PredicateId p : refresh) {
-    for (int r : rules_of_predicate_[p]) rule_touched[r] = 1;
-  }
+  // Re-ground the touched rules: binding-level parts where the pre-pass
+  // ran, full rule queries otherwise.
   PendingEdits pending;
   for (size_t r = 0; r < rule_touched.size(); ++r) {
     if (!rule_touched[r]) continue;
-    TUFFY_ASSIGN_OR_RETURN(RuleMap next, GroundRule(static_cast<int>(r)));
-    DiffRule(static_cast<int>(r), next, &pending);
-    rule_maps_[r] = std::move(next);
+    if (rule_binding_path[r]) {
+      std::vector<Assignment> new_enumerated;
+      new_enumerated.reserve(affected[r].size());
+      for (const Assignment& b : affected[r]) {
+        if (BindingEnumerated(static_cast<int>(r), b)) {
+          new_enumerated.push_back(b);
+        }
+      }
+      edits.bindings_resolved += new_enumerated.size();
+      TUFFY_ASSIGN_OR_RETURN(
+          RulePart new_part,
+          ResolveBindings(static_cast<int>(r), new_enumerated));
+      ApplyParts(static_cast<int>(r), old_parts[r], new_part, &pending);
+      ++edits.rules_delta_ground;
+    } else {
+      TUFFY_ASSIGN_OR_RETURN(RuleMap next, GroundRule(static_cast<int>(r)));
+      DiffRule(static_cast<int>(r), next, &pending);
+      rule_maps_[r] = std::move(next);
+    }
     ++edits.rules_reground;
   }
   ApplyPendingEdits(std::move(pending), &edits);
@@ -306,8 +529,8 @@ double DeltaGrounder::fixed_cost() const {
 }
 
 bool DeltaGrounder::hard_contradiction() const {
-  for (uint8_t c : rule_contradiction_) {
-    if (c) return true;
+  for (int64_t c : rule_contradiction_) {
+    if (c > 0) return true;
   }
   return false;
 }

@@ -43,6 +43,13 @@ struct GroundEdits {
   bool no_op = false;
   size_t predicates_refreshed = 0;
   size_t rules_reground = 0;
+  /// Of rules_reground, how many went through the binding-level path
+  /// (delta semi-join) instead of a full rule re-ground.
+  size_t rules_delta_ground = 0;
+  /// Candidate bindings re-resolved by the binding-level path (old and
+  /// new evidence sides combined). The delta path's work scales with
+  /// this, not with the touched relations' sizes.
+  size_t bindings_resolved = 0;
   size_t clauses_added = 0;
   size_t clauses_removed = 0;
   size_t clauses_reweighted = 0;
@@ -58,6 +65,19 @@ struct GroundEdits {
 /// new ground clauses against its previous ones, and applying the
 /// resulting add / remove / reweight edits in place to the resident
 /// clause list.
+///
+/// Touched rules re-ground at *binding granularity* when
+/// GroundingOptions::binding_level_deltas is set (the default): instead
+/// of re-running a rule's whole binding query, the changed atoms of each
+/// touched predicate are joined (per literal occurrence) against the
+/// rest of the rule body — with the other touched binding relations
+/// widened to old-or-new true rows — which enumerates a superset of the
+/// bindings whose ground clause could have changed. Each affected
+/// binding is resolved under the old and the new evidence, and the
+/// contribution difference is applied to the per-rule clause maps, so
+/// the re-ground cost scales with the delta size rather than the
+/// touched relations' sizes. Oversized deltas fall back to the full
+/// per-rule re-ground.
 ///
 /// Resident state: the persistent RA catalog (predicate atom tables are
 /// refreshed per touched predicate, never rebuilt wholesale), a grow-only
@@ -117,13 +137,24 @@ class DeltaGrounder {
 
  private:
   /// One rule's merged contribution to a literal set: summed soft weight
-  /// over that rule's duplicate groundings, plus hardness.
+  /// over that rule's duplicate groundings, plus how many groundings
+  /// contribute (and how many of them are hard). Counts — not booleans —
+  /// so the binding-level delta path can retract a single grounding's
+  /// share without re-deriving the rest.
   struct Contribution {
     double weight = 0.0;
-    bool hard = false;
+    int64_t hard = 0;
+    int64_t count = 0;
   };
   using RuleMap =
       std::unordered_map<std::vector<Lit>, Contribution, LitVectorHash>;
+
+  /// One side (old or new evidence) of a binding-level re-ground.
+  struct RulePart {
+    RuleMap map;
+    double fixed_cost = 0.0;
+    int64_t hard_violations = 0;
+  };
 
   /// Aggregated entry across rules for one literal set.
   struct GlobalEntry {
@@ -147,6 +178,29 @@ class DeltaGrounder {
   /// ids) and replaces its fixed-cost / contradiction entries.
   Result<RuleMap> GroundRule(int rule_idx);
 
+  /// Remaps a rule-local grounding result into session atom ids,
+  /// accumulating per-literal-set contributions (grounding counts come
+  /// from the store's rule-contribution index; weights derive as
+  /// rule-weight x count so every re-ground path agrees exactly).
+  void RuleMapFromResult(int rule_idx, const GroundingResult& local,
+                         RuleMap* out);
+
+  /// Resolves the given candidate bindings of one rule against the
+  /// *current* resident evidence into a RulePart. Called once before the
+  /// evidence mutation (old side) and once after (new side).
+  Result<RulePart> ResolveBindings(int rule_idx,
+                                   const std::vector<Assignment>& bindings);
+
+  /// True when every plain binding literal of the rule holds (atom true)
+  /// under the current resident evidence for `binding` — i.e. the full
+  /// rule query would enumerate this binding right now.
+  bool BindingEnumerated(int rule_idx, const Assignment& binding) const;
+
+  /// Applies (new_part - old_part) of a binding-level re-ground to
+  /// rule_maps_[rule_idx] and records the global pending edits.
+  void ApplyParts(int rule_idx, const RulePart& old_part,
+                  const RulePart& new_part, PendingEdits* pending);
+
   /// Diffs `next` against rule_maps_[rule_idx] into `pending`.
   void DiffRule(int rule_idx, const RuleMap& next, PendingEdits* pending);
 
@@ -167,7 +221,13 @@ class DeltaGrounder {
   AtomStore atoms_;
   std::vector<RuleMap> rule_maps_;
   std::vector<double> rule_fixed_cost_;
-  std::vector<uint8_t> rule_contradiction_;
+  /// Per rule: number of hard-clause groundings violated by evidence
+  /// alone (a count so binding-level deltas can add/retract violations).
+  std::vector<int64_t> rule_contradiction_;
+  /// Per rule: no universal variables (single empty binding; always
+  /// re-ground in full) and the plain query's binding-literal mask.
+  std::vector<uint8_t> rule_trivial_;
+  std::vector<uint64_t> rule_binding_mask_;
   std::unordered_map<std::vector<Lit>, GlobalEntry, LitVectorHash> global_;
   std::vector<GroundClause> clauses_;
 

@@ -2,6 +2,7 @@
 
 #include "datagen/datasets.h"
 #include "exec/tuffy_engine.h"
+#include "ground/bottom_up_grounder.h"
 #include "infer/component_walksat.h"
 #include "mrf/components.h"
 #include "serve/inference_session.h"
@@ -88,6 +89,42 @@ TEST(DeterminismTest, SessionThreadCountInvariantAcrossDeltas) {
   ASSERT_TRUE(parallel.ApplyDelta(delta).ok());
   EXPECT_EQ(serial.truth(), parallel.truth());
   EXPECT_EQ(serial.map_cost(), parallel.map_cost());
+}
+
+TEST(DeterminismTest, GroundingThreadCountInvariant) {
+  // Parallel per-rule grounding merges rule-local contexts in rule-index
+  // order, so the grounding result — atoms, clauses, ordering, stats —
+  // must be bit-identical for any worker count.
+  RcParams p;
+  p.num_clusters = 6;
+  p.papers_per_cluster = 6;
+  auto ds = MakeRcDataset(p);
+  ASSERT_TRUE(ds.ok());
+
+  auto ground = [&](int threads) {
+    GroundingOptions gopts;
+    gopts.num_threads = threads;
+    BottomUpGrounder g(ds.value().program, ds.value().evidence, gopts,
+                       OptimizerOptions{});
+    auto r = g.Ground();
+    EXPECT_TRUE(r.ok());
+    return r.TakeValue();
+  };
+  GroundingResult serial = ground(1);
+  GroundingResult parallel = ground(4);
+  ASSERT_EQ(serial.clauses.num_clauses(), parallel.clauses.num_clauses());
+  for (size_t i = 0; i < serial.clauses.num_clauses(); ++i) {
+    ASSERT_EQ(serial.clauses.clauses()[i].lits,
+              parallel.clauses.clauses()[i].lits);
+    ASSERT_EQ(serial.clauses.clauses()[i].weight,
+              parallel.clauses.clauses()[i].weight);
+  }
+  ASSERT_EQ(serial.atoms.num_atoms(), parallel.atoms.num_atoms());
+  for (AtomId a = 0; a < serial.atoms.num_atoms(); ++a) {
+    ASSERT_TRUE(serial.atoms.atom(a) == parallel.atoms.atom(a));
+  }
+  EXPECT_EQ(serial.fixed_cost, parallel.fixed_cost);
+  EXPECT_EQ(serial.stats.candidates, parallel.stats.candidates);
 }
 
 TEST(DeterminismTest, DeriveSeedDecorrelatesAdjacentStreams) {

@@ -3,9 +3,13 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <map>
+
 #include "datagen/datasets.h"
 #include "exec/tuffy_engine.h"
 #include "mln/parser.h"
+#include "serve/delta_grounder.h"
 #include "serve/session_manager.h"
 #include "util/mem_tracker.h"
 
@@ -238,6 +242,101 @@ TEST(ServeTest, DeltaSequenceMatchesFreshInferEachStep) {
     EXPECT_LE(r.value().components_dirty, r.value().components_total);
   }
   EXPECT_EQ(session.stats().deltas_applied, deltas.size());
+}
+
+/// Canonical, atom-id-independent form of a resident clause set: every
+/// literal spelled out as (sign, pred, args), clauses sorted. Two
+/// grounders that numbered session atoms differently still compare equal
+/// iff their clause sets are semantically identical.
+using CanonLit = std::pair<bool, std::pair<PredicateId, std::vector<ConstantId>>>;
+using CanonClause = std::vector<CanonLit>;
+std::map<CanonClause, std::pair<double, bool>> Canonicalize(
+    const DeltaGrounder& dg) {
+  std::map<CanonClause, std::pair<double, bool>> out;
+  for (const GroundClause& c : dg.clauses()) {
+    CanonClause cc;
+    for (Lit l : c.lits) {
+      const GroundAtom& atom = dg.atoms().atom(LitAtom(l));
+      cc.emplace_back(LitPositive(l),
+                      std::make_pair(atom.pred, atom.args));
+    }
+    std::sort(cc.begin(), cc.end());
+    out[cc] = {c.weight, c.hard};
+  }
+  return out;
+}
+
+TEST(ServeTest, BindingLevelDeltaMatchesFullReground) {
+  // The same delta stream applied three ways — binding-level semi-joins,
+  // full per-rule re-grounds, and a from-scratch grounder over the final
+  // evidence — must produce identical clause sets, weights, and fixed
+  // costs. Covers open-world relabels and closed-world (binding-literal)
+  // link assertion + retraction. The rule weight is deliberately not
+  // exactly representable as a repeated sum (0.1): contribution weights
+  // must derive as weight x count, so incremental and full paths agree
+  // bit for bit anyway.
+  MlnProgram program = LinkProgram();
+  program.SetClauseWeight(0, 0.1);
+  EvidenceDb evidence;
+  for (int i = 0; i + 1 < 6; ++i) {
+    evidence.Add(
+        Atom(program, "link",
+             {"n" + std::to_string(i), "n" + std::to_string(i + 1)}),
+        true);
+  }
+  evidence.Add(Atom(program, "label", {"n0", "A"}), true);
+
+  GroundingOptions binding_opts;
+  GroundingOptions full_opts;
+  full_opts.binding_level_deltas = false;
+  DeltaGrounder binding(program, binding_opts, OptimizerOptions{});
+  DeltaGrounder full(program, full_opts, OptimizerOptions{});
+  ASSERT_TRUE(binding.Initialize(evidence).ok());
+  ASSERT_TRUE(full.Initialize(evidence).ok());
+
+  std::vector<EvidenceDelta> deltas;
+  {
+    EvidenceDelta d;  // retract a link mid-chain (kills clauses)
+    d.Retract(Atom(program, "link", {"n2", "n3"}));
+    deltas.push_back(d);
+  }
+  {
+    EvidenceDelta d;  // add a new link (new bindings) + relabel
+    d.Assert(Atom(program, "link", {"n0", "n4"}), true);
+    d.Assert(Atom(program, "label", {"n1", "B"}), true);
+    deltas.push_back(d);
+  }
+  {
+    EvidenceDelta d;  // flip a label to false, restore the link
+    d.Assert(Atom(program, "label", {"n0", "A"}), false);
+    d.Assert(Atom(program, "link", {"n2", "n3"}), true);
+    deltas.push_back(d);
+  }
+
+  EvidenceDb accumulated = evidence;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    auto rb = binding.ApplyDelta(deltas[i]);
+    auto rf = full.ApplyDelta(deltas[i]);
+    ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+    ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+    EXPECT_GT(rb.value().rules_delta_ground, 0u) << "delta " << i;
+    EXPECT_EQ(rf.value().rules_delta_ground, 0u);
+    for (const auto& [atom, truth] : deltas[i].assertions) {
+      accumulated.Add(atom, truth);
+    }
+    for (const GroundAtom& atom : deltas[i].retractions) {
+      accumulated.Remove(atom);
+    }
+
+    EXPECT_EQ(Canonicalize(binding), Canonicalize(full)) << "delta " << i;
+    EXPECT_EQ(binding.fixed_cost(), full.fixed_cost()) << "delta " << i;
+    EXPECT_EQ(binding.hard_contradiction(), full.hard_contradiction());
+
+    DeltaGrounder fresh(program, binding_opts, OptimizerOptions{});
+    ASSERT_TRUE(fresh.Initialize(accumulated).ok());
+    EXPECT_EQ(Canonicalize(binding), Canonicalize(fresh)) << "delta " << i;
+    EXPECT_EQ(binding.fixed_cost(), fresh.fixed_cost()) << "delta " << i;
+  }
 }
 
 TEST(ServeTest, SameAtomAssertAndRetractNetsToAssertion) {
