@@ -60,6 +60,10 @@ int main() {
   nlj_only.enable_merge_join = false;
   run_row("fixed join algorithm", nlj_only);
 
+  OptimizerOptions no_antijoin;
+  no_antijoin.enable_antijoin_pruning = false;
+  run_row("no anti-join pruning", no_antijoin);
+
   std::printf(
       "\nShape check vs paper Table 6: forcing nested-loop joins is the\n"
       "crippling lesion; fixing the join order costs little on these\n"

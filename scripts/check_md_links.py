@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Verifies that every relative link target in the checked markdown files
+exists in the repository (anchors are checked against the target file's
+headings). External http(s) links are not fetched — CI must not depend
+on the network — only their syntax is accepted.
+
+Usage: scripts/check_md_links.py [repo_root]
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_~]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_files(root: str):
+    files = []
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def check_file(root: str, path: str):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        if target == "":
+            resolved = path  # same-file anchor
+        else:
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path),
+                                                     target))
+        if not os.path.exists(resolved):
+            errors.append(f"{os.path.relpath(path, root)}: broken link "
+                          f"-> {match.group(1)}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            with open(resolved, encoding="utf-8") as f:
+                raw = [anchor_of(h) for h in HEADING_RE.findall(f.read())]
+            # GitHub disambiguates repeated headings as name, name-1, ...
+            headings, seen = [], {}
+            for h in raw:
+                n = seen.get(h, 0)
+                seen[h] = n + 1
+                headings.append(h if n == 0 else f"{h}-{n}")
+            if anchor.lower() not in headings:
+                errors.append(f"{os.path.relpath(path, root)}: missing anchor "
+                              f"-> {match.group(1)}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = collect_files(root)
+    if not files:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(root, path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"check_md_links: {len(files)} files, "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

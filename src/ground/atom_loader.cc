@@ -76,27 +76,39 @@ Status LoadMlnTables(
   return Status::OK();
 }
 
+void AppendSideRows(Table* table, const IdTable& rows, bool truth) {
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    Row row;
+    row.reserve(rows.num_cols() + 1);
+    row.push_back(Datum(static_cast<int64_t>(truth ? 1 : 0)));
+    for (size_t c = 0; c < rows.num_cols(); ++c) {
+      row.push_back(Datum(rows.col(c)[r]));
+    }
+    table->Append(std::move(row));
+  }
+}
+
 Status RefreshPredicateTables(
-    const MlnProgram& program, const EvidenceDb& evidence,
+    const MlnProgram& program, const EvidenceSideTables& side_tables,
     const std::vector<PredicateId>& predicates, Catalog* catalog,
-    std::unordered_map<PredicateId, uint64_t>* true_counts) {
-  std::vector<Table*> tables(program.num_predicates(), nullptr);
+    std::unordered_map<PredicateId, uint64_t>* true_counts,
+    size_t* rows_written) {
   for (PredicateId pid : predicates) {
     const Predicate& pred = program.predicate(pid);
     TUFFY_ASSIGN_OR_RETURN(
         Table * t, catalog->GetTable(PredicateTableName(pred.name)));
     t->Clear();
-    tables[pid] = t;
-    if (true_counts != nullptr) (*true_counts)[pid] = 0;
+    const IdTable& true_rows = side_tables.true_rows(pid);
+    const IdTable& false_rows = side_tables.false_rows(pid);
+    t->Reserve(true_rows.num_rows() + false_rows.num_rows());
+    AppendSideRows(t, true_rows, /*truth=*/true);
+    AppendSideRows(t, false_rows, /*truth=*/false);
+    t->Analyze();
+    if (true_counts != nullptr) (*true_counts)[pid] = true_rows.num_rows();
+    if (rows_written != nullptr) {
+      *rows_written += true_rows.num_rows() + false_rows.num_rows();
+    }
   }
-  // One pass over the evidence repopulates every refreshed table.
-  for (const auto& [atom, truth] : evidence.entries()) {
-    Table* t = tables[atom.pred];
-    if (t == nullptr) continue;
-    AppendEvidenceRow(t, atom, truth);
-    if (true_counts != nullptr && truth) ++(*true_counts)[atom.pred];
-  }
-  for (PredicateId pid : predicates) tables[pid]->Analyze();
   return Status::OK();
 }
 

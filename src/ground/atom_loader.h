@@ -5,6 +5,7 @@
 
 #include "mln/model.h"
 #include "ra/catalog.h"
+#include "storage/evidence_side_tables.h"
 #include "util/status.h"
 
 namespace tuffy {
@@ -24,6 +25,13 @@ Schema PredicateTableSchema(const Predicate& pred);
 /// "present").
 void AppendAtomRow(Table* table, const GroundAtom& atom);
 
+/// Appends every row of an evidence-side-table relation to a
+/// predicate-layout table with the given truth value — the one
+/// definition of "side-table rows as (truth, arg0, ...) tuples", shared
+/// by the per-predicate refresh and the serving layer's union
+/// relations.
+void AppendSideRows(Table* table, const IdTable& rows, bool truth);
+
 /// Bulk-loads the MLN data into the relational engine (Section 3.1):
 /// one table per predicate with schema (truth, arg0, ..., argK-1) holding
 /// the explicit evidence rows (truth: 0 = false, 1 = true), and one
@@ -36,16 +44,23 @@ Status LoadMlnTables(
     const MlnProgram& program, const EvidenceDb& evidence, Catalog* catalog,
     std::unordered_map<PredicateId, uint64_t>* true_counts = nullptr);
 
-/// Re-materializes the atom tables of just `predicates` from the current
-/// evidence (clear, re-append, re-ANALYZE), leaving every other table
-/// untouched. This is the delta path of a long-lived serving session:
-/// after an evidence delta only the touched predicates' tables — not the
-/// whole catalog — are refreshed. `true_counts`, if non-null, has those
-/// predicates' entries recomputed in place.
+/// Re-materializes the atom tables of just `predicates` from the
+/// evidence **side tables** (clear, re-append, re-ANALYZE), leaving
+/// every other table untouched. This is the delta path of a long-lived
+/// serving session: after an evidence delta only the touched predicates'
+/// tables — not the whole catalog — are refreshed, and the rows come
+/// from the touched predicates' side tables, so the cost is proportional
+/// to those relations' sizes and never to |evidence| (the old
+/// implementation scanned the whole evidence map once per delta).
+/// `true_counts`, if non-null, has those predicates' entries reset from
+/// the side tables; `rows_written`, if non-null, is incremented by the
+/// number of rows materialized (the bench/test observable for
+/// delta-maintenance cost).
 Status RefreshPredicateTables(
-    const MlnProgram& program, const EvidenceDb& evidence,
+    const MlnProgram& program, const EvidenceSideTables& side_tables,
     const std::vector<PredicateId>& predicates, Catalog* catalog,
-    std::unordered_map<PredicateId, uint64_t>* true_counts = nullptr);
+    std::unordered_map<PredicateId, uint64_t>* true_counts = nullptr,
+    size_t* rows_written = nullptr);
 
 }  // namespace tuffy
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 
 #include "ground/atom_loader.h"
 #include "ra/operators.h"
@@ -25,9 +27,10 @@ BottomUpGrounder::BottomUpGrounder(const MlnProgram& program,
 Result<RuleBindingQuery> BuildRuleBindingQuery(
     const MlnProgram& program, int clause_idx, const Catalog& catalog,
     const std::unordered_map<PredicateId, uint64_t>& true_counts,
-    const DeltaBindingSpec* delta) {
+    const EvidenceSideTables* side_tables, const DeltaBindingSpec* delta) {
   const Clause& clause = program.clauses()[clause_idx];
   RuleBindingQuery out;
+  std::vector<uint8_t> is_binding_ref(clause.literals.size(), 0);
 
   // Which variables are existential?
   std::vector<bool> existential(clause.num_vars, false);
@@ -134,6 +137,7 @@ Result<RuleBindingQuery> BuildRuleBindingQuery(
     }
     add_binding_ref(lit, table, pred.name, selectivity,
                     /*skip_existential=*/false);
+    is_binding_ref[li] = 1;
     if (delta == nullptr && li < 64) out.binding_lit_mask |= uint64_t{1} << li;
   }
 
@@ -161,6 +165,44 @@ Result<RuleBindingQuery> BuildRuleBindingQuery(
                                                          : ""});
     out.out_vars.push_back(v);
   }
+
+  // Evidence-satisfaction anti-joins (see the header comment). Probe
+  // columns index the query *output*: output column i binds
+  // out.out_vars[i].
+  if (side_tables != nullptr && delta == nullptr && !query.outputs.empty() &&
+      (clause.hard || clause.weight >= 0.0)) {
+    std::vector<int> var_out(clause.num_vars, -1);
+    for (size_t i = 0; i < out.out_vars.size(); ++i) {
+      var_out[out.out_vars[i]] = static_cast<int>(i);
+    }
+    for (size_t li = 0; li < clause.literals.size(); ++li) {
+      if (is_binding_ref[li]) continue;  // atom joined true: never false
+      const Literal& lit = clause.literals[li];
+      bool resolvable = true;
+      for (const Term& t : lit.args) {
+        if (t.is_var && var_out[t.id] < 0) resolvable = false;  // existential
+      }
+      if (!resolvable) continue;
+      const IdTable& build = lit.positive
+                                 ? side_tables->true_rows(lit.pred)
+                                 : side_tables->false_rows(lit.pred);
+      if (build.num_rows() == 0) continue;
+      AntiJoinRef ref;
+      ref.build = &build;
+      ref.label = (lit.positive ? "ev_true_" : "ev_false_") +
+                  program.predicate(lit.pred).name;
+      for (const Term& t : lit.args) {
+        AntiJoinTerm term;
+        if (t.is_var) {
+          term.probe_col = var_out[t.id];
+        } else {
+          term.constant = static_cast<int64_t>(t.id);
+        }
+        ref.terms.push_back(term);
+      }
+      query.anti_joins.push_back(std::move(ref));
+    }
+  }
   return out;
 }
 
@@ -168,11 +210,13 @@ Status GroundClauseCandidates(
     const MlnProgram& program, int clause_idx, const Catalog& catalog,
     const std::unordered_map<PredicateId, uint64_t>& true_counts,
     const OptimizerOptions& optimizer_options, GroundingContext* ctx,
-    std::string* explain) {
+    std::string* explain, const EvidenceSideTables* side_tables) {
   const Clause& clause = program.clauses()[clause_idx];
   TUFFY_ASSIGN_OR_RETURN(
       RuleBindingQuery rq,
-      BuildRuleBindingQuery(program, clause_idx, catalog, true_counts));
+      BuildRuleBindingQuery(
+          program, clause_idx, catalog, true_counts,
+          optimizer_options.enable_antijoin_pruning ? side_tables : nullptr));
   if (rq.trivial) {
     ctx->AddCandidate(clause_idx, Assignment(clause.num_vars, -1));
     return Status::OK();
@@ -185,6 +229,29 @@ Status GroundClauseCandidates(
                           plan.explain.c_str());
   }
 
+  // Rows dropped by the evidence anti-joins at the top of the plan:
+  // (rows reaching the lowest anti-join) - (rows leaving the top one),
+  // read off the operator counters after execution. These are
+  // evidence-satisfied candidates resolution never saw.
+  auto vec_pruned = [](const VecOp* op) {
+    uint64_t out_rows = op->rows_produced();
+    while (const auto* aj = dynamic_cast<const VecAntiJoinOp*>(op)) {
+      const VecOp* child = nullptr;
+      aj->ForEachChild([&](const VecOp* c) { child = c; });
+      op = child;
+    }
+    return op->rows_produced() - out_rows;
+  };
+  auto volcano_pruned = [](PhysicalOp* op) {
+    uint64_t out_rows = op->rows_produced();
+    while (auto* aj = dynamic_cast<AntiJoinOp*>(op)) {
+      PhysicalOp* child = nullptr;
+      aj->ForEachChild([&](PhysicalOp* c) { child = c; });
+      op = child;
+    }
+    return op->rows_produced() - out_rows;
+  };
+
   if (plan.vec_root != nullptr) {
     // Batch path: whole chunks flow from the executor into the resolver.
     TUFFY_RETURN_IF_ERROR(
@@ -193,6 +260,7 @@ Status GroundClauseCandidates(
                                  rq.binding_lit_mask);
           return Status::OK();
         }));
+    ctx->RecordAntiJoinPruned(vec_pruned(plan.vec_root.get()));
     if (explain != nullptr && optimizer_options.analyze) {
       *explain += StrFormat("-- analyze rule %d --\n", clause.rule_id);
       AppendVecAnalyze(plan.vec_root.get(), 0, explain);
@@ -212,6 +280,7 @@ Status GroundClauseCandidates(
     }
     ctx->AddCandidate(clause_idx, assignment, rq.binding_lit_mask);
   }
+  ctx->RecordAntiJoinPruned(volcano_pruned(plan.root.get()));
   plan.root->Close();
   if (explain != nullptr && optimizer_options.analyze) {
     *explain += StrFormat("-- analyze rule %d --\n", clause.rule_id);
@@ -243,7 +312,7 @@ Status CollectBindings(
     return ForEachChunk(plan.vec_root.get(), [&](const ColumnChunk& chunk) {
       for (uint32_t r = 0; r < chunk.num_rows; ++r) {
         for (size_t c = 0; c < out_vars.size(); ++c) {
-          assignment[out_vars[c]] = static_cast<ConstantId>(chunk.cols[c][r]);
+          assignment[out_vars[c]] = static_cast<ConstantId>(chunk.col(c)[r]);
         }
         emit();
       }
@@ -273,25 +342,35 @@ Result<GroundingResult> BottomUpGrounder::Ground() {
   TUFFY_RETURN_IF_ERROR(
       LoadMlnTables(program_, evidence_, &catalog, &true_counts_));
 
-  GroundingContext ctx(program_, evidence_, ground_options_);
+  // Evidence side tables for this run: anti-join build relations and the
+  // pattern-count index read per-predicate rows from here instead of
+  // scanning the evidence map. Read-only while rules ground, so sharing
+  // across worker threads is safe.
+  EvidenceSideTables side_tables(program_.num_predicates());
+  side_tables.Rebuild(evidence_);
+  GroundingOptions opts = ground_options_;
+  opts.side_tables = &side_tables;
+
+  GroundingContext ctx(program_, evidence_, opts);
   const int num_rules = static_cast<int>(program_.clauses().size());
-  const int threads =
-      std::max(1, std::min(ground_options_.num_threads, num_rules));
+  const int threads = std::max(1, std::min(opts.num_threads, num_rules));
 
   // Every rule resolves into its own context — concurrently when a pool
   // is available — and the contexts merge in rule-index order, so the
   // grounding result is bit-identical for every thread count. The serial
   // path absorbs (and frees) each context as soon as its rule finishes;
-  // only the parallel path holds locals until the merge.
+  // the parallel path absorbs the completed prefix as it forms (the
+  // merge thread sleeps on the next rule in order), so a local context
+  // lives only until every earlier rule has finished, not until the
+  // whole batch has.
   std::vector<std::unique_ptr<GroundingContext>> locals(num_rules);
   std::vector<std::string> explains(num_rules);
   std::vector<Status> statuses(num_rules, Status::OK());
   auto ground_rule = [&](int r) {
-    locals[r] = std::make_unique<GroundingContext>(program_, evidence_,
-                                                   ground_options_);
+    locals[r] = std::make_unique<GroundingContext>(program_, evidence_, opts);
     statuses[r] = GroundClauseCandidates(program_, r, catalog, true_counts_,
                                          optimizer_options_, locals[r].get(),
-                                         &explains[r]);
+                                         &explains[r], &side_tables);
   };
   auto absorb_rule = [&](int r) -> Status {
     TUFFY_RETURN_IF_ERROR(statuses[r]);
@@ -301,12 +380,37 @@ Result<GroundingResult> BottomUpGrounder::Ground() {
     return Status::OK();
   };
   if (threads > 1) {
-    ThreadPool pool(threads);
-    for (int r = 0; r < num_rules; ++r) {
-      pool.Submit([&ground_rule, r] { ground_rule(r); });
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<uint8_t> done(num_rules, 0);
+    Status merge_status = Status::OK();
+    {
+      ThreadPool pool(threads);
+      for (int r = 0; r < num_rules; ++r) {
+        pool.Submit([&, r] {
+          ground_rule(r);
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            done[r] = 1;
+          }
+          cv.notify_one();
+        });
+      }
+      for (int r = 0; r < num_rules; ++r) {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return done[r] != 0; });
+        }
+        if (merge_status.ok()) {
+          merge_status = absorb_rule(r);
+        } else {
+          locals[r].reset();  // keep draining; free the orphaned context
+        }
+      }
+      // Pool destructor joins the (now idle) workers before `done`,
+      // `locals`, and friends leave scope.
     }
-    pool.WaitIdle();
-    for (int r = 0; r < num_rules; ++r) TUFFY_RETURN_IF_ERROR(absorb_rule(r));
+    TUFFY_RETURN_IF_ERROR(merge_status);
   } else {
     for (int r = 0; r < num_rules; ++r) {
       ground_rule(r);

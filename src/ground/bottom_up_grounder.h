@@ -9,6 +9,7 @@
 #include "mln/model.h"
 #include "ra/catalog.h"
 #include "ra/optimizer.h"
+#include "storage/evidence_side_tables.h"
 #include "util/result.h"
 
 namespace tuffy {
@@ -90,9 +91,24 @@ struct DeltaBindingSpec {
 /// predicate/domain tables. `true_counts` drives selectivity estimation
 /// (see LoadMlnTables); `delta`, if non-null, applies the substitutions
 /// above.
+///
+/// `side_tables`, if non-null, additionally plans **anti-joins** against
+/// the evidence side tables: for every resolvable literal (no
+/// existential argument, not a binding literal), output bindings whose
+/// literal atom the evidence makes true — positive literals against the
+/// predicate's explicit-true rows, negative ones against its
+/// explicit-false rows — are pruned inside the query, because such a
+/// clause is satisfied by evidence and resolution would discard it
+/// anyway. Clauses with a negative soft weight are exempt (their
+/// satisfied groundings contribute fixed cost, which resolution must
+/// see), as are delta compilations (the affected-binding superset must
+/// stay independent of the satisfaction state). Pruning therefore never
+/// changes the ground clause store — only how many rows reach
+/// resolution.
 Result<RuleBindingQuery> BuildRuleBindingQuery(
     const MlnProgram& program, int clause_idx, const Catalog& catalog,
     const std::unordered_map<PredicateId, uint64_t>& true_counts,
+    const EvidenceSideTables* side_tables = nullptr,
     const DeltaBindingSpec* delta = nullptr);
 
 /// Compiles and runs the binding query of one first-order clause against
@@ -103,11 +119,14 @@ Result<RuleBindingQuery> BuildRuleBindingQuery(
 /// layer's DeltaGrounder re-runs it for just the rules a delta touches.
 /// `explain`, if non-null, receives the plan's EXPLAIN text (plus
 /// per-operator ANALYZE lines when optimizer_options.analyze is set).
+/// `side_tables`, if non-null and optimizer_options.enable_antijoin_pruning
+/// is set, turns on in-plan evidence-satisfaction pruning (see
+/// BuildRuleBindingQuery).
 Status GroundClauseCandidates(
     const MlnProgram& program, int clause_idx, const Catalog& catalog,
     const std::unordered_map<PredicateId, uint64_t>& true_counts,
     const OptimizerOptions& optimizer_options, GroundingContext* ctx,
-    std::string* explain);
+    std::string* explain, const EvidenceSideTables* side_tables = nullptr);
 
 /// Runs an already-built binding query, appending every candidate
 /// assignment to `out` (deduplicating against `seen` when non-null).

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "storage/evidence_side_tables.h"
 #include "util/logging.h"
 #include "util/mem_tracker.h"
 #include "util/timer.h"
@@ -303,13 +304,28 @@ uint32_t GroundingContext::CountMatchingTrueRows(
   auto it = pattern_index_.find(key);
   if (it == pattern_index_.end()) {
     BoundValsCount counts;
-    for (const auto& [atom, truth] : evidence_.entries()) {
-      if (atom.pred != pred || !truth) continue;
-      std::vector<ConstantId> vals;
-      for (size_t i = 0; i < atom.args.size(); ++i) {
-        if (mask & (1u << i)) vals.push_back(atom.args[i]);
+    if (options_.side_tables != nullptr) {
+      // One predicate's true rows, straight off the side table — no scan
+      // of the whole evidence map.
+      const IdTable& rows = options_.side_tables->true_rows(pred);
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        std::vector<ConstantId> vals;
+        for (size_t i = 0; i < rows.num_cols(); ++i) {
+          if (mask & (1u << i)) {
+            vals.push_back(static_cast<ConstantId>(rows.col(i)[r]));
+          }
+        }
+        ++counts[std::move(vals)];
       }
-      ++counts[std::move(vals)];
+    } else {
+      for (const auto& [atom, truth] : evidence_.entries()) {
+        if (atom.pred != pred || !truth) continue;
+        std::vector<ConstantId> vals;
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          if (mask & (1u << i)) vals.push_back(atom.args[i]);
+        }
+        ++counts[std::move(vals)];
+      }
     }
     it = pattern_index_.emplace(key, std::move(counts)).first;
   }
@@ -465,7 +481,7 @@ int32_t GroundingContext::ResolveUnseenCell(const Literal& lit,
   for (size_t i = 0; i < lit.args.size(); ++i) {
     const Term& t = lit.args[i];
     scratch_atom_.args[i] =
-        t.is_var ? static_cast<ConstantId>(chunk.cols[var_col_[t.id]][row])
+        t.is_var ? static_cast<ConstantId>(chunk.col(var_col_[t.id])[row])
                  : t.id;
   }
   const Truth truth = evidence_.Lookup(program_, scratch_atom_);
@@ -499,7 +515,7 @@ void GroundingContext::AddCandidateChunk(int clause_idx,
     for (uint32_t r = 0; r < chunk.num_rows; ++r) {
       for (size_t c = 0; c < out_vars.size(); ++c) {
         scratch_assignment_[out_vars[c]] =
-            static_cast<ConstantId>(chunk.cols[c][r]);
+            static_cast<ConstantId>(chunk.col(c)[r]);
       }
       ResolveCandidate(clause_idx, scratch_assignment_, skip_lit_mask);
     }
@@ -511,10 +527,10 @@ void GroundingContext::AddCandidateChunk(int clause_idx,
     bool satisfied = false;
     for (const ChunkEqPlan& eq : p.eqs) {
       const ConstantId lhs =
-          eq.col_l >= 0 ? static_cast<ConstantId>(chunk.cols[eq.col_l][r])
+          eq.col_l >= 0 ? static_cast<ConstantId>(chunk.col(eq.col_l)[r])
                         : eq.const_l;
       const ConstantId rhs =
-          eq.col_r >= 0 ? static_cast<ConstantId>(chunk.cols[eq.col_r][r])
+          eq.col_r >= 0 ? static_cast<ConstantId>(chunk.col(eq.col_r)[r])
                         : eq.const_r;
       if ((lhs == rhs) == eq.equal) {
         satisfied = true;
@@ -528,7 +544,7 @@ void GroundingContext::AddCandidateChunk(int clause_idx,
         size_t key = lp.base;
         bool in_dense = true;
         for (const ChunkLitPlan::VarTerm& vt : lp.vars) {
-          const int64_t v = chunk.cols[vt.col][r];
+          const int64_t v = chunk.col(vt.col)[r];
           if (v < 0 || static_cast<size_t>(v) >= vt.index_size) {
             in_dense = false;
             break;
@@ -563,7 +579,7 @@ void GroundingContext::AddCandidateChunk(int clause_idx,
             const Term& t = lit.args[i];
             scratch_atom_.args[i] =
                 t.is_var
-                    ? static_cast<ConstantId>(chunk.cols[var_col_[t.id]][r])
+                    ? static_cast<ConstantId>(chunk.col(var_col_[t.id])[r])
                     : t.id;
           }
           cid = InternScratchAtom(&known_true);
@@ -627,6 +643,7 @@ void GroundingContext::AbsorbPending(GroundingContext* local) {
     const GroundingResult& lr0 = local->result_;
     result_.stats.candidates += lr0.stats.candidates;
     result_.stats.satisfied_by_evidence += lr0.stats.satisfied_by_evidence;
+    result_.stats.pruned_by_antijoin += lr0.stats.pruned_by_antijoin;
     result_.stats.hard_violations += lr0.stats.hard_violations;
     result_.fixed_cost += lr0.fixed_cost;
     result_.hard_contradiction =
@@ -662,6 +679,7 @@ void GroundingContext::AbsorbPending(GroundingContext* local) {
   const GroundingResult& lr = local->result_;
   result_.stats.candidates += lr.stats.candidates;
   result_.stats.satisfied_by_evidence += lr.stats.satisfied_by_evidence;
+  result_.stats.pruned_by_antijoin += lr.stats.pruned_by_antijoin;
   result_.stats.hard_violations += lr.stats.hard_violations;
   result_.fixed_cost += lr.fixed_cost;
   result_.hard_contradiction =

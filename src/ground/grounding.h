@@ -13,6 +13,8 @@
 
 namespace tuffy {
 
+class EvidenceSideTables;
+
 /// Grounding configuration shared by the bottom-up and top-down grounders.
 struct GroundingOptions {
   /// If true, applies the lazy-inference active closure of Appendix A.3:
@@ -42,14 +44,30 @@ struct GroundingOptions {
   /// resolving a small candidate batch (binding-level deltas) turn it
   /// off, since zeroing domain-product-sized arrays would dominate.
   bool dense_interner = true;
+  /// Per-predicate evidence side tables covering the same evidence the
+  /// context resolves against (storage/evidence_side_tables.h), or null.
+  /// When set, the existential pattern-count index builds from one
+  /// predicate's true rows instead of a scan of the whole evidence map,
+  /// and the grounders plan anti-joins against the side tables (gated by
+  /// OptimizerOptions::enable_antijoin_pruning). The tables must outlive
+  /// the grounding run and stay unmutated during it.
+  const EvidenceSideTables* side_tables = nullptr;
 };
 
 struct GroundingStats {
   double seconds = 0.0;
-  /// Candidate variable assignments produced by the binding phase.
+  /// Candidate variable assignments that reached evidence resolution.
+  /// With anti-join pruning on, bindings pruned inside the plan are not
+  /// counted here — the drop versus the unpruned configuration is the
+  /// pruning win (bench_table2's anti-join lesion reports both).
   uint64_t candidates = 0;
-  /// Candidates discarded because evidence already satisfies the clause.
+  /// Candidates discarded because evidence already satisfies the clause
+  /// — whether resolution discarded them or an anti-join pruned them
+  /// before they left the executor.
   uint64_t satisfied_by_evidence = 0;
+  /// Of satisfied_by_evidence, how many were pruned in-plan by
+  /// anti-joins against the evidence side tables.
+  uint64_t pruned_by_antijoin = 0;
   /// Candidates discarded by the lazy-closure activity test.
   uint64_t pruned_inactive = 0;
   /// Hard-clause candidates violated outright by the evidence. The
@@ -108,6 +126,14 @@ class GroundingContext {
   void AddCandidateChunk(int clause_idx, const ColumnChunk& chunk,
                          const std::vector<VarId>& out_vars,
                          uint64_t skip_lit_mask = 0);
+
+  /// Records `rows` bindings pruned in-plan by evidence anti-joins (they
+  /// never reached AddCandidate*, but they are evidence-satisfied
+  /// candidates all the same — see GroundingStats).
+  void RecordAntiJoinPruned(uint64_t rows) {
+    result_.stats.pruned_by_antijoin += rows;
+    result_.stats.satisfied_by_evidence += rows;
+  }
 
   /// Merges a rule-local context into this one: pending clauses are
   /// remapped into this context's candidate-atom interner and appended

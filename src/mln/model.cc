@@ -187,11 +187,24 @@ std::string MlnProgram::ToString() const {
 // -------------------------------------------------------------- EvidenceDb
 
 void EvidenceDb::Add(GroundAtom atom, bool truth) {
-  truth_[std::move(atom)] = truth;
+  if (listener_ == nullptr) {
+    truth_[std::move(atom)] = truth;
+    return;
+  }
+  auto [it, inserted] = truth_.try_emplace(std::move(atom), truth);
+  const bool had_old = !inserted;
+  const bool old_truth = it->second;
+  it->second = truth;
+  listener_->OnEvidenceSet(it->first, truth, had_old, old_truth);
 }
 
 bool EvidenceDb::Remove(const GroundAtom& atom) {
-  return truth_.erase(atom) > 0;
+  auto it = truth_.find(atom);
+  if (it == truth_.end()) return false;
+  const bool old_truth = it->second;
+  truth_.erase(it);
+  if (listener_ != nullptr) listener_->OnEvidenceErased(atom, old_truth);
+  return true;
 }
 
 Truth EvidenceDb::Lookup(const MlnProgram& program,

@@ -178,9 +178,60 @@ struct GroundAtomHash {
 /// in Section 3.1).
 enum class Truth : int8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
 
+/// Observer of explicit evidence mutations. Derived structures that
+/// mirror the evidence (the per-predicate side tables in
+/// `storage/evidence_side_tables.h`) attach one of these so every
+/// Add/Remove keeps them in sync incrementally — no full-evidence rescans
+/// on the serving path.
+class EvidenceListener {
+ public:
+  virtual ~EvidenceListener() = default;
+
+  /// An explicit entry was inserted or overwritten. `had_old`/`old_truth`
+  /// describe the previous explicit entry for the atom (old_truth is
+  /// meaningful only when had_old).
+  virtual void OnEvidenceSet(const GroundAtom& atom, bool truth,
+                             bool had_old, bool old_truth) = 0;
+
+  /// An explicit entry was erased.
+  virtual void OnEvidenceErased(const GroundAtom& atom, bool old_truth) = 0;
+};
+
 /// The evidence database: known-true and known-false ground atoms.
 class EvidenceDb {
  public:
+  EvidenceDb() = default;
+
+  /// Copying transfers the entries only, never the listener: a mirror is
+  /// in sync with exactly one database instance, so the copy starts
+  /// detached (and an attached destination would silently desync — the
+  /// listener sees no bulk-replace notification). Attach after the
+  /// contents are in place.
+  EvidenceDb(const EvidenceDb& other) : truth_(other.truth_) {}
+  EvidenceDb& operator=(const EvidenceDb& other) {
+    truth_ = other.truth_;
+    listener_ = nullptr;
+    return *this;
+  }
+  // Moves must stay O(1) (datasets hand their EvidenceDb around by
+  // value); like copies, they never carry or preserve a listener — and
+  // the moved-from side is detached too, since its mirror just lost the
+  // contents without notification.
+  EvidenceDb(EvidenceDb&& other) noexcept : truth_(std::move(other.truth_)) {
+    other.listener_ = nullptr;
+  }
+  EvidenceDb& operator=(EvidenceDb&& other) noexcept {
+    truth_ = std::move(other.truth_);
+    listener_ = nullptr;
+    other.listener_ = nullptr;
+    return *this;
+  }
+
+  /// Attaches (or with nullptr detaches) the mutation observer. The
+  /// caller must have brought the listener in sync with the current
+  /// contents first (see EvidenceSideTables::Rebuild).
+  void SetListener(EvidenceListener* listener) { listener_ = listener; }
+
   /// Records evidence; later entries overwrite earlier ones.
   void Add(GroundAtom atom, bool truth);
 
@@ -203,6 +254,7 @@ class EvidenceDb {
 
  private:
   std::unordered_map<GroundAtom, bool, GroundAtomHash> truth_;
+  EvidenceListener* listener_ = nullptr;
 };
 
 /// A fully-labeled database split for discriminative weight learning:

@@ -34,6 +34,40 @@ class IdTable {
   /// is NULL; returns false (leaving `out` unspecified) otherwise.
   static bool Build(const Table& table, IdTable* out);
 
+  // ---- Incremental mutation (the evidence side tables own IdTables
+  // directly and keep them current per evidence delta, instead of
+  // rebuilding a Table mirror from scratch). Removal swaps with the last
+  // row, so row order is maintenance-history-dependent; consumers must
+  // not rely on it (the anti-join build side is order-insensitive).
+
+  /// Resets to `num_cols` empty columns.
+  void Init(size_t num_cols) {
+    num_rows_ = 0;
+    narrow_ = true;
+    cols_.assign(num_cols, {});
+  }
+
+  /// Appends one row; a value outside [0, 2^31) clears the narrow flag.
+  template <typename T>
+  void AppendRow(const std::vector<T>& vals) {
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      const int64_t v = static_cast<int64_t>(vals[c]);
+      if (v < 0 || v > INT32_MAX) narrow_ = false;
+      cols_[c].push_back(v);
+    }
+    ++num_rows_;
+  }
+
+  /// Removes row `i` by swapping the last row into its place.
+  void SwapRemoveRow(size_t i) {
+    const size_t last = num_rows_ - 1;
+    for (auto& col : cols_) {
+      col[i] = col[last];
+      col.pop_back();
+    }
+    --num_rows_;
+  }
+
   size_t EstimateBytes() const {
     size_t bytes = 0;
     for (const auto& c : cols_) bytes += c.capacity() * sizeof(int64_t);

@@ -381,6 +381,101 @@ std::string SortMergeJoinOp::name() const {
   return StrFormat("SortMergeJoin(keys=%zu)", keys_.size());
 }
 
+// --------------------------------------------------------------- AntiJoin
+
+void CompileAntiJoinKeys(const AntiJoinRef& ref,
+                         std::vector<std::pair<int, int64_t>>* const_checks,
+                         std::vector<std::pair<int, int>>* dup_checks,
+                         std::vector<int>* key_build_cols,
+                         std::vector<int>* key_probe_cols) {
+  for (size_t i = 0; i < ref.terms.size(); ++i) {
+    const AntiJoinTerm& term = ref.terms[i];
+    if (term.probe_col < 0) {
+      const_checks->emplace_back(static_cast<int>(i), term.constant);
+      continue;
+    }
+    int rep = -1;
+    for (size_t k = 0; k < key_probe_cols->size(); ++k) {
+      if ((*key_probe_cols)[k] == term.probe_col) {
+        rep = (*key_build_cols)[k];
+      }
+    }
+    if (rep >= 0) {
+      // Repeated variable: this build column must equal the first
+      // occurrence's column; the key carries the value once.
+      dup_checks->emplace_back(rep, static_cast<int>(i));
+    } else {
+      key_build_cols->push_back(static_cast<int>(i));
+      key_probe_cols->push_back(term.probe_col);
+    }
+  }
+}
+
+bool AntiJoinBuildRowQualifies(
+    const IdTable& build, size_t row,
+    const std::vector<std::pair<int, int64_t>>& const_checks,
+    const std::vector<std::pair<int, int>>& dup_checks) {
+  for (const auto& [col, value] : const_checks) {
+    if (build.col(col)[row] != value) return false;
+  }
+  for (const auto& [a, b] : dup_checks) {
+    if (build.col(a)[row] != build.col(b)[row]) return false;
+  }
+  return true;
+}
+
+AntiJoinOp::AntiJoinOp(PhysicalOpPtr child, AntiJoinRef ref)
+    : child_(std::move(child)), ref_(std::move(ref)) {
+  CompileAntiJoinKeys(ref_, &const_checks_, &dup_checks_, &key_build_cols_,
+                      &key_probe_cols_);
+}
+
+Status AntiJoinOp::Open() {
+  rows_produced_ = 0;
+  MaybeTimer t(this);
+  keys_.clear();
+  match_all_ = false;
+  const IdTable& build = *ref_.build;
+  keys_.reserve(build.num_rows());
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    if (!AntiJoinBuildRowQualifies(build, r, const_checks_, dup_checks_)) {
+      continue;
+    }
+    if (key_build_cols_.empty()) {
+      match_all_ = true;
+      break;
+    }
+    scratch_key_.clear();
+    for (int c : key_build_cols_) scratch_key_.push_back(build.col(c)[r]);
+    keys_.insert(scratch_key_);
+  }
+  return child_->Open();
+}
+
+Result<bool> AntiJoinOp::Next(Row* out) {
+  MaybeTimer t(this);
+  while (true) {
+    TUFFY_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    // match_all (fully-ground literal satisfied by evidence) drains the
+    // child instead of short-circuiting: the pruned-row accounting reads
+    // the child's row counter, and it must cover these rows too.
+    if (match_all_) continue;
+    if (!keys_.empty()) {
+      scratch_key_.clear();
+      for (int c : key_probe_cols_) scratch_key_.push_back((*out)[c].int64());
+      if (keys_.find(scratch_key_) != keys_.end()) continue;  // pruned
+    }
+    ++rows_produced_;
+    return true;
+  }
+}
+
+void AntiJoinOp::Close() {
+  child_->Close();
+  keys_.clear();
+}
+
 // ------------------------------------------------------------------- Sort
 
 Status SortOp::Open() {

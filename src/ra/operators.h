@@ -5,9 +5,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ra/expr.h"
+#include "ra/query.h"
 #include "ra/table.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -248,6 +250,71 @@ class SortMergeJoinOp final : public PhysicalOp {
   size_t cur_right_ = 0;
   bool in_group_ = false;
 };
+
+/// Hash anti-join against an evidence side table (see AntiJoinRef): the
+/// build side's qualifying rows — constants matched, repeated-variable
+/// positions equal — are keyed by their variable positions, and child
+/// rows whose probe key is present are dropped. This is the in-plan
+/// satisfied-by-evidence test: it only ever removes rows whose clause
+/// resolution would discard anyway, so plans with and without it ground
+/// bit-identically. Supports any key arity (the packed-key batch variant
+/// VecAntiJoinOp covers <= 2 distinct probe columns).
+class AntiJoinOp final : public PhysicalOp {
+ public:
+  AntiJoinOp(PhysicalOpPtr child, AntiJoinRef ref);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  void Close() override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override { return "AntiJoin(" + ref_.label + ")"; }
+  void ForEachChild(const std::function<void(PhysicalOp*)>& fn) override {
+    fn(child_.get());
+  }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<int64_t>& key) const {
+      size_t h = 0x9E3779B97F4A7C15ull;
+      for (int64_t v : key) h = h * 1315423911u ^ std::hash<int64_t>{}(v);
+      return h;
+    }
+  };
+
+  PhysicalOpPtr child_;
+  AntiJoinRef ref_;
+  // Compiled from ref_.terms (see CompileAntiJoinKeys in query lowering):
+  // build-side constant checks, intra-build repeated-variable equalities,
+  // and one representative build column per distinct probe column.
+  std::vector<std::pair<int, int64_t>> const_checks_;
+  std::vector<std::pair<int, int>> dup_checks_;
+  std::vector<int> key_build_cols_;
+  std::vector<int> key_probe_cols_;
+  std::unordered_set<std::vector<int64_t>, KeyHash> keys_;
+  /// No variable positions and some qualifying build row: the literal is
+  /// ground and evidence-satisfied, so every child row is dropped.
+  bool match_all_ = false;
+  std::vector<int64_t> scratch_key_;
+};
+
+/// Splits `ref.terms` into the compiled pieces the anti-join operators
+/// share: per-build-column constant requirements, repeated-probe-column
+/// equalities within the build row, and the distinct (build col, probe
+/// col) key pairs in first-occurrence order.
+void CompileAntiJoinKeys(const AntiJoinRef& ref,
+                         std::vector<std::pair<int, int64_t>>* const_checks,
+                         std::vector<std::pair<int, int>>* dup_checks,
+                         std::vector<int>* key_build_cols,
+                         std::vector<int>* key_probe_cols);
+
+/// True when the build row at `row` passes the compiled constant and
+/// repeated-variable checks.
+bool AntiJoinBuildRowQualifies(
+    const IdTable& build, size_t row,
+    const std::vector<std::pair<int, int64_t>>& const_checks,
+    const std::vector<std::pair<int, int>>& dup_checks);
 
 /// Materializes and sorts child output by the given column indices.
 class SortOp final : public PhysicalOp {

@@ -304,6 +304,29 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
     root = std::make_unique<ProjectOp>(std::move(root), out_cols, out_names);
     explain += StrFormat("Project (%zu cols)\n", out_cols.size());
   }
+
+  // Anti-joins above the projection: evidence-satisfaction pruning
+  // (probe columns are output columns). The packed-key batch variant
+  // handles at most two distinct probe columns over a narrow build side;
+  // a wider ref keeps the whole query on the Volcano operators so both
+  // translations prune identically.
+  for (const AntiJoinRef& aj : query.anti_joins) {
+    if (aj.build == nullptr) {
+      return Status::InvalidArgument("anti-join ref has no build relation");
+    }
+    if (!aj.build->narrow()) vec_ok = false;
+    std::vector<int> distinct_probe;
+    for (const AntiJoinTerm& term : aj.terms) {
+      if (term.probe_col < 0) continue;
+      bool seen = false;
+      for (int p : distinct_probe) seen = seen || p == term.probe_col;
+      if (!seen) distinct_probe.push_back(term.probe_col);
+    }
+    if (distinct_probe.size() > 2) vec_ok = false;
+    explain += StrFormat("AntiJoin %s (build_rows=%zu)\n", aj.label.c_str(),
+                         aj.build->num_rows());
+    root = std::make_unique<AntiJoinOp>(std::move(root), aj);
+  }
   if (options_.analyze) EnableAnalyze(root.get());
 
   // ---- Batch plan: same join order, same keys, same output order —
@@ -341,6 +364,9 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
     }
     if (!out_cols.empty()) {
       vroot = std::make_unique<VecProjectOp>(std::move(vroot), out_cols);
+    }
+    for (const AntiJoinRef& aj : query.anti_joins) {
+      vroot = std::make_unique<VecAntiJoinOp>(std::move(vroot), aj);
     }
     vec_root = std::move(vroot);
     explain += StrFormat("Vectorized: batch plan (chunk=%u)\n", kVecChunkRows);

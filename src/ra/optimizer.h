@@ -34,6 +34,15 @@ struct OptimizerOptions {
   /// output can include ANALYZE-style rows/time per operator. Batch
   /// operators are always instrumented (per-chunk cost is negligible).
   bool analyze = false;
+  /// If true (default), the grounding compiler plans anti-joins against
+  /// the evidence side tables so bindings whose clause is already
+  /// satisfied by the evidence are pruned inside the query (Tuffy's
+  /// satisfied-by-evidence SQL test). Disabling it is the Table-6-style
+  /// lesion: every candidate flows to resolution, which then discards
+  /// the satisfied ones — same ground store, more rows resolved. The
+  /// flag gates AntiJoinRef *generation* (BuildRuleBindingQuery); Plan
+  /// always lowers whatever refs a query carries.
+  bool enable_antijoin_pruning = true;
 };
 
 /// The optimized physical plan plus EXPLAIN-style metadata.

@@ -36,14 +36,37 @@ struct OutputCol {
   std::string name;
 };
 
+/// One column of an anti-join probe key: either the `probe_col`-th
+/// *output* column of the query, or (probe_col < 0) a required constant.
+struct AntiJoinTerm {
+  int probe_col = -1;
+  int64_t constant = 0;
+};
+
+/// An anti-join over the query's final output rows: a row is dropped iff
+/// some build-side row matches it on every term (build column i against
+/// the probe column / constant of terms[i]). The grounding compiler
+/// emits one per prunable clause literal, with the build side pointing
+/// at an evidence side table (storage/evidence_side_tables.h) — this is
+/// how the satisfied-by-evidence test is pushed into the RA plan, as
+/// Tuffy's SQL does, so trivially-satisfied clauses never leave the
+/// executor. The IdTable must outlive plan execution.
+struct AntiJoinRef {
+  const IdTable* build = nullptr;
+  std::vector<AntiJoinTerm> terms;  // one per build column
+  std::string label;
+};
+
 /// The select-project-join query shape that MLN grounding compiles to
 /// (Algorithm 2 in the paper): one TableRef per literal, join conditions
 /// for shared variables, per-ref filters for constants and evidence-truth
-/// pruning, and the atom-id output columns.
+/// pruning, and the atom-id output columns. `anti_joins` run above the
+/// projection, in order.
 struct ConjunctiveQuery {
   std::vector<TableRef> tables;
   std::vector<JoinCondition> joins;
   std::vector<OutputCol> outputs;
+  std::vector<AntiJoinRef> anti_joins;
 };
 
 }  // namespace tuffy

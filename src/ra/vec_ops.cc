@@ -33,9 +33,9 @@ bool EvalPredicates(const std::vector<VecPredicate>& predicates,
                     const ColumnChunk& chunk, uint32_t row) {
   for (const VecPredicate& p : predicates) {
     if (p.kind == VecPredicate::Kind::kColEqConst) {
-      if (chunk.cols[p.col_a][row] != p.value) return false;
+      if (chunk.col(p.col_a)[row] != p.value) return false;
     } else {
-      if (chunk.cols[p.col_a][row] != chunk.cols[p.col_b][row]) return false;
+      if (chunk.col(p.col_a)[row] != chunk.col(p.col_b)[row]) return false;
     }
   }
   return true;
@@ -58,9 +58,9 @@ Result<bool> VecScanOp::NextChunk(ColumnChunk* out) {
   const size_t rows =
       std::min<size_t>(kVecChunkRows, table_->num_rows() - pos_);
   out->Reset(table_->num_cols());
+  // Borrow the table's columns: a view per column, no copies.
   for (size_t c = 0; c < table_->num_cols(); ++c) {
-    const std::vector<int64_t>& col = table_->col(c);
-    out->cols[c].assign(col.begin() + pos_, col.begin() + pos_ + rows);
+    out->SetView(c, table_->col(c).data() + pos_);
   }
   out->num_rows = static_cast<uint32_t>(rows);
   pos_ += rows;
@@ -88,11 +88,13 @@ Result<bool> VecFilterOp::NextChunk(ColumnChunk* out) {
       if (EvalPredicates(predicates_, scratch_, r)) sel_.push_back(r);
     }
     if (sel_.empty()) continue;
-    out->Reset(scratch_.cols.size());
-    for (size_t c = 0; c < scratch_.cols.size(); ++c) {
+    out->Reset(scratch_.num_cols());
+    for (size_t c = 0; c < scratch_.num_cols(); ++c) {
+      const int64_t* src = scratch_.col(c);
       out->cols[c].reserve(sel_.size());
-      for (uint32_t r : sel_) out->cols[c].push_back(scratch_.cols[c][r]);
+      for (uint32_t r : sel_) out->cols[c].push_back(src[r]);
     }
+    out->SealOwned();
     out->num_rows = static_cast<uint32_t>(sel_.size());
     rows_produced_ += out->num_rows;
     ++chunks_produced_;
@@ -118,8 +120,9 @@ Result<bool> VecProjectOp::NextChunk(ColumnChunk* out) {
   TUFFY_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&scratch_));
   if (!has) return false;
   out->Reset(columns_.size());
+  // Forward the child's views — projection moves no data.
   for (size_t i = 0; i < columns_.size(); ++i) {
-    out->cols[i] = scratch_.cols[columns_[i]];
+    out->SetView(i, scratch_.col(columns_[i]));
   }
   out->num_rows = scratch_.num_rows;
   rows_produced_ += out->num_rows;
@@ -150,12 +153,12 @@ uint64_t VecHashJoinOp::PackBuildKey(size_t row) const {
 
 uint64_t VecHashJoinOp::PackProbeKey(uint32_t row) const {
   if (keys_.size() == 1) {
-    return static_cast<uint64_t>(probe_.cols[keys_[0].left_col][row]);
+    return static_cast<uint64_t>(probe_.col(keys_[0].left_col)[row]);
   }
   return (static_cast<uint64_t>(
-              static_cast<uint32_t>(probe_.cols[keys_[0].left_col][row]))
+              static_cast<uint32_t>(probe_.col(keys_[0].left_col)[row]))
           << 32) |
-         static_cast<uint32_t>(probe_.cols[keys_[1].left_col][row]);
+         static_cast<uint32_t>(probe_.col(keys_[1].left_col)[row]);
 }
 
 int32_t VecHashJoinOp::Lookup(uint64_t key) const {
@@ -184,8 +187,8 @@ Status VecHashJoinOp::Open() {
     if (!has.ok()) return has.status();
     if (!has.value()) break;
     for (size_t c = 0; c < build_cols_.size(); ++c) {
-      build_cols_[c].insert(build_cols_[c].end(), chunk.cols[c].begin(),
-                            chunk.cols[c].end());
+      const int64_t* src = chunk.col(c);
+      build_cols_[c].insert(build_cols_[c].end(), src, src + chunk.num_rows);
     }
     build_rows_ += chunk.num_rows;
   }
@@ -239,7 +242,7 @@ Result<bool> VecHashJoinOp::NextChunk(ColumnChunk* out) {
       continue;
     }
     for (size_t c = 0; c < ncols_left; ++c) {
-      out->cols[c].push_back(probe_.cols[c][probe_row_]);
+      out->cols[c].push_back(probe_.col(c)[probe_row_]);
     }
     for (size_t c = 0; c < build_cols_.size(); ++c) {
       out->cols[ncols_left + c].push_back(build_cols_[c][chain_]);
@@ -248,6 +251,7 @@ Result<bool> VecHashJoinOp::NextChunk(ColumnChunk* out) {
     chain_ = next_[chain_];
   }
   if (out->num_rows == 0) return false;
+  out->SealOwned();
   rows_produced_ += out->num_rows;
   ++chunks_produced_;
   return true;
@@ -283,8 +287,8 @@ Status VecCrossJoinOp::Open() {
     if (!has.ok()) return has.status();
     if (!has.value()) break;
     for (size_t c = 0; c < right_cols_.size(); ++c) {
-      right_cols_[c].insert(right_cols_[c].end(), chunk.cols[c].begin(),
-                            chunk.cols[c].end());
+      const int64_t* src = chunk.col(c);
+      right_cols_[c].insert(right_cols_[c].end(), src, src + chunk.num_rows);
     }
     right_rows_ += chunk.num_rows;
   }
@@ -323,7 +327,7 @@ Result<bool> VecCrossJoinOp::NextChunk(ColumnChunk* out) {
                                         right_rows_ - right_pos_);
     for (size_t c = 0; c < ncols_left; ++c) {
       out->cols[c].insert(out->cols[c].end(), run,
-                          probe_.cols[c][probe_row_]);
+                          probe_.col(c)[probe_row_]);
     }
     for (size_t c = 0; c < right_cols_.size(); ++c) {
       out->cols[ncols_left + c].insert(
@@ -335,6 +339,7 @@ Result<bool> VecCrossJoinOp::NextChunk(ColumnChunk* out) {
     right_pos_ += run;
   }
   if (out->num_rows == 0) return false;
+  out->SealOwned();
   rows_produced_ += out->num_rows;
   ++chunks_produced_;
   return true;
@@ -345,6 +350,127 @@ void VecCrossJoinOp::Close() {
   right_->Close();
   right_cols_.clear();
   right_rows_ = 0;
+}
+
+// ------------------------------------------------------------ VecAntiJoin
+
+VecAntiJoinOp::VecAntiJoinOp(VecOpPtr child, AntiJoinRef ref)
+    : child_(std::move(child)), ref_(std::move(ref)) {
+  CompileAntiJoinKeys(ref_, &const_checks_, &dup_checks_, &key_build_cols_,
+                      &key_probe_cols_);
+}
+
+uint64_t VecAntiJoinOp::PackProbeKey(const ColumnChunk& chunk,
+                                     uint32_t row) const {
+  if (key_probe_cols_.size() == 1) {
+    return static_cast<uint64_t>(chunk.col(key_probe_cols_[0])[row]);
+  }
+  return (static_cast<uint64_t>(
+              static_cast<uint32_t>(chunk.col(key_probe_cols_[0])[row]))
+          << 32) |
+         static_cast<uint32_t>(chunk.col(key_probe_cols_[1])[row]);
+}
+
+bool VecAntiJoinOp::Contains(uint64_t key) const {
+  if (build_keys_ == 0) return false;
+  size_t slot = HashKey(key) & slot_mask_;
+  while (slot_used_[slot] != 0) {
+    if (slot_key_[slot] == key) return true;
+    slot = (slot + 1) & slot_mask_;
+  }
+  return false;
+}
+
+Status VecAntiJoinOp::Open() {
+  ScopedSeconds t(&seconds_);
+  rows_produced_ = 0;
+  chunks_produced_ = 0;
+  match_all_ = false;
+  build_keys_ = 0;
+
+  const IdTable& build = *ref_.build;
+  const size_t cap = NextPow2(build.num_rows() * 2);
+  slot_key_.assign(cap, 0);
+  slot_used_.assign(cap, 0);
+  slot_mask_ = cap - 1;
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    if (!AntiJoinBuildRowQualifies(build, r, const_checks_, dup_checks_)) {
+      continue;
+    }
+    if (key_build_cols_.empty()) {
+      // Fully-ground literal already satisfied by evidence: every child
+      // row is pruned.
+      match_all_ = true;
+      break;
+    }
+    uint64_t key;
+    if (key_build_cols_.size() == 1) {
+      key = static_cast<uint64_t>(build.col(key_build_cols_[0])[r]);
+    } else {
+      key = (static_cast<uint64_t>(
+                 static_cast<uint32_t>(build.col(key_build_cols_[0])[r]))
+             << 32) |
+            static_cast<uint32_t>(build.col(key_build_cols_[1])[r]);
+    }
+    size_t slot = HashKey(key) & slot_mask_;
+    while (slot_used_[slot] != 0 && slot_key_[slot] != key) {
+      slot = (slot + 1) & slot_mask_;
+    }
+    if (slot_used_[slot] == 0) {
+      slot_used_[slot] = 1;
+      slot_key_[slot] = key;
+      ++build_keys_;
+    }
+  }
+  return child_->Open();
+}
+
+Result<bool> VecAntiJoinOp::NextChunk(ColumnChunk* out) {
+  ScopedSeconds t(&seconds_);
+  while (true) {
+    TUFFY_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&scratch_));
+    if (!has) return false;
+    // match_all (fully-ground literal satisfied by evidence) drains the
+    // child instead of short-circuiting: the pruned-row accounting reads
+    // the child's row counter, and it must cover these rows too (and
+    // the Volcano AntiJoinOp drains identically, keeping stats equal
+    // across executors).
+    if (match_all_) continue;
+    if (build_keys_ == 0) {
+      // Nothing to prune: forward the child chunk's views unchanged.
+      out->Reset(scratch_.num_cols());
+      for (size_t c = 0; c < scratch_.num_cols(); ++c) {
+        out->SetView(c, scratch_.col(c));
+      }
+      out->num_rows = scratch_.num_rows;
+      rows_produced_ += out->num_rows;
+      ++chunks_produced_;
+      return true;
+    }
+    sel_.clear();
+    for (uint32_t r = 0; r < scratch_.num_rows; ++r) {
+      if (!Contains(PackProbeKey(scratch_, r))) sel_.push_back(r);
+    }
+    if (sel_.empty()) continue;
+    out->Reset(scratch_.num_cols());
+    for (size_t c = 0; c < scratch_.num_cols(); ++c) {
+      const int64_t* src = scratch_.col(c);
+      out->cols[c].reserve(sel_.size());
+      for (uint32_t r : sel_) out->cols[c].push_back(src[r]);
+    }
+    out->SealOwned();
+    out->num_rows = static_cast<uint32_t>(sel_.size());
+    rows_produced_ += out->num_rows;
+    ++chunks_produced_;
+    return true;
+  }
+}
+
+void VecAntiJoinOp::Close() {
+  child_->Close();
+  slot_key_.clear();
+  slot_used_.clear();
+  build_keys_ = 0;
 }
 
 // --------------------------------------------------------------- Helpers

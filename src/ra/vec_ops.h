@@ -18,18 +18,47 @@ namespace tuffy {
 /// and timer, small enough that a chunk's working set stays in L2.
 constexpr uint32_t kVecChunkRows = 1024;
 
-/// A batch of rows in columnar form: one flat int64 vector per output
-/// column. Operators exchange whole chunks instead of single Rows — the
-/// batch-at-a-time analogue of Volcano's Next(Row*).
+/// A batch of rows in columnar form. Operators exchange whole chunks
+/// instead of single Rows — the batch-at-a-time analogue of Volcano's
+/// Next(Row*). Each column is exposed through a *view pointer*: it
+/// either aliases this chunk's own `cols` storage (operators that
+/// materialize output, e.g. filter gathers and join emissions) or
+/// borrows a producer-owned buffer (VecScan points straight into the
+/// IdTable; VecProject forwards child views) — scans and projections
+/// cost zero copies. A chunk's views are valid until the producing
+/// operator's next NextChunk/Close call; do not copy a chunk whose
+/// views alias its own storage.
 struct ColumnChunk {
+  ColumnChunk() = default;
+  /// Not copyable: a copy of a chunk whose views alias its own storage
+  /// would silently point into the source's buffers. Moves are fine
+  /// (vector data pointers survive them).
+  ColumnChunk(const ColumnChunk&) = delete;
+  ColumnChunk& operator=(const ColumnChunk&) = delete;
+  ColumnChunk(ColumnChunk&&) = default;
+  ColumnChunk& operator=(ColumnChunk&&) = default;
+
   uint32_t num_rows = 0;
+  /// Owned storage; entry c stays empty when column c borrows.
   std::vector<std::vector<int64_t>> cols;
+  std::vector<const int64_t*> views;
+
+  const int64_t* col(size_t c) const { return views[c]; }
+  size_t num_cols() const { return views.size(); }
 
   void Reset(size_t num_cols) {
     num_rows = 0;
     cols.resize(num_cols);
     for (auto& c : cols) c.clear();
+    views.assign(num_cols, nullptr);
   }
+  /// Points every view at this chunk's own storage; call after filling
+  /// `cols` (data() is stable once writing is done).
+  void SealOwned() {
+    for (size_t c = 0; c < cols.size(); ++c) views[c] = cols[c].data();
+  }
+  /// Points column c at an external buffer of at least num_rows values.
+  void SetView(size_t c, const int64_t* data) { views[c] = data; }
 };
 
 /// The predicate forms MLN grounding pushes into scans (constant
@@ -90,7 +119,9 @@ class VecOp {
 
 using VecOpPtr = std::unique_ptr<VecOp>;
 
-/// Chunked scan over a columnar id view. The IdTable must outlive the op.
+/// Chunked scan over a columnar id view: each emitted chunk *borrows*
+/// the table's column arrays (a view per column, no copies). The IdTable
+/// must outlive the op and stay unmutated while the plan runs.
 class VecScanOp final : public VecOp {
  public:
   VecScanOp(const IdTable* table, std::string label)
@@ -134,8 +165,8 @@ class VecFilterOp final : public VecOp {
   std::vector<uint32_t> sel_;
 };
 
-/// Projects child chunks onto a list of column indices (pointer swap per
-/// kept column would be possible; a copy keeps ownership simple).
+/// Projects child chunks onto a list of column indices by forwarding the
+/// child's column views — no data movement.
 class VecProjectOp final : public VecOp {
  public:
   VecProjectOp(VecOpPtr child, std::vector<int> columns)
@@ -240,6 +271,52 @@ class VecCrossJoinOp final : public VecOp {
   uint32_t probe_row_ = 0;
   bool probe_valid_ = false;
   size_t right_pos_ = 0;
+};
+
+/// Batch hash anti-join against an evidence side table — the vectorized
+/// twin of AntiJoinOp, restricted to <= 2 distinct probe columns so the
+/// build keys pack into one uint64 indexed by the same open-addressing
+/// layout as VecHashJoinOp (key set only: no chains, a slot is just
+/// occupied or not). Child rows whose packed probe key is present are
+/// dropped; surviving rows keep their order, so the plan stays
+/// bit-compatible with the Volcano translation.
+class VecAntiJoinOp final : public VecOp {
+ public:
+  VecAntiJoinOp(VecOpPtr child, AntiJoinRef ref);
+
+  Status Open() override;
+  Result<bool> NextChunk(ColumnChunk* out) override;
+  void Close() override;
+  size_t num_output_cols() const override {
+    return child_->num_output_cols();
+  }
+  std::string name() const override {
+    return "VecAntiJoin(" + ref_.label + ")";
+  }
+  void ForEachChild(
+      const std::function<void(const VecOp*)>& fn) const override {
+    fn(child_.get());
+  }
+
+ private:
+  uint64_t PackProbeKey(const ColumnChunk& chunk, uint32_t row) const;
+  bool Contains(uint64_t key) const;
+
+  VecOpPtr child_;
+  AntiJoinRef ref_;
+  std::vector<std::pair<int, int64_t>> const_checks_;
+  std::vector<std::pair<int, int>> dup_checks_;
+  std::vector<int> key_build_cols_;
+  std::vector<int> key_probe_cols_;
+
+  std::vector<uint64_t> slot_key_;
+  std::vector<uint8_t> slot_used_;
+  uint64_t slot_mask_ = 0;
+  size_t build_keys_ = 0;
+  bool match_all_ = false;
+
+  ColumnChunk scratch_;
+  std::vector<uint32_t> sel_;
 };
 
 /// Runs a batch plan to completion, invoking `fn` on every output chunk.

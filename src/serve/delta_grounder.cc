@@ -22,10 +22,14 @@ DeltaGrounder::DeltaGrounder(const MlnProgram& program,
                              OptimizerOptions optimizer_options)
     : program_(program),
       ground_options_(ground_options),
-      optimizer_options_(optimizer_options) {
+      optimizer_options_(optimizer_options),
+      side_tables_(program.num_predicates()) {
   // Delta composability requires rule-local grounding; the lazy closure
   // is a whole-program fixpoint, so it is forced off (see class comment).
   ground_options_.lazy_closure = false;
+  // Every grounding context this session creates resolves against the
+  // resident evidence, which side_tables_ mirrors for its whole life.
+  ground_options_.side_tables = &side_tables_;
 }
 
 Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
@@ -35,6 +39,11 @@ Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
   // state, and ApplyDelta must refuse it just like a half-applied delta.
   poisoned_ = true;
   evidence_ = initial_evidence;
+  // One bulk scan builds the side tables; from here on the listener hook
+  // keeps them in sync with every evidence mutation — O(1) per changed
+  // atom, so per-delta maintenance is delta-proportional.
+  side_tables_.Rebuild(evidence_);
+  evidence_.SetListener(&side_tables_);
 
   const size_t num_rules = program_.clauses().size();
   rule_maps_.resize(num_rules);
@@ -115,7 +124,7 @@ Result<DeltaGrounder::RuleMap> DeltaGrounder::GroundRule(int rule_idx) {
   TUFFY_RETURN_IF_ERROR(GroundClauseCandidates(program_, rule_idx, catalog_,
                                                true_counts_,
                                                optimizer_options_, &ctx,
-                                               nullptr));
+                                               nullptr, &side_tables_));
   TUFFY_ASSIGN_OR_RETURN(GroundingResult local, ctx.Finalize());
   rule_fixed_cost_[rule_idx] = local.fixed_cost;
   rule_contradiction_[rule_idx] =
@@ -403,16 +412,22 @@ Result<GroundEdits> DeltaGrounder::ApplyDelta(const EvidenceDelta& delta) {
       AppendAtomRow(delta_tables[atom.pred].get(), atom);
     }
     // Old-true rows complete the old-or-new union (an effective true
-    // assertion is never already old-true, so no duplicates arise).
-    for (const auto& [atom, truth] : evidence_.entries()) {
-      if (truth && pred_touched[atom.pred]) {
-        AppendAtomRow(union_tables[atom.pred].get(), atom);
-      }
+    // assertion is never already old-true, so no duplicates arise). They
+    // come from the touched predicates' side tables — still pre-mutation
+    // here, so these are exactly the old-true rows — instead of a filter
+    // over the whole evidence map.
+    for (PredicateId p : refresh) {
+      const IdTable& old_true = side_tables_.true_rows(p);
+      Table* u = union_tables[p].get();
+      u->Reserve(u->num_rows() + old_true.num_rows());
+      AppendSideRows(u, old_true, /*truth=*/true);
     }
     for (PredicateId p : refresh) {
       delta_tables[p]->Analyze();
       union_tables[p]->Analyze();
       union_overrides[p] = union_tables[p].get();
+      edits.maintenance_rows +=
+          delta_tables[p]->num_rows() + union_tables[p]->num_rows();
     }
 
     for (size_t r = 0; r < rule_touched.size(); ++r) {
@@ -435,7 +450,8 @@ Result<GroundEdits> DeltaGrounder::ApplyDelta(const EvidenceDelta& delta) {
         TUFFY_ASSIGN_OR_RETURN(
             RuleBindingQuery rq,
             BuildRuleBindingQuery(program_, static_cast<int>(r), catalog_,
-                                  true_counts_, &spec));
+                                  true_counts_, /*side_tables=*/nullptr,
+                                  &spec));
         TUFFY_RETURN_IF_ERROR(CollectBindings(program_, static_cast<int>(r),
                                               std::move(rq),
                                               optimizer_options_, &seen,
@@ -457,13 +473,17 @@ Result<GroundEdits> DeltaGrounder::ApplyDelta(const EvidenceDelta& delta) {
 
   // Mutation begins: any error path from here on leaves evidence,
   // tables, and rule maps mutually inconsistent, so arm the fail-stop
-  // guard and disarm it only on full success.
+  // guard and disarm it only on full success. The Add/Remove calls
+  // notify the listener, so side_tables_ flips to the new evidence here,
+  // one O(1) row edit per changed atom.
   poisoned_ = true;
   for (auto& [atom, truth] : effective_asserts) evidence_.Add(atom, truth);
   for (const GroundAtom& atom : effective_retracts) evidence_.Remove(atom);
 
-  TUFFY_RETURN_IF_ERROR(RefreshPredicateTables(program_, evidence_, refresh,
-                                               &catalog_, &true_counts_));
+  TUFFY_RETURN_IF_ERROR(RefreshPredicateTables(program_, side_tables_,
+                                               refresh, &catalog_,
+                                               &true_counts_,
+                                               &edits.maintenance_rows));
   edits.predicates_refreshed = refresh.size();
 
   // Re-ground the touched rules: binding-level parts where the pre-pass
@@ -539,7 +559,7 @@ size_t DeltaGrounder::EstimateBytes() const {
   // Hash-map entries are charged a flat node overhead on top of their
   // key payload; this is admission-control accounting, not malloc truth.
   constexpr size_t kNodeOverhead = 64;
-  size_t bytes = catalog_.EstimateBytes();
+  size_t bytes = catalog_.EstimateBytes() + side_tables_.EstimateBytes();
   for (const GroundClause& c : clauses_) {
     bytes += sizeof(GroundClause) + c.lits.capacity() * sizeof(Lit);
   }

@@ -11,6 +11,7 @@
 #include "mln/model.h"
 #include "ra/catalog.h"
 #include "ra/optimizer.h"
+#include "storage/evidence_side_tables.h"
 #include "util/result.h"
 
 namespace tuffy {
@@ -53,6 +54,13 @@ struct GroundEdits {
   size_t clauses_added = 0;
   size_t clauses_removed = 0;
   size_t clauses_reweighted = 0;
+  /// Rows materialized for table maintenance this delta: the touched
+  /// predicates' catalog-table refresh plus the binding-level delta and
+  /// union relations. All of these read the touched predicates' evidence
+  /// side tables (kept current incrementally by the EvidenceDb listener
+  /// hook), so this scales with the touched relations — never with
+  /// |evidence| (tests/antijoin_test.cc pins that down).
+  size_t maintenance_rows = 0;
   /// Deduplicated session atom ids appearing in any edited clause.
   std::vector<AtomId> dirty_atoms;
   double ground_seconds = 0.0;
@@ -213,6 +221,12 @@ class DeltaGrounder {
   OptimizerOptions optimizer_options_;
 
   EvidenceDb evidence_;
+  /// Per-predicate true/false side tables mirroring `evidence_`, kept
+  /// current incrementally (attached as the EvidenceDb's listener after
+  /// the initial Rebuild). Feeds the catalog refresh, the binding-level
+  /// union relations, anti-join pruning, and the pattern-count index —
+  /// the serving path never rescans the evidence map after Initialize.
+  EvidenceSideTables side_tables_;
   Catalog catalog_;
   std::unordered_map<PredicateId, uint64_t> true_counts_;
   /// Predicate -> rules with a literal over it (delta fan-out).

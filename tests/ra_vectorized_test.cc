@@ -56,7 +56,9 @@ RowsInt MaterializeVec(VecOp* root) {
     EXPECT_GT(chunk.num_rows, 0u);  // emitted chunks are never empty
     for (uint32_t r = 0; r < chunk.num_rows; ++r) {
       std::vector<int64_t> vals;
-      for (const auto& col : chunk.cols) vals.push_back(col[r]);
+      for (size_t c = 0; c < chunk.num_cols(); ++c) {
+        vals.push_back(chunk.col(c)[r]);
+      }
       out.push_back(std::move(vals));
     }
     return Status::OK();
