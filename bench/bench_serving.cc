@@ -16,8 +16,18 @@
 // delta rows against the rest of each touched rule); _full re-runs the
 // touched rules' whole queries. The ratio is the binding-level win; the
 // final costs of both must match the from-scratch run exactly.
+//
+// A durability lesion follows (docs/DURABILITY.md): the same delta
+// stream through wal_off / wal_nosync / wal_fsync+snapshots sessions,
+// then a snapshot+replay restart. Emits one
+//   BENCH_JSON {"bench":"serving_durability","variant":...}
+// line per variant with the per-delta logging overhead, and for the
+// restart the Recover wall time plus a bit-identity check against the
+// pre-restart session.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -230,5 +240,110 @@ int main() {
       ground_avg > 0 ? full_ground_avg / ground_avg : 0.0,
       bindings_total / kDeltas, maintenance_rows_total / kDeltas,
       accumulated.num_evidence());
+
+  // ------------------------------------------------- durability lesion
+  // What does making the delta stream crash-safe cost? Three sessions
+  // run the identical stream: no WAL, WAL without fsync (OS write-back
+  // is the commit point), and the full discipline (per-delta fsync +
+  // a snapshot every 4 deltas). Durability knobs never change results,
+  // so every variant must land on the volatile session's exact cost.
+  PrintHeader("Durability lesion: WAL / fsync / snapshot overhead");
+  struct DurabilityVariant {
+    const char* name;
+    bool wal;
+    bool fsync;
+    uint32_t snapshot_every;
+  };
+  const DurabilityVariant variants[] = {
+      {"wal_off", false, false, 0},
+      {"wal_nosync", true, false, 0},
+      {"wal_fsync_snap4", true, true, 4},
+  };
+  double baseline_avg = 0.0;
+  std::string fsync_dir;  // durable state of the last variant, kept for
+                          // the restart measurement below
+  for (const DurabilityVariant& variant : variants) {
+    SessionOptions dopts = sopts;
+    if (variant.wal) {
+      std::string templ = "/tmp/bench_serving_wal_XXXXXX";
+      if (::mkdtemp(templ.data()) == nullptr) {
+        std::fprintf(stderr, "mkdtemp failed\n");
+        return 1;
+      }
+      dopts.wal_dir = templ + "/session";
+      dopts.wal_fsync = variant.fsync;
+      dopts.snapshot_every = variant.snapshot_every;
+      if (variant.fsync) fsync_dir = dopts.wal_dir;
+    }
+    InferenceSession durable(ds.program, dopts);
+    Status dopen = durable.Open(ds.evidence);
+    if (!dopen.ok()) {
+      std::fprintf(stderr, "%s open failed: %s\n", variant.name,
+                   dopen.ToString().c_str());
+      return 1;
+    }
+    Timer stream_timer;
+    for (int d = 0; d < kDeltas; ++d) {
+      auto r = durable.ApplyDelta(deltas[d]);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s delta %d failed: %s\n", variant.name, d,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    double stream_seconds = stream_timer.ElapsedSeconds();
+    double variant_avg = stream_seconds / kDeltas;
+    if (!variant.wal) baseline_avg = variant_avg;
+    double overhead = baseline_avg > 0
+                          ? (variant_avg - baseline_avg) / baseline_avg
+                          : 0.0;
+    if (durable.map_cost() != session_cost) {
+      std::fprintf(stderr, "FAIL: %s cost %.6f != volatile cost %.6f\n",
+                   variant.name, durable.map_cost(), session_cost);
+      return 1;
+    }
+    std::printf("%-16s %.4fs/delta (logging overhead %+.1f%%), cost %.4f\n",
+                variant.name, variant_avg, 100 * overhead,
+                durable.map_cost());
+    std::printf(
+        "BENCH_JSON {\"bench\":\"serving_durability\",\"dataset\":\"%s\","
+        "\"variant\":\"%s\",\"warm_seconds_avg\":%.5f,"
+        "\"logging_overhead_frac\":%.4f,\"session_cost\":%.4f}\n",
+        ds.name.c_str(), variant.name, variant_avg, overhead,
+        durable.map_cost());
+    if (variant.fsync) {
+      // Restart: throw the resident session away and rebuild it from the
+      // newest snapshot + WAL suffix, as a crashed server would.
+      std::vector<uint8_t> truth_before = durable.truth();
+      // (The session object is still alive; Recover reads only disk.)
+      Timer recover_timer;
+      RecoveryStats rstats;
+      auto recovered = InferenceSession::Recover(ds.program, dopts, nullptr,
+                                                 &rstats);
+      double recover_seconds = recover_timer.ElapsedSeconds();
+      if (!recovered.ok()) {
+        std::fprintf(stderr, "restart recovery failed: %s\n",
+                     recovered.status().ToString().c_str());
+        return 1;
+      }
+      bool identical = recovered.value()->truth() == truth_before &&
+                       recovered.value()->map_cost() == session_cost;
+      std::printf(
+          "restart: recovered in %.4fs (snapshot %llu, %llu records "
+          "replayed) — %s\n",
+          recover_seconds, (unsigned long long)rstats.snapshot_seq,
+          (unsigned long long)rstats.records_replayed,
+          identical ? "bit-identical" : "MISMATCH");
+      std::printf(
+          "BENCH_JSON {\"bench\":\"serving_durability\",\"dataset\":\"%s\","
+          "\"variant\":\"restart_snapshot_replay\",\"recover_seconds\":%.4f,"
+          "\"records_replayed\":%llu,\"open_seconds_cold\":%.4f,"
+          "\"bit_identical\":%s}\n",
+          ds.name.c_str(), recover_seconds,
+          (unsigned long long)rstats.records_replayed, open_seconds,
+          identical ? "true" : "false");
+      if (!identical) return 1;
+    }
+  }
   return 0;
 }

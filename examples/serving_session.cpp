@@ -3,13 +3,28 @@
 // the session's MAP cost equals a from-scratch TuffyEngine run over the
 // accumulated evidence. Exits non-zero on any mismatch, so CI can use it
 // as the serving equivalence gate.
+//
+// Durability smoke (docs/DURABILITY.md), driven by CI's recovery job:
+//   serving_session -wal_dir DIR                durable run of the stream
+//   serving_session -wal_dir DIR -crash_at SPEC same, but arm a fault
+//       point first (util/fault_points.h grammar, e.g.
+//       "wal.append.mid_record=crash@1"); a crash action kills the
+//       process with exit code 43 mid-delta, leaving a torn WAL.
+//   serving_session -wal_dir DIR -recover       recover the crashed
+//       session, print the recovery stats, re-apply whatever suffix of
+//       the stream the crash swallowed, and verify the final MAP cost
+//       against a from-scratch run over the full evidence.
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "datagen/datasets.h"
 #include "exec/tuffy_engine.h"
 #include "serve/inference_session.h"
+#include "util/fault_points.h"
 
 using namespace tuffy;  // NOLINT: example brevity
 
@@ -24,9 +39,62 @@ GroundAtom CatAtom(const MlnProgram& program, const char* paper,
   return atom;
 }
 
+/// The canonical three-delta stream every mode of this binary runs:
+/// retract a label, relabel a paper, bridge two clusters.
+std::vector<EvidenceDelta> MakeDeltas(const MlnProgram& program,
+                                      const EvidenceDb& evidence) {
+  GroundAtom some_label;
+  for (const auto& [atom, truth] : evidence.entries()) {
+    if (atom.pred == program.FindPredicate("cat").value() && truth) {
+      some_label = atom;
+      break;
+    }
+  }
+  std::vector<EvidenceDelta> deltas(3);
+  deltas[0].Retract(some_label);
+  deltas[1].Assert(CatAtom(program, "P0", "Networking"), true);
+  GroundAtom bridge;
+  bridge.pred = program.FindPredicate("refers").value();
+  bridge.args = {program.symbols().Find("P0"),
+                 program.symbols().Find("P11")};
+  deltas[2].Assert(bridge, true);
+  return deltas;
+}
+
+void FoldDelta(const EvidenceDelta& delta, EvidenceDb* evidence) {
+  for (const auto& [atom, truth] : delta.assertions) {
+    evidence->Add(atom, truth);
+  }
+  for (const GroundAtom& atom : delta.retractions) {
+    evidence->Remove(atom);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string wal_dir;
+  std::string crash_at;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-wal_dir") == 0 && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "-crash_at") == 0 && i + 1 < argc) {
+      crash_at = argv[++i];
+    } else if (std::strcmp(argv[i], "-recover") == 0) {
+      recover = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [-wal_dir DIR [-crash_at SPEC | -recover]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (wal_dir.empty() && (recover || !crash_at.empty())) {
+    std::fprintf(stderr, "-crash_at/-recover need -wal_dir\n");
+    return 2;
+  }
+
   RcParams params;
   params.num_clusters = 4;
   params.papers_per_cluster = 6;
@@ -44,8 +112,76 @@ int main() {
   opts.search_mode = SearchMode::kComponentAware;
   opts.grounding.lazy_closure = false;  // session grounding semantics
   opts.total_flips = 80000;
+  opts.wal_dir = wal_dir;
+  opts.snapshot_every = 2;
 
   TuffyEngine engine(program, evidence, opts);
+  std::vector<EvidenceDelta> deltas = MakeDeltas(program, evidence);
+
+  if (recover) {
+    RecoveryStats rs;
+    auto session = engine.RecoverSession(&rs);
+    if (!session.ok()) {
+      std::fprintf(stderr, "recover: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered: snapshot %llu (%zu tried), %llu/%llu records "
+                "replayed, %llu bytes scanned, %llu torn bytes truncated\n",
+                (unsigned long long)rs.snapshot_seq, rs.snapshots_tried,
+                (unsigned long long)rs.records_replayed,
+                (unsigned long long)rs.wal_records_total,
+                (unsigned long long)rs.bytes_scanned,
+                (unsigned long long)rs.truncated_bytes);
+    // The restored counters say how far the pre-crash process got;
+    // finish the stream from there.
+    size_t applied = session.value()->stats().deltas_applied;
+    if (applied > deltas.size()) {
+      std::fprintf(stderr, "recovered %zu deltas, expected at most %zu\n",
+                   applied, deltas.size());
+      return 1;
+    }
+    std::printf("crash cost %zu of %zu deltas; re-applying the rest\n",
+                deltas.size() - applied, deltas.size());
+    for (size_t i = applied; i < deltas.size(); ++i) {
+      auto r = session.value()->ApplyDelta(deltas[i]);
+      if (!r.ok()) {
+        std::fprintf(stderr, "re-apply delta %zu: %s\n", i,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    for (const EvidenceDelta& delta : deltas) FoldDelta(delta, &evidence);
+    EngineOptions fresh_opts = opts;
+    fresh_opts.wal_dir.clear();
+    TuffyEngine fresh(program, evidence, fresh_opts);
+    auto cold = fresh.Run();
+    if (!cold.ok()) {
+      std::fprintf(stderr, "fresh: %s\n", cold.status().ToString().c_str());
+      return 1;
+    }
+    double warm_cost = session.value()->map_cost();
+    double cold_cost = cold.value().total_cost;
+    std::printf("post-recovery cost %.4f, from-scratch cost %.4f\n",
+                warm_cost, cold_cost);
+    if (std::fabs(warm_cost - cold_cost) > 1e-6) {
+      std::fprintf(stderr, "MISMATCH after recovery: warm %.6f cold %.6f\n",
+                   warm_cost, cold_cost);
+      return 1;
+    }
+    std::printf("recovery smoke OK: recovered session == from-scratch "
+                "Infer over the full stream\n");
+    return 0;
+  }
+
+  if (!crash_at.empty()) {
+    Status armed = ArmFaultFromSpec(crash_at);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "-crash_at: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
+
   auto session = engine.OpenSession();
   if (!session.ok()) {
     std::fprintf(stderr, "open: %s\n", session.status().ToString().c_str());
@@ -58,60 +194,37 @@ int main() {
               session.value()->num_components(),
               session.value()->map_cost());
 
-  // Three deltas: retract a label, relabel a paper, bridge two clusters.
-  GroundAtom some_label;
-  for (const auto& [atom, truth] : evidence.entries()) {
-    if (atom.pred == program.FindPredicate("cat").value() && truth) {
-      some_label = atom;
-      break;
-    }
-  }
-  EvidenceDelta d1;
-  d1.Retract(some_label);
-  EvidenceDelta d2;
-  d2.Assert(CatAtom(program, "P0", "Networking"), true);
-  EvidenceDelta d3;
-  GroundAtom bridge;
-  bridge.pred = program.FindPredicate("refers").value();
-  bridge.args = {program.symbols().Find("P0"),
-                 program.symbols().Find("P11")};
-  d3.Assert(bridge, true);
-
-  const EvidenceDelta* deltas[] = {&d1, &d2, &d3};
-  for (int i = 0; i < 3; ++i) {
-    auto r = session.value()->ApplyDelta(*deltas[i]);
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    auto r = session.value()->ApplyDelta(deltas[i]);
     if (!r.ok()) {
-      std::fprintf(stderr, "delta %d: %s\n", i,
+      std::fprintf(stderr, "delta %zu: %s\n", i,
                    r.status().ToString().c_str());
       return 1;
     }
-    for (const auto& [atom, truth] : deltas[i]->assertions) {
-      evidence.Add(atom, truth);
-    }
-    for (const GroundAtom& atom : deltas[i]->retractions) {
-      evidence.Remove(atom);
-    }
+    FoldDelta(deltas[i], &evidence);
 
-    TuffyEngine fresh(program, evidence, opts);
+    EngineOptions fresh_opts = opts;
+    fresh_opts.wal_dir.clear();
+    TuffyEngine fresh(program, evidence, fresh_opts);
     auto cold = fresh.Run();
     if (!cold.ok()) {
-      std::fprintf(stderr, "fresh %d: %s\n", i,
+      std::fprintf(stderr, "fresh %zu: %s\n", i,
                    cold.status().ToString().c_str());
       return 1;
     }
     double warm_cost = r.value().map_cost;
     double cold_cost = cold.value().total_cost;
-    std::printf("delta %d: %zu/%zu components re-searched, warm cost %.4f, "
+    std::printf("delta %zu: %zu/%zu components re-searched, warm cost %.4f, "
                 "cold cost %.4f\n",
                 i, r.value().components_dirty, r.value().components_total,
                 warm_cost, cold_cost);
     if (std::fabs(warm_cost - cold_cost) > 1e-6) {
-      std::fprintf(stderr, "MISMATCH after delta %d: warm %.6f cold %.6f\n",
+      std::fprintf(stderr, "MISMATCH after delta %zu: warm %.6f cold %.6f\n",
                    i, warm_cost, cold_cost);
       return 1;
     }
     if (std::fabs(warm_cost - session.value()->EvalCurrentCost()) > 1e-9) {
-      std::fprintf(stderr, "BOOKKEEPING DRIFT after delta %d\n", i);
+      std::fprintf(stderr, "BOOKKEEPING DRIFT after delta %zu\n", i);
       return 1;
     }
   }

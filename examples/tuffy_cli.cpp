@@ -25,6 +25,8 @@
 //                    query PRED                 print true atoms of PRED
 //                    marginals PRED             per-atom P(true) (-marginal)
 //                    stats                      session counters
+//                    recover                    drop resident state and
+//                                               rebuild from -wal_dir
 //                    quit
 //   -learnwt       learn clause weights from the evidence: the -q
 //                  predicates become training labels, the rest stays
@@ -43,6 +45,14 @@
 //                  disk
 //   -topdown       use the Alchemy-style top-down grounder
 //   -seed N        RNG seed (default 42)
+//   -wal_dir DIR   (-session) durable session: log every delta to a WAL
+//                  in DIR and snapshot session state there. If DIR
+//                  already holds a session, it is recovered instead of
+//                  opened fresh. See docs/DURABILITY.md.
+//   -snapshot_every N  (-session) snapshot after every N effective
+//                  deltas (default 0: initial snapshot only)
+//   -no_fsync      (-session) skip per-delta WAL fsync (faster; a crash
+//                  may lose the OS write-back window)
 //
 // Examples:
 //   ./build/examples/tuffy_cli -i prog.mln -e facts.db -q cat
@@ -85,7 +95,8 @@ int Usage(const char* argv0) {
                "[-learnwt] "
                "[-algo vp|dn] [-epochs N] [-lr X] [-flips N] [-threads N] "
                "[-budget BYTES] [-mode component|memory|partition|disk] "
-               "[-topdown] [-seed N]\n",
+               "[-topdown] [-seed N] [-wal_dir DIR] [-snapshot_every N] "
+               "[-no_fsync]\n",
                argv0);
   return 2;
 }
@@ -220,6 +231,17 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       } else {
         return false;
       }
+    } else if (a == "-wal_dir") {
+      const char* v = next();
+      if (!v) return false;
+      args->engine.wal_dir = v;
+    } else if (a == "-snapshot_every") {
+      const char* v = next();
+      if (!v) return false;
+      args->engine.snapshot_every =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "-no_fsync") {
+      args->engine.wal_fsync = false;
     } else if (a == "-topdown") {
       args->engine.grounding_mode = GroundingMode::kTopDown;
     } else if (a == "-seed") {
@@ -339,22 +361,48 @@ bool ParseAtomSpec(const MlnProgram& program, const std::string& spec,
   return true;
 }
 
+void PrintRecoveryStats(const RecoveryStats& rs) {
+  std::fprintf(stderr,
+               "recovered: snapshot %llu (%zu tried), %llu/%llu records "
+               "replayed (%llu from snapshot), %llu bytes scanned, "
+               "%llu torn tail bytes truncated\n",
+               (unsigned long long)rs.snapshot_seq, rs.snapshots_tried,
+               (unsigned long long)rs.records_replayed,
+               (unsigned long long)rs.wal_records_total,
+               (unsigned long long)rs.records_skipped,
+               (unsigned long long)rs.bytes_scanned,
+               (unsigned long long)rs.truncated_bytes);
+}
+
 /// Interactive serving session: reads delta commands from stdin.
 int RunSession(const CliArgs& args, const MlnProgram& program,
                const EvidenceDb& evidence) {
   TuffyEngine engine(program, evidence, args.engine);
+  std::unique_ptr<InferenceSession> sess;
   auto session = engine.OpenSession();
-  if (!session.ok()) {
+  if (session.ok()) {
+    sess = session.TakeValue();
+  } else if (session.status().code() == StatusCode::kAlreadyExists) {
+    // The -wal_dir already holds a session: pick up where it left off.
+    RecoveryStats rs;
+    auto recovered = engine.RecoverSession(&rs);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "session recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    sess = recovered.TakeValue();
+    PrintRecoveryStats(rs);
+  } else {
     std::fprintf(stderr, "session open failed: %s\n",
                  session.status().ToString().c_str());
     return 1;
   }
-  InferenceSession& s = *session.value();
   std::fprintf(stderr,
                "session open: %zu atoms, %zu clauses, %zu components, "
                "cost %.2f\n> ",
-               s.atoms().num_atoms(), s.clauses().size(),
-               s.num_components(), s.map_cost());
+               sess->atoms().num_atoms(), sess->clauses().size(),
+               sess->num_components(), sess->map_cost());
 
   EvidenceDelta staged;
   std::string line;
@@ -406,7 +454,7 @@ int RunSession(const CliArgs& args, const MlnProgram& program,
                      staged.assertions.size(), staged.retractions.size());
       }
     } else if (cmd == "apply") {
-      auto r = s.ApplyDelta(staged);
+      auto r = sess->ApplyDelta(staged);
       staged = EvidenceDelta{};
       if (!r.ok()) {
         std::fprintf(stderr, "delta failed: %s\n",
@@ -425,51 +473,71 @@ int RunSession(const CliArgs& args, const MlnProgram& program,
             r.value().search_seconds, r.value().map_cost);
       }
     } else if (cmd == "cost") {
-      std::fprintf(stderr, "map cost: %.4f\n", s.map_cost());
+      std::fprintf(stderr, "map cost: %.4f\n", sess->map_cost());
     } else if (cmd == "query") {
-      auto atoms = ExtractTrueAtoms(program, s.atoms(), s.truth(), rest);
+      auto atoms =
+          ExtractTrueAtoms(program, sess->atoms(), sess->truth(), rest);
       if (!atoms.ok()) {
         std::fprintf(stderr, "%s\n", atoms.status().ToString().c_str());
       } else {
         for (const GroundAtom& atom : atoms.value()) {
           AtomId id;
-          if (s.atoms().Find(atom, &id)) {
-            std::printf("%s\n", s.atoms().AtomName(program, id).c_str());
+          if (sess->atoms().Find(atom, &id)) {
+            std::printf("%s\n", sess->atoms().AtomName(program, id).c_str());
           }
         }
         std::fflush(stdout);
       }
     } else if (cmd == "marginals") {
-      if (s.marginals().empty()) {
+      if (sess->marginals().empty()) {
         std::fprintf(stderr, "session opened without -marginal\n");
       } else {
         auto pid = program.FindPredicate(rest);
         if (!pid.ok()) {
           std::fprintf(stderr, "unknown predicate %s\n", rest.c_str());
         } else {
-          for (AtomId a = 0; a < s.atoms().num_atoms(); ++a) {
-            if (s.atoms().atom(a).pred != pid.value()) continue;
-            std::printf("%.4f\t%s\n", s.marginals()[a],
-                        s.atoms().AtomName(program, a).c_str());
+          for (AtomId a = 0; a < sess->atoms().num_atoms(); ++a) {
+            if (sess->atoms().atom(a).pred != pid.value()) continue;
+            std::printf("%.4f\t%s\n", sess->marginals()[a],
+                        sess->atoms().AtomName(program, a).c_str());
           }
           std::fflush(stdout);
         }
       }
+    } else if (cmd == "recover") {
+      if (args.engine.wal_dir.empty()) {
+        std::fprintf(stderr, "recover needs -wal_dir\n");
+      } else {
+        // Drop the resident state on the floor — the WAL is the record —
+        // and rebuild from disk, exactly as a restarted process would.
+        sess.reset();
+        RecoveryStats rs;
+        auto recovered = engine.RecoverSession(&rs);
+        if (!recovered.ok()) {
+          std::fprintf(stderr, "recovery failed: %s\n",
+                       recovered.status().ToString().c_str());
+          return 1;
+        }
+        sess = recovered.TakeValue();
+        PrintRecoveryStats(rs);
+        std::fprintf(stderr, "map cost after recovery: %.4f\n",
+                     sess->map_cost());
+      }
     } else if (cmd == "stats") {
-      const SessionStats& st = s.stats();
+      const SessionStats& st = sess->stats();
       std::fprintf(stderr,
                    "deltas %zu (no-op %zu), components re-searched %zu, "
                    "flips %llu, resident %zu bytes\n",
                    st.deltas_applied, st.no_op_deltas,
                    st.components_researched,
                    static_cast<unsigned long long>(st.flips),
-                   s.EstimateBytes());
+                   sess->EstimateBytes());
     } else if (cmd == "quit" || cmd == "exit") {
       break;
     } else {
       std::fprintf(stderr,
                    "commands: assert A [false] | retract A | apply | cost "
-                   "| query P | marginals P | stats | quit\n");
+                   "| query P | marginals P | recover | stats | quit\n");
     }
     std::fprintf(stderr, "> ");
   }

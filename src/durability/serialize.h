@@ -1,0 +1,112 @@
+#ifndef TUFFY_DURABILITY_SERIALIZE_H_
+#define TUFFY_DURABILITY_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace tuffy {
+
+/// Append-only little-endian byte sink for WAL record and snapshot
+/// payloads. Fixed-width fields only — durability payloads favor dumb,
+/// auditable layouts over compactness (the WAL already spends its bytes
+/// on fsyncs, and snapshots compress trivially if it ever matters).
+/// Doubles travel as their IEEE-754 bit patterns so restored state is
+/// bit-identical, never round-tripped through decimal.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bytes(const void* data, size_t n) { Raw(data, n); }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a payload produced by BinaryWriter. An
+/// overrun sets the fail flag and every subsequent read returns zero;
+/// callers check ok() once at the end (the enclosing CRC has already
+/// vouched for the bytes, so failure here means a version/layout
+/// mismatch, not bit rot).
+class BinaryReader {
+ public:
+  BinaryReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit BinaryReader(const std::string& s) : BinaryReader(s.data(), s.size()) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint16_t U16() {
+    uint16_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void Bytes(void* out, size_t n) { Raw(out, n); }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  /// Fully consumed without overrun — what a well-formed payload of the
+  /// expected layout must satisfy.
+  bool Exhausted() const { return ok_ && p_ == end_; }
+
+ private:
+  void Raw(void* out, size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_DURABILITY_SERIALIZE_H_

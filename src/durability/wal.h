@@ -1,0 +1,78 @@
+#ifndef TUFFY_DURABILITY_WAL_H_
+#define TUFFY_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tuffy {
+
+/// Append-only write-ahead log of length-prefixed, CRC32-checksummed
+/// records (the NuDB idiom: append atomically, never rewrite, rebuild
+/// everything else from the log). Frame layout per record:
+///
+///   [u32 crc over payload][u32 payload length][payload bytes]
+///
+/// The payload grammar is the caller's (the serving layer logs one
+/// record per evidence-delta batch; see docs/DURABILITY.md). A torn or
+/// corrupt frame ends the readable log: ScanWal stops at the first bad
+/// frame and reports the tail so recovery can truncate it.
+class WalWriter {
+ public:
+  /// Creates (truncating) a fresh log at `path`.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path);
+
+  /// Opens an existing log for appending at `offset` — recovery's
+  /// continuation point, after the torn tail (if any) was truncated.
+  static Result<std::unique_ptr<WalWriter>> OpenAt(const std::string& path,
+                                                   uint64_t offset);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record. Not durable until Sync(). Instrumented
+  /// with the wal.append.* fault points; an injected fault may leave a
+  /// torn frame on disk, exactly like a crash mid-write.
+  Status Append(const std::string& payload);
+
+  /// fsync barrier: every appended record is durable when this returns
+  /// OK. The serving layer calls it once per evidence-delta batch (group
+  /// commit), not per record.
+  Status Sync();
+
+  uint64_t bytes_written() const { return offset_; }
+  uint64_t records_appended() const { return records_; }
+
+ private:
+  WalWriter(int fd, uint64_t offset) : fd_(fd), offset_(offset) {}
+
+  int fd_;
+  uint64_t offset_;
+  uint64_t records_ = 0;
+};
+
+/// Result of scanning a WAL from the start: every intact record payload
+/// in order, the byte length of the valid prefix, and how many trailing
+/// bytes belong to the torn/corrupt tail (0 for a clean log).
+struct WalScan {
+  std::vector<std::string> payloads;
+  uint64_t valid_bytes = 0;
+  uint64_t truncated_bytes = 0;
+};
+
+/// Reads and validates `path` frame by frame. NotFound if the file does
+/// not exist; a bad frame is not an error (it terminates the scan and
+/// shows up in truncated_bytes).
+Result<WalScan> ScanWal(const std::string& path);
+
+/// Truncates `path` to `size` bytes — recovery's torn-tail removal.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_DURABILITY_WAL_H_

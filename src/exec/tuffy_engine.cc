@@ -377,23 +377,42 @@ Result<LearnResult> TuffyEngine::Learn(const LearnOptions& learn_options) {
   return LearnWeights(program_, grounding, split.labels, learn_options);
 }
 
+namespace {
+
+SessionOptions TranslateSessionOptions(const EngineOptions& options) {
+  SessionOptions sopts;
+  sopts.total_flips = options.total_flips;
+  sopts.p_random = options.p_random;
+  sopts.hard_weight = options.hard_weight;
+  sopts.num_threads = options.num_threads;
+  sopts.init_random = options.init_random;
+  sopts.seed = options.seed;
+  sopts.track_marginals = options.task == InferenceTask::kMarginal;
+  sopts.mcsat_samples = options.mcsat_samples;
+  sopts.mcsat_burn_in = options.mcsat_burn_in;
+  sopts.grounding = options.grounding;
+  sopts.optimizer = options.optimizer;
+  sopts.wal_dir = options.wal_dir;
+  sopts.snapshot_every = options.snapshot_every;
+  sopts.wal_fsync = options.wal_fsync;
+  return sopts;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<InferenceSession>> TuffyEngine::OpenSession() const {
   TUFFY_RETURN_IF_ERROR(ValidateEngineOptions(options_));
-  SessionOptions sopts;
-  sopts.total_flips = options_.total_flips;
-  sopts.p_random = options_.p_random;
-  sopts.hard_weight = options_.hard_weight;
-  sopts.num_threads = options_.num_threads;
-  sopts.init_random = options_.init_random;
-  sopts.seed = options_.seed;
-  sopts.track_marginals = options_.task == InferenceTask::kMarginal;
-  sopts.mcsat_samples = options_.mcsat_samples;
-  sopts.mcsat_burn_in = options_.mcsat_burn_in;
-  sopts.grounding = options_.grounding;
-  sopts.optimizer = options_.optimizer;
-  auto session = std::make_unique<InferenceSession>(program_, sopts);
+  auto session = std::make_unique<InferenceSession>(
+      program_, TranslateSessionOptions(options_));
   TUFFY_RETURN_IF_ERROR(session->Open(evidence_));
   return session;
+}
+
+Result<std::unique_ptr<InferenceSession>> TuffyEngine::RecoverSession(
+    RecoveryStats* stats) const {
+  TUFFY_RETURN_IF_ERROR(ValidateEngineOptions(options_));
+  return InferenceSession::Recover(program_, TranslateSessionOptions(options_),
+                                   nullptr, stats);
 }
 
 Result<std::vector<GroundAtom>> ExtractTrueAtoms(

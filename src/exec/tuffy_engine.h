@@ -78,6 +78,12 @@ struct EngineOptions {
   /// Tuffy-mm knobs.
   size_t disk_buffer_frames = 64;
   uint32_t disk_io_latency_us = 20;
+
+  /// Serving durability (OpenSession / RecoverSession only; batch runs
+  /// ignore these). See SessionOptions and docs/DURABILITY.md.
+  std::string wal_dir;
+  uint32_t snapshot_every = 0;
+  bool wal_fsync = true;
 };
 
 /// Validates the engine knobs up front (negative sampling budgets, bad
@@ -148,6 +154,13 @@ class TuffyEngine {
   /// when task == kMarginal) carry over. The program must outlive the
   /// returned session; the engine itself need not.
   Result<std::unique_ptr<InferenceSession>> OpenSession() const;
+
+  /// Recovers a crashed durable session from options.wal_dir instead of
+  /// grounding from evidence (which is ignored — the WAL is the evidence
+  /// of record). Same knob translation as OpenSession; see
+  /// InferenceSession::Recover.
+  Result<std::unique_ptr<InferenceSession>> RecoverSession(
+      RecoveryStats* stats = nullptr) const;
 
  private:
   Status RunSearch(EngineResult* result);

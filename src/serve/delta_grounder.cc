@@ -49,6 +49,23 @@ Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
   rule_maps_.resize(num_rules);
   rule_fixed_cost_.assign(num_rules, 0.0);
   rule_contradiction_.assign(num_rules, 0);
+
+  TUFFY_RETURN_IF_ERROR(BuildDerivedState());
+
+  GroundEdits edits;
+  PendingEdits pending;
+  for (size_t r = 0; r < num_rules; ++r) {
+    TUFFY_ASSIGN_OR_RETURN(RuleMap next, GroundRule(static_cast<int>(r)));
+    DiffRule(static_cast<int>(r), next, &pending);
+    rule_maps_[r] = std::move(next);
+  }
+  ApplyPendingEdits(std::move(pending), &edits);
+  poisoned_ = false;
+  return Status::OK();
+}
+
+Status DeltaGrounder::BuildDerivedState() {
+  const size_t num_rules = program_.clauses().size();
   rule_trivial_.assign(num_rules, 0);
   rule_binding_mask_.assign(num_rules, 0);
 
@@ -63,8 +80,24 @@ Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
     }
   }
 
+  // Catalog construction in two steps: table + domain creation against
+  // an *empty* evidence database, then every predicate's rows from the
+  // side tables — the exact code path a per-delta refresh uses. That
+  // makes catalog row order a pure function of the side tables, so a
+  // grounder restored from a snapshot (side tables installed verbatim)
+  // and the never-saved original enumerate future candidate bindings in
+  // the same order and hence assign identical session atom ids.
   TUFFY_RETURN_IF_ERROR(
-      LoadMlnTables(program_, evidence_, &catalog_, &true_counts_));
+      LoadMlnTables(program_, EvidenceDb(), &catalog_, nullptr));
+  std::vector<PredicateId> all_preds;
+  all_preds.reserve(program_.num_predicates());
+  for (PredicateId p = 0;
+       p < static_cast<PredicateId>(program_.num_predicates()); ++p) {
+    all_preds.push_back(p);
+  }
+  TUFFY_RETURN_IF_ERROR(RefreshPredicateTables(program_, side_tables_,
+                                               all_preds, &catalog_,
+                                               &true_counts_));
 
   for (size_t r = 0; r < num_rules; ++r) {
     TUFFY_ASSIGN_OR_RETURN(
@@ -74,16 +107,6 @@ Status DeltaGrounder::Initialize(const EvidenceDb& initial_evidence) {
     rule_trivial_[r] = rq.trivial ? 1 : 0;
     rule_binding_mask_[r] = rq.binding_lit_mask;
   }
-
-  GroundEdits edits;
-  PendingEdits pending;
-  for (size_t r = 0; r < num_rules; ++r) {
-    TUFFY_ASSIGN_OR_RETURN(RuleMap next, GroundRule(static_cast<int>(r)));
-    DiffRule(static_cast<int>(r), next, &pending);
-    rule_maps_[r] = std::move(next);
-  }
-  ApplyPendingEdits(std::move(pending), &edits);
-  poisoned_ = false;
   return Status::OK();
 }
 
@@ -244,7 +267,22 @@ void DeltaGrounder::DiffRule(int rule_idx, const RuleMap& next,
 
 void DeltaGrounder::ApplyPendingEdits(PendingEdits pending,
                                       GroundEdits* edits) {
-  for (auto& [lits, pe] : pending) {
+  // Edits apply in sorted literal order, not hash-map order. The clause
+  // list evolves by append and swap-with-last removal, so the order
+  // edits land decides every clause's final position — and hash-map
+  // iteration order depends on the map's insertion history, which
+  // differs between a snapshot-restored grounder and the never-saved
+  // original. Sorting makes the clause list a pure function of the
+  // logical state, which the crash-recovery bit-identity guarantee
+  // (docs/DURABILITY.md) rests on.
+  std::vector<std::pair<const std::vector<Lit>*, PendingEdit*>> order;
+  order.reserve(pending.size());
+  for (auto& [key, value] : pending) order.emplace_back(&key, &value);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  for (auto& [lits_ptr, pe_ptr] : order) {
+    const std::vector<Lit>& lits = *lits_ptr;
+    PendingEdit& pe = *pe_ptr;
     auto it = global_.find(lits);
     if (it == global_.end()) {
       if (pe.dcontribs <= 0) continue;  // cancelled within one delta
@@ -553,6 +591,215 @@ bool DeltaGrounder::hard_contradiction() const {
     if (c > 0) return true;
   }
   return false;
+}
+
+void DeltaGrounder::SaveState(BinaryWriter* out) const {
+  // Primaries only: side tables (row order included — catalog order is a
+  // function of it), the atom store in id order, the clause list in
+  // position order, and the per-rule contribution maps. Everything else
+  // (evidence map, catalog, global index, binding metadata) is derived
+  // on load. Rule-map entries are emitted in sorted literal order so the
+  // snapshot bytes are themselves deterministic.
+  for (PredicateId p = 0;
+       p < static_cast<PredicateId>(side_tables_.num_predicates()); ++p) {
+    for (int polarity = 0; polarity < 2; ++polarity) {
+      const IdTable& t = side_tables_.rows(p, polarity == 1);
+      out->U32(static_cast<uint32_t>(t.num_cols()));
+      out->U64(t.num_rows());
+      for (size_t c = 0; c < t.num_cols(); ++c) {
+        for (int64_t v : t.col(c)) out->I64(v);
+      }
+    }
+  }
+
+  out->U32(atoms_.num_atoms());
+  for (AtomId a = 0; a < atoms_.num_atoms(); ++a) {
+    const GroundAtom& atom = atoms_.atom(a);
+    out->I32(atom.pred);
+    for (ConstantId c : atom.args) out->I32(c);
+  }
+
+  out->U64(clauses_.size());
+  for (const GroundClause& c : clauses_) {
+    out->U32(static_cast<uint32_t>(c.lits.size()));
+    for (Lit l : c.lits) out->I32(l);
+    out->F64(c.weight);
+    out->U8(c.hard ? 1 : 0);
+  }
+
+  out->U64(rule_maps_.size());
+  for (size_t r = 0; r < rule_maps_.size(); ++r) {
+    out->F64(rule_fixed_cost_[r]);
+    out->I64(rule_contradiction_[r]);
+    const RuleMap& rm = rule_maps_[r];
+    std::vector<const std::vector<Lit>*> keys;
+    keys.reserve(rm.size());
+    for (const auto& [lits, contrib] : rm) keys.push_back(&lits);
+    std::sort(keys.begin(), keys.end(),
+              [](const auto* a, const auto* b) { return *a < *b; });
+    out->U64(keys.size());
+    for (const std::vector<Lit>* lits : keys) {
+      const Contribution& contrib = rm.at(*lits);
+      out->U32(static_cast<uint32_t>(lits->size()));
+      for (Lit l : *lits) out->I32(l);
+      // Weight omitted: it is soft_weight x count by the RuleMapFromResult
+      // invariant, so the load side recomputes it bit-identically.
+      out->I64(contrib.hard);
+      out->I64(contrib.count);
+    }
+  }
+}
+
+Status DeltaGrounder::LoadState(BinaryReader* in) {
+  if (initialized_) return Status::Internal("DeltaGrounder reinitialized");
+  initialized_ = true;
+  poisoned_ = true;  // disarmed only when the whole restore succeeds
+
+  const size_t num_preds = program_.num_predicates();
+  std::vector<int64_t> row;
+  for (PredicateId p = 0; p < static_cast<PredicateId>(num_preds); ++p) {
+    const size_t arity = program_.predicate(p).arity();
+    for (int polarity = 0; polarity < 2; ++polarity) {
+      const uint32_t ncols = in->U32();
+      const uint64_t nrows = in->U64();
+      if (!in->ok() || (ncols != 0 && ncols != arity) ||
+          (ncols == 0 && nrows != 0)) {
+        return Status::Corruption("snapshot: malformed side table header");
+      }
+      // Column-major on the wire, row-major through AppendRow so the
+      // narrow flag is recomputed exactly as live maintenance would.
+      std::vector<std::vector<int64_t>> cols(ncols);
+      for (uint32_t c = 0; c < ncols; ++c) {
+        cols[c].reserve(nrows);
+        for (uint64_t i = 0; i < nrows; ++i) cols[c].push_back(in->I64());
+      }
+      if (!in->ok()) return Status::Corruption("snapshot: side table rows");
+      IdTable t;
+      t.Init(ncols);
+      row.resize(ncols);
+      for (uint64_t i = 0; i < nrows; ++i) {
+        for (uint32_t c = 0; c < ncols; ++c) row[c] = cols[c][i];
+        t.AppendRow(row);
+      }
+      side_tables_.RestoreSide(p, polarity == 1, std::move(t));
+    }
+  }
+
+  // The evidence map re-derives from the side tables (polarity is the
+  // table). The listener attaches only afterwards: these Adds must not
+  // echo back into the tables just installed.
+  for (PredicateId p = 0; p < static_cast<PredicateId>(num_preds); ++p) {
+    for (int polarity = 0; polarity < 2; ++polarity) {
+      const IdTable& t = side_tables_.rows(p, polarity == 1);
+      for (size_t i = 0; i < t.num_rows(); ++i) {
+        GroundAtom atom;
+        atom.pred = p;
+        atom.args.resize(t.num_cols());
+        for (size_t c = 0; c < t.num_cols(); ++c) {
+          atom.args[c] = static_cast<ConstantId>(t.col(c)[i]);
+        }
+        evidence_.Add(std::move(atom), polarity == 1);
+      }
+    }
+  }
+  evidence_.SetListener(&side_tables_);
+
+  const uint32_t num_atoms = in->U32();
+  if (!in->ok()) return Status::Corruption("snapshot: atom count");
+  for (uint32_t a = 0; a < num_atoms; ++a) {
+    GroundAtom atom;
+    atom.pred = in->I32();
+    if (atom.pred < 0 ||
+        atom.pred >= static_cast<PredicateId>(num_preds)) {
+      return Status::Corruption("snapshot: atom has unknown predicate");
+    }
+    const size_t arity = program_.predicate(atom.pred).arity();
+    atom.args.resize(arity);
+    for (size_t i = 0; i < arity; ++i) atom.args[i] = in->I32();
+    if (!in->ok()) return Status::Corruption("snapshot: atom args");
+    if (atoms_.GetOrCreate(atom) != static_cast<AtomId>(a)) {
+      return Status::Corruption("snapshot: duplicate ground atom");
+    }
+  }
+
+  const uint64_t num_clauses = in->U64();
+  if (!in->ok()) return Status::Corruption("snapshot: clause count");
+  clauses_.reserve(num_clauses);
+  for (uint64_t i = 0; i < num_clauses; ++i) {
+    GroundClause gc;
+    const uint32_t nlits = in->U32();
+    if (!in->ok()) return Status::Corruption("snapshot: clause header");
+    gc.lits.resize(nlits);
+    for (uint32_t l = 0; l < nlits; ++l) {
+      gc.lits[l] = in->I32();
+      if (LitAtom(gc.lits[l]) >= num_atoms) {
+        return Status::Corruption("snapshot: clause literal out of range");
+      }
+    }
+    gc.weight = in->F64();
+    gc.hard = in->U8() != 0;
+    if (!in->ok()) return Status::Corruption("snapshot: clause body");
+    GlobalEntry entry;
+    entry.weight = gc.weight;
+    entry.index = static_cast<uint32_t>(i);
+    if (!global_.emplace(gc.lits, entry).second) {
+      return Status::Corruption("snapshot: duplicate clause literal set");
+    }
+    clauses_.push_back(std::move(gc));
+  }
+
+  const uint64_t num_rules = in->U64();
+  if (!in->ok() || num_rules != program_.clauses().size()) {
+    return Status::Corruption("snapshot: rule count mismatch");
+  }
+  rule_maps_.resize(num_rules);
+  rule_fixed_cost_.assign(num_rules, 0.0);
+  rule_contradiction_.assign(num_rules, 0);
+  for (size_t r = 0; r < num_rules; ++r) {
+    rule_fixed_cost_[r] = in->F64();
+    rule_contradiction_[r] = in->I64();
+    const uint64_t num_entries = in->U64();
+    if (!in->ok()) return Status::Corruption("snapshot: rule map header");
+    const Clause& rule = program_.clauses()[r];
+    const double soft_weight = rule.hard ? 0.0 : rule.weight;
+    RuleMap& rm = rule_maps_[r];
+    rm.reserve(num_entries);
+    std::vector<Lit> lits;
+    for (uint64_t e = 0; e < num_entries; ++e) {
+      const uint32_t nlits = in->U32();
+      if (!in->ok()) return Status::Corruption("snapshot: rule entry header");
+      lits.resize(nlits);
+      for (uint32_t l = 0; l < nlits; ++l) lits[l] = in->I32();
+      Contribution contrib;
+      contrib.hard = in->I64();
+      contrib.count = in->I64();
+      if (!in->ok() || contrib.count <= 0 || contrib.hard < 0 ||
+          contrib.hard > contrib.count) {
+        return Status::Corruption("snapshot: bad rule contribution");
+      }
+      contrib.weight = soft_weight * static_cast<double>(contrib.count);
+      auto git = global_.find(lits);
+      if (git == global_.end()) {
+        return Status::Corruption(
+            "snapshot: rule contribution for absent clause");
+      }
+      git->second.contribs += 1;
+      git->second.hard_refs += contrib.hard > 0 ? 1 : 0;
+      if (!rm.emplace(lits, contrib).second) {
+        return Status::Corruption("snapshot: duplicate rule contribution");
+      }
+    }
+  }
+  for (const auto& [lits, entry] : global_) {
+    if (entry.contribs <= 0 ||
+        clauses_[entry.index].hard != (entry.hard_refs > 0)) {
+      return Status::Corruption("snapshot: clause/rule-map inconsistency");
+    }
+  }
+
+  TUFFY_RETURN_IF_ERROR(BuildDerivedState());
+  poisoned_ = false;
+  return Status::OK();
 }
 
 size_t DeltaGrounder::EstimateBytes() const {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "durability/serialize.h"
 #include "ground/ground_clause.h"
 #include "ground/grounding.h"
 #include "mln/model.h"
@@ -143,6 +144,19 @@ class DeltaGrounder {
   /// and RA tables.
   size_t EstimateBytes() const;
 
+  /// Serializes the full resident state (evidence side tables, atom
+  /// store, clause list, per-rule contribution maps) into `out`.
+  /// Everything a snapshot needs to reconstruct a grounder whose later
+  /// deltas evolve bit-identically to the never-saved original.
+  void SaveState(BinaryWriter* out) const;
+
+  /// Counterpart of SaveState: restores a grounder constructed with the
+  /// same program and options, *instead of* Initialize. Derived
+  /// structures (catalog, evidence map, global clause index) are rebuilt
+  /// from the serialized primaries; Corruption on any layout or
+  /// invariant violation.
+  Status LoadState(BinaryReader* in);
+
  private:
   /// One rule's merged contribution to a literal set: summed soft weight
   /// over that rule's duplicate groundings, plus how many groundings
@@ -181,6 +195,14 @@ class DeltaGrounder {
   };
   using PendingEdits =
       std::unordered_map<std::vector<Lit>, PendingEdit, LitVectorHash>;
+
+  /// Builds everything derivable from program + side tables: the
+  /// predicate->rules fan-out, the RA catalog (tables materialized from
+  /// the side tables so row order is a pure function of them — the same
+  /// order whether the grounder was initialized fresh or restored from a
+  /// snapshot), and the per-rule binding-query metadata. Shared by
+  /// Initialize and LoadState.
+  Status BuildDerivedState();
 
   /// Re-grounds one rule into a fresh RuleMap (remapped to session atom
   /// ids) and replaces its fixed-cost / contradiction entries.

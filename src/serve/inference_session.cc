@@ -1,7 +1,12 @@
 #include "serve/inference_session.h"
 
-#include <algorithm>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cstring>
+
+#include "durability/serialize.h"
+#include "durability/snapshot.h"
 #include "infer/mcsat.h"
 #include "infer/walksat.h"
 #include "util/rng.h"
@@ -9,6 +14,115 @@
 #include "util/timer.h"
 
 namespace tuffy {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x54465957;  // "TFYW"
+constexpr uint32_t kWalVersion = 1;
+constexpr uint8_t kWalRecordHeader = 0;
+constexpr uint8_t kWalRecordDelta = 1;
+
+/// Fingerprint of every option that can alter session results. Mirrors
+/// ProgramFingerprint's role: durable state restored under different
+/// knobs would diverge from the original session on the first delta, so
+/// recovery refuses it up front.
+uint64_t OptionsFingerprint(const SessionOptions& o) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(&v);
+    for (size_t i = 0; i < sizeof(v); ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mixd = [&mix](double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(o.total_flips);
+  mixd(o.p_random);
+  mixd(o.hard_weight);
+  mix(o.init_random ? 1 : 0);
+  mix(o.seed);
+  mix(o.track_marginals ? 1 : 0);
+  mix(static_cast<uint64_t>(o.mcsat_samples));
+  mix(static_cast<uint64_t>(o.mcsat_burn_in));
+  mix(o.grounding.keep_zero_weight_clauses ? 1 : 0);
+  mix(o.grounding.binding_level_deltas ? 1 : 0);
+  mix(o.grounding.dense_interner ? 1 : 0);
+  mix(o.optimizer.enable_hash_join ? 1 : 0);
+  mix(o.optimizer.enable_merge_join ? 1 : 0);
+  mix(o.optimizer.fixed_join_order ? 1 : 0);
+  mix(o.optimizer.disable_predicate_pushdown ? 1 : 0);
+  mix(o.optimizer.enable_vectorized ? 1 : 0);
+  mix(o.optimizer.analyze ? 1 : 0);
+  mix(o.optimizer.enable_antijoin_pruning ? 1 : 0);
+  return h;
+}
+
+void EncodeAtom(const GroundAtom& atom, BinaryWriter* out) {
+  out->I32(atom.pred);
+  out->U16(static_cast<uint16_t>(atom.args.size()));
+  for (ConstantId c : atom.args) out->I32(c);
+}
+
+bool DecodeAtom(BinaryReader* in, GroundAtom* atom) {
+  atom->pred = in->I32();
+  const uint16_t nargs = in->U16();
+  atom->args.resize(nargs);
+  for (uint16_t i = 0; i < nargs; ++i) atom->args[i] = in->I32();
+  return in->ok();
+}
+
+/// One WAL delta record: the batch verbatim — original vector order and
+/// all, because the net-op fold iterates a hash map built by inserting
+/// in that order, and replay must walk the exact same insertion
+/// sequence to reproduce the original binding-enumeration order.
+void EncodeDeltaRecord(const EvidenceDelta& delta, uint64_t epoch,
+                       BinaryWriter* out) {
+  out->U8(kWalRecordDelta);
+  out->U64(epoch);
+  out->U32(static_cast<uint32_t>(delta.assertions.size()));
+  for (const auto& [atom, truth] : delta.assertions) {
+    EncodeAtom(atom, out);
+    out->U8(truth ? 1 : 0);
+  }
+  out->U32(static_cast<uint32_t>(delta.retractions.size()));
+  for (const GroundAtom& atom : delta.retractions) EncodeAtom(atom, out);
+}
+
+Status DecodeDeltaRecord(const std::string& payload, EvidenceDelta* delta,
+                         uint64_t* epoch) {
+  BinaryReader in(payload);
+  if (in.U8() != kWalRecordDelta) {
+    return Status::Corruption("wal record is not a delta record");
+  }
+  *epoch = in.U64();
+  const uint32_t nassert = in.U32();
+  if (!in.ok()) return Status::Corruption("wal delta record header");
+  for (uint32_t i = 0; i < nassert; ++i) {
+    GroundAtom atom;
+    if (!DecodeAtom(&in, &atom)) {
+      return Status::Corruption("wal delta record assertion");
+    }
+    delta->Assert(std::move(atom), in.U8() != 0);
+  }
+  const uint32_t nretract = in.U32();
+  for (uint32_t i = 0; i < nretract; ++i) {
+    GroundAtom atom;
+    if (!DecodeAtom(&in, &atom)) {
+      return Status::Corruption("wal delta record retraction");
+    }
+    delta->Retract(std::move(atom));
+  }
+  if (!in.Exhausted()) {
+    return Status::Corruption("wal delta record has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ValidateSessionOptions(const SessionOptions& options) {
   if (options.p_random < 0.0 || options.p_random > 1.0) {
@@ -70,6 +184,31 @@ Status InferenceSession::Open(const EvidenceDb& initial_evidence,
   DeltaApplyResult cold;
   SearchComponents(all, /*cold=*/true, &cold);
   arena_dirty_ = true;
+
+  if (!options_.wal_dir.empty()) {
+    TUFFY_RETURN_IF_ERROR(EnsureDir(options_.wal_dir));
+    const std::string wal_path = options_.wal_dir + "/wal.log";
+    if (::access(wal_path.c_str(), F_OK) == 0) {
+      return Status::AlreadyExists(
+          "durable session state already present in " + options_.wal_dir +
+          "; use InferenceSession::Recover");
+    }
+    program_fp_ = ProgramFingerprint(program_);
+    options_fp_ = OptionsFingerprint(options_);
+    TUFFY_ASSIGN_OR_RETURN(wal_, WalWriter::Create(wal_path));
+    BinaryWriter hdr;
+    hdr.U8(kWalRecordHeader);
+    hdr.U32(kWalMagic);
+    hdr.U32(kWalVersion);
+    hdr.U64(program_fp_);
+    hdr.U64(options_fp_);
+    TUFFY_RETURN_IF_ERROR(wal_->Append(hdr.Take()));
+    TUFFY_RETURN_IF_ERROR(wal_->Sync());
+    // Snapshot 0: the cold-start state. Recovery always has a snapshot
+    // to stand on, so it never re-runs the cold search — and the initial
+    // evidence never needs to be in the log.
+    TUFFY_RETURN_IF_ERROR(WriteSnapshot());
+  }
   open_ = true;  // only a fully-initialized session accepts deltas
   return Status::OK();
 }
@@ -77,6 +216,27 @@ Status InferenceSession::Open(const EvidenceDb& initial_evidence,
 Result<DeltaApplyResult> InferenceSession::ApplyDelta(
     const EvidenceDelta& delta) {
   if (!open_) return Status::Internal("session not open");
+  if (durable_failed_) {
+    return Status::Internal(
+        "durable logging failed on an earlier delta; recover the session "
+        "from its wal_dir");
+  }
+
+  // Log first, apply second (during recovery replay the record being
+  // applied is already durable, so logging is suppressed). A record that
+  // the grounder later rejects pre-mutation stays in the log harmlessly:
+  // replay re-runs the same rejection.
+  if (wal_ != nullptr && !replaying_) {
+    BinaryWriter rec;
+    EncodeDeltaRecord(delta, epoch_, &rec);
+    Status logged = wal_->Append(rec.Take());
+    if (logged.ok() && options_.wal_fsync) logged = wal_->Sync();
+    if (!logged.ok()) {
+      durable_failed_ = true;
+      return logged;
+    }
+    ++wal_records_;
+  }
 
   TUFFY_ASSIGN_OR_RETURN(GroundEdits edits, grounder_.ApplyDelta(delta));
   ++stats_.deltas_applied;
@@ -122,7 +282,237 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
   SearchComponents(dirty, /*cold=*/false, &result);
   arena_dirty_ = true;
   result.map_cost = map_cost();
+
+  if ((wal_ != nullptr || replaying_) && options_.snapshot_every > 0 &&
+      ++deltas_since_snapshot_ >= options_.snapshot_every) {
+    // During replay the counter ticks (and resets) without writing, so
+    // the post-recovery snapshot cadence lines up with the original
+    // session's. The delta that triggered this snapshot is already in
+    // the log, so even if the snapshot fails recovery covers it by
+    // replay; but a failed snapshot still poisons the session — the
+    // cadence contract ("replay at most snapshot_every records") is part
+    // of durability.
+    if (!replaying_) {
+      Status snap = WriteSnapshot();
+      if (!snap.ok()) {
+        durable_failed_ = true;
+        return snap;
+      }
+    }
+    deltas_since_snapshot_ = 0;
+  }
   return result;
+}
+
+Status InferenceSession::WriteSnapshot() {
+  BinaryWriter out;
+  out.U64(options_fp_);
+  out.U64(program_fp_);
+  out.U64(wal_records_);
+  out.U64(epoch_);
+  out.U64(stats_.deltas_applied);
+  out.U64(stats_.no_op_deltas);
+  out.U64(stats_.components_researched);
+  out.U64(stats_.flips);
+  out.U64(stats_.arena_rebuilds);
+  grounder_.SaveState(&out);
+  out.U64(truth_.size());
+  out.Bytes(truth_.data(), truth_.size());
+  out.U64(marginals_.size());
+  for (double m : marginals_) out.F64(m);
+  out.U64(comp_cost_.size());
+  for (double c : comp_cost_) out.F64(c);
+  out.U64(comp_flips_.size());
+  for (uint64_t f : comp_flips_) out.U64(f);
+  return WriteSnapshotFile(options_.wal_dir, wal_records_, out.Take());
+}
+
+Status InferenceSession::RestoreFromSnapshot(const std::string& payload,
+                                             uint64_t program_fp,
+                                             uint64_t options_fp) {
+  BinaryReader in(payload);
+  if (in.U64() != options_fp) {
+    return Status::Corruption(
+        "snapshot was written under different session options");
+  }
+  if (in.U64() != program_fp) {
+    return Status::Corruption("snapshot was written for a different program");
+  }
+  wal_records_ = in.U64();
+  epoch_ = in.U64();
+  stats_.deltas_applied = in.U64();
+  stats_.no_op_deltas = in.U64();
+  stats_.components_researched = in.U64();
+  stats_.flips = in.U64();
+  stats_.arena_rebuilds = in.U64();
+  if (!in.ok()) return Status::Corruption("snapshot: session header");
+
+  TUFFY_RETURN_IF_ERROR(grounder_.LoadState(&in));
+
+  const size_t num_atoms = grounder_.atoms().num_atoms();
+  const uint64_t truth_size = in.U64();
+  if (!in.ok() || truth_size != num_atoms) {
+    return Status::Corruption("snapshot: truth vector size mismatch");
+  }
+  truth_.resize(truth_size);
+  in.Bytes(truth_.data(), truth_size);
+  const uint64_t marg_size = in.U64();
+  if (!in.ok() ||
+      marg_size != (options_.track_marginals ? num_atoms : size_t{0})) {
+    return Status::Corruption("snapshot: marginal vector size mismatch");
+  }
+  marginals_.resize(marg_size);
+  for (uint64_t i = 0; i < marg_size; ++i) marginals_[i] = in.F64();
+
+  comps_ = DetectComponents(num_atoms, grounder_.clauses());
+  const uint64_t num_costs = in.U64();
+  if (!in.ok() || num_costs != comps_.num_components()) {
+    return Status::Corruption("snapshot: component cost size mismatch");
+  }
+  comp_cost_.resize(num_costs);
+  for (uint64_t i = 0; i < num_costs; ++i) comp_cost_[i] = in.F64();
+  const uint64_t num_flips = in.U64();
+  if (!in.ok() || num_flips != num_costs) {
+    return Status::Corruption("snapshot: component flips size mismatch");
+  }
+  comp_flips_.resize(num_flips);
+  for (uint64_t i = 0; i < num_flips; ++i) comp_flips_[i] = in.U64();
+  if (!in.Exhausted()) {
+    return Status::Corruption("snapshot: trailing bytes");
+  }
+
+  program_fp_ = program_fp;
+  options_fp_ = options_fp;
+  arena_dirty_ = true;
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
+    const MlnProgram& program, SessionOptions options,
+    ThreadPool* shared_pool, RecoveryStats* stats) {
+  if (options.wal_dir.empty()) {
+    return Status::InvalidArgument("Recover requires options.wal_dir");
+  }
+  TUFFY_RETURN_IF_ERROR(ValidateSessionOptions(options));
+  RecoveryStats rstats;
+
+  const std::string wal_path = options.wal_dir + "/wal.log";
+  TUFFY_ASSIGN_OR_RETURN(WalScan scan, ScanWal(wal_path));
+  rstats.bytes_scanned = scan.valid_bytes + scan.truncated_bytes;
+  rstats.truncated_bytes = scan.truncated_bytes;
+  if (scan.payloads.empty()) {
+    return Status::Corruption("wal at " + wal_path +
+                              " has no intact header record");
+  }
+
+  const uint64_t program_fp = ProgramFingerprint(program);
+  const uint64_t options_fp = OptionsFingerprint(options);
+  {
+    BinaryReader hdr(scan.payloads[0]);
+    const uint8_t type = hdr.U8();
+    const uint32_t magic = hdr.U32();
+    const uint32_t version = hdr.U32();
+    const uint64_t logged_program_fp = hdr.U64();
+    const uint64_t logged_options_fp = hdr.U64();
+    if (!hdr.Exhausted() || type != kWalRecordHeader || magic != kWalMagic) {
+      return Status::Corruption("wal header record is malformed");
+    }
+    if (version != kWalVersion) {
+      return Status::Corruption(
+          StrFormat("wal version %u not supported", version));
+    }
+    if (logged_program_fp != program_fp || logged_options_fp != options_fp) {
+      return Status::Corruption(
+          "wal belongs to a different program or session options");
+    }
+  }
+  rstats.wal_records_total = scan.payloads.size() - 1;
+
+  // Newest snapshot first; a corrupt one (torn write that still got
+  // renamed, bit rot) falls back to the next. Older snapshots just mean
+  // a longer replay, never a wrong result.
+  TUFFY_ASSIGN_OR_RETURN(std::vector<SnapshotRef> snaps,
+                         ListSnapshots(options.wal_dir));
+  std::unique_ptr<InferenceSession> session;
+  for (const SnapshotRef& ref : snaps) {
+    ++rstats.snapshots_tried;
+    Result<std::string> payload = ReadSnapshotFile(ref.path);
+    // A half-restored session is unusable, so each attempt starts from a
+    // fresh one.
+    session = std::make_unique<InferenceSession>(program, options);
+    Status restored =
+        payload.ok()
+            ? session->RestoreFromSnapshot(payload.value(), program_fp,
+                                           options_fp)
+            : payload.status();
+    if (restored.ok()) {
+      rstats.snapshot_seq = ref.seq;
+      break;
+    }
+    session.reset();
+    if (restored.code() != StatusCode::kCorruption) return restored;
+  }
+  if (session == nullptr) {
+    return Status::Corruption("no usable snapshot in " + options.wal_dir);
+  }
+  if (session->wal_records_ > rstats.wal_records_total) {
+    // The snapshot has absorbed records the (truncated) WAL no longer
+    // holds — the tail loss ate into snapshotted history. The snapshot
+    // is still the latest durable state; there is just nothing to
+    // replay.
+    rstats.records_skipped = rstats.wal_records_total;
+  } else {
+    rstats.records_skipped = session->wal_records_;
+  }
+
+  if (shared_pool != nullptr) {
+    session->pool_ = shared_pool;
+  } else if (options.num_threads > 1) {
+    session->owned_pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    session->pool_ = session->owned_pool_.get();
+  }
+
+  // Replay the WAL suffix through the normal delta path. Bit-identity
+  // with the original session holds because every source of order in
+  // that path is deterministic given the same record stream (see
+  // docs/DURABILITY.md).
+  session->replaying_ = true;
+  for (uint64_t i = 1 + rstats.records_skipped; i < scan.payloads.size();
+       ++i) {
+    EvidenceDelta delta;
+    uint64_t rec_epoch = 0;
+    TUFFY_RETURN_IF_ERROR(
+        DecodeDeltaRecord(scan.payloads[i], &delta, &rec_epoch));
+    if (rec_epoch != session->epoch_) {
+      return Status::Corruption(StrFormat(
+          "wal record %llu logged at epoch %llu, session is at %llu",
+          (unsigned long long)i, (unsigned long long)rec_epoch,
+          (unsigned long long)session->epoch_));
+    }
+    Result<DeltaApplyResult> applied = session->ApplyDelta(delta);
+    if (!applied.ok() &&
+        applied.status().code() != StatusCode::kInvalidArgument) {
+      // InvalidArgument = the original session rejected this delta
+      // pre-mutation and logged it anyway (log-first); anything else is
+      // real.
+      return applied.status();
+    }
+    ++session->wal_records_;
+    ++rstats.records_replayed;
+  }
+  session->replaying_ = false;
+
+  // Drop the torn tail and continue appending where the valid log ends.
+  if (scan.truncated_bytes > 0) {
+    TUFFY_RETURN_IF_ERROR(TruncateFile(wal_path, scan.valid_bytes));
+  }
+  TUFFY_ASSIGN_OR_RETURN(session->wal_,
+                         WalWriter::OpenAt(wal_path, scan.valid_bytes));
+  session->program_fp_ = program_fp;
+  session->options_fp_ = options_fp;
+  if (stats != nullptr) *stats = rstats;
+  return session;
 }
 
 void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,

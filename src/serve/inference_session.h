@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "durability/wal.h"
 #include "infer/problem.h"
 #include "mrf/components.h"
 #include "serve/delta_grounder.h"
@@ -36,6 +38,23 @@ struct SessionOptions {
   int mcsat_burn_in = 20;
   GroundingOptions grounding;  // lazy_closure is forced off
   OptimizerOptions optimizer;
+
+  // ---- Durability (docs/DURABILITY.md). All three are ignored when
+  // wal_dir is empty (a volatile session, the default).
+
+  /// Directory for this session's WAL and snapshots. Open() refuses a
+  /// directory that already holds durable state (use Recover); the
+  /// guarantee is that a session recovered after a crash is bit-identical
+  /// — ground store, best truth, and all future delta results — to one
+  /// that never crashed.
+  std::string wal_dir;
+  /// Write a snapshot after this many effective (non-no-op) deltas;
+  /// 0 = only the initial snapshot, so recovery replays the whole WAL.
+  uint32_t snapshot_every = 0;
+  /// fsync the WAL once per logged delta batch (group commit). Off, the
+  /// log trails the session by the OS write-back window — crash recovery
+  /// then restores a recent-but-stale prefix of the delta stream.
+  bool wal_fsync = true;
 };
 
 /// Rejects out-of-range session knobs with an explanatory Status.
@@ -52,6 +71,25 @@ struct DeltaApplyResult {
   double search_seconds = 0.0;
   /// Session MAP cost after the delta (search cost + fixed cost).
   double map_cost = 0.0;
+};
+
+/// What InferenceSession::Recover found and did, for operators ("how
+/// much history did the crash cost?") and the fault-injection tests.
+struct RecoveryStats {
+  /// Snapshot files examined, newest first; > 1 means the newest was
+  /// corrupt and an older one backstopped it.
+  size_t snapshots_tried = 0;
+  /// WAL-record sequence number of the snapshot that loaded.
+  uint64_t snapshot_seq = 0;
+  /// Valid delta records in the WAL (excluding the header record).
+  uint64_t wal_records_total = 0;
+  /// Of those, how many were replayed vs. already covered by the
+  /// snapshot.
+  uint64_t records_replayed = 0;
+  uint64_t records_skipped = 0;
+  uint64_t bytes_scanned = 0;
+  /// Torn/corrupt tail bytes truncated from the WAL (0 for a clean log).
+  uint64_t truncated_bytes = 0;
 };
 
 /// Cumulative session counters.
@@ -90,6 +128,18 @@ class InferenceSession {
   /// session owns a pool of options.num_threads workers.
   Status Open(const EvidenceDb& initial_evidence,
               ThreadPool* shared_pool = nullptr);
+
+  /// Rebuilds a crashed durable session from `options.wal_dir`: loads
+  /// the newest intact snapshot, truncates the WAL's torn tail (if any),
+  /// and replays the remaining delta records through the normal
+  /// ApplyDelta path. The result is bit-identical to the pre-crash
+  /// session's last durable state — same ground store, same best truth —
+  /// and continues logging where the WAL left off. Fails with Corruption
+  /// if no snapshot is usable or the durable state belongs to a
+  /// different program/options (fingerprint mismatch).
+  static Result<std::unique_ptr<InferenceSession>> Recover(
+      const MlnProgram& program, SessionOptions options,
+      ThreadPool* shared_pool = nullptr, RecoveryStats* stats = nullptr);
 
   /// Applies one evidence delta end to end: delta grounding, dirty
   /// component re-search, marginal refresh. An effectively-empty delta
@@ -137,6 +187,16 @@ class InferenceSession {
   void SearchOneComponent(size_t comp, uint64_t budget, bool cold,
                           uint64_t search_seed, uint64_t mcsat_seed);
 
+  /// Serializes the full session state and writes it as snapshot
+  /// `wal_records_` (atomically; see durability/snapshot.h).
+  Status WriteSnapshot();
+
+  /// Inverse of WriteSnapshot's payload, applied to a freshly-built
+  /// session. Corruption on any mismatch (including the program/options
+  /// fingerprints, which must equal the caller's).
+  Status RestoreFromSnapshot(const std::string& payload, uint64_t program_fp,
+                             uint64_t options_fp);
+
   const MlnProgram& program_;
   SessionOptions options_;
   DeltaGrounder grounder_;
@@ -156,9 +216,28 @@ class InferenceSession {
 
   /// Delta epoch, folded into per-component seed derivation so repeated
   /// re-searches of one component use fresh, decorrelated streams.
+  /// Restoring it restores the session's RNG stream positions — the seeds
+  /// of every future search are a function of (options.seed, epoch_,
+  /// component), never of wall clock or history.
   uint64_t epoch_ = 0;
   bool open_ = false;
   SessionStats stats_;
+
+  // ---- Durability state (all inert for a volatile session).
+  std::unique_ptr<WalWriter> wal_;
+  /// Delta records logged so far; doubles as the snapshot sequence
+  /// number ("state after consuming N WAL records").
+  uint64_t wal_records_ = 0;
+  uint32_t deltas_since_snapshot_ = 0;
+  /// Set when a WAL append/sync or snapshot write failed: the durable
+  /// log no longer reflects the resident state, so every later delta is
+  /// refused rather than silently served non-durably.
+  bool durable_failed_ = false;
+  /// True while Recover replays the WAL: suppresses logging and
+  /// snapshotting (the records being applied are already durable).
+  bool replaying_ = false;
+  uint64_t program_fp_ = 0;
+  uint64_t options_fp_ = 0;
 };
 
 }  // namespace tuffy

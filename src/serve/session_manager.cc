@@ -35,6 +35,35 @@ void SessionManager::Recharge(Entry* entry, size_t bytes) {
   entry->charged_bytes = bytes;
 }
 
+void SessionManager::ApplyDurabilityPolicy(const std::string& name,
+                                           SessionOptions* options) const {
+  if (options_.durability_root.empty()) return;
+  options->wal_dir = options_.durability_root + "/" + name;
+  options->snapshot_every = options_.snapshot_every;
+  options->wal_fsync = options_.wal_fsync;
+}
+
+Result<InferenceSession*> SessionManager::Admit(
+    const std::string& name, std::unique_ptr<InferenceSession> session) {
+  const size_t bytes = session->EstimateBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.memory_budget_bytes > 0 &&
+      resident_bytes_ + bytes > options_.memory_budget_bytes) {
+    sessions_.erase(name);
+    return Status::ResourceExhausted(StrFormat(
+        "session %s needs %zu resident bytes; %llu of %llu budget in use",
+        name.c_str(), bytes,
+        static_cast<unsigned long long>(resident_bytes_),
+        static_cast<unsigned long long>(options_.memory_budget_bytes)));
+  }
+  MemTracker::Global().Allocate(MemCategory::kSearch, bytes);
+  resident_bytes_ += bytes;
+  Entry& entry = sessions_.at(name);
+  entry.session = std::move(session);
+  entry.charged_bytes = bytes;
+  return entry.session.get();
+}
+
 Result<InferenceSession*> SessionManager::Open(const std::string& name,
                                                const MlnProgram& program,
                                                const EvidenceDb& evidence,
@@ -55,27 +84,39 @@ Result<InferenceSession*> SessionManager::Open(const std::string& name,
     return status;
   };
 
+  ApplyDurabilityPolicy(name, &options);
   auto session = std::make_unique<InferenceSession>(program, options);
   Status opened = session->Open(evidence, pool_.get());
   if (!opened.ok()) return fail(std::move(opened));
 
-  const size_t bytes = session->EstimateBytes();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.memory_budget_bytes > 0 &&
-      resident_bytes_ + bytes > options_.memory_budget_bytes) {
-    sessions_.erase(name);
-    return Status::ResourceExhausted(StrFormat(
-        "session %s needs %zu resident bytes; %llu of %llu budget in use",
-        name.c_str(), bytes,
-        static_cast<unsigned long long>(resident_bytes_),
-        static_cast<unsigned long long>(options_.memory_budget_bytes)));
+  return Admit(name, std::move(session));
+}
+
+Result<InferenceSession*> SessionManager::Recover(const std::string& name,
+                                                  const MlnProgram& program,
+                                                  SessionOptions options,
+                                                  RecoveryStats* stats) {
+  if (options_.durability_root.empty()) {
+    return Status::InvalidArgument(
+        "SessionManager has no durability_root; nothing to recover from");
   }
-  MemTracker::Global().Allocate(MemCategory::kSearch, bytes);
-  resident_bytes_ += bytes;
-  Entry& entry = sessions_.at(name);
-  entry.session = std::move(session);
-  entry.charged_bytes = bytes;
-  return entry.session.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(name) > 0) {
+      return Status::AlreadyExists("session exists: " + name);
+    }
+    sessions_.emplace(name, Entry{});
+  }
+
+  ApplyDurabilityPolicy(name, &options);
+  Result<std::unique_ptr<InferenceSession>> recovered =
+      InferenceSession::Recover(program, options, pool_.get(), stats);
+  if (!recovered.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(name);
+    return recovered.status();
+  }
+  return Admit(name, recovered.TakeValue());
 }
 
 Result<InferenceSession*> SessionManager::Get(const std::string& name) const {

@@ -24,6 +24,16 @@ struct SessionManagerOptions {
   /// sessions is re-measured after every delta and reflected in
   /// resident_bytes(), gating *future* admissions.
   uint64_t memory_budget_bytes = 0;
+  /// Durability root. When non-empty, every session opened through this
+  /// manager logs to `<durability_root>/<name>/` (per-session WAL +
+  /// snapshots), with the cadence policy below; Recover() rebuilds a
+  /// crashed session from the same directory. Empty = volatile sessions.
+  std::string durability_root;
+  /// Snapshot cadence applied to every durable session (see
+  /// SessionOptions::snapshot_every).
+  uint32_t snapshot_every = 0;
+  /// fsync policy applied to every durable session.
+  bool wal_fsync = true;
 };
 
 /// Owns the concurrent serving state: named long-lived sessions, the
@@ -46,6 +56,16 @@ class SessionManager {
                                  const MlnProgram& program,
                                  const EvidenceDb& evidence,
                                  SessionOptions options);
+
+  /// Re-admits a crashed durable session from its WAL directory under
+  /// `durability_root` (snapshot load + WAL replay instead of grounding
+  /// + cold search; see InferenceSession::Recover). Same admission
+  /// control and naming rules as Open. `stats`, if non-null, receives
+  /// what recovery found.
+  Result<InferenceSession*> Recover(const std::string& name,
+                                    const MlnProgram& program,
+                                    SessionOptions options,
+                                    RecoveryStats* stats = nullptr);
 
   /// Read access to a session. The pointer stays valid until Close; a
   /// caller that may race with Close must route work through ApplyDelta
@@ -76,6 +96,17 @@ class SessionManager {
   };
 
   void Recharge(Entry* entry, size_t bytes);
+
+  /// Stamps the manager-level durability policy (per-session wal_dir
+  /// under durability_root, cadence, fsync) into `options`. No-op when
+  /// the manager is volatile.
+  void ApplyDurabilityPolicy(const std::string& name,
+                             SessionOptions* options) const;
+
+  /// Shared tail of Open and Recover: admission-check and register the
+  /// built session under its reserved name.
+  Result<InferenceSession*> Admit(const std::string& name,
+                                  std::unique_ptr<InferenceSession> session);
 
   SessionManagerOptions options_;
   std::unique_ptr<ThreadPool> pool_;

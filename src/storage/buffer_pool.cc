@@ -65,7 +65,15 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   ++stats_.misses;
   TUFFY_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Page* page = frames_[idx].get();
-  TUFFY_RETURN_IF_ERROR(disk_->ReadPage(page_id, page->data()));
+  Status read = disk_->ReadPage(page_id, page->data());
+  if (!read.ok()) {
+    // A failed read (I/O error, checksum mismatch) must hand the victim
+    // frame back, or every failed fetch would shrink the pool by one
+    // frame forever.
+    page->Reset();
+    free_frames_.push_back(idx);
+    return read;
+  }
   page->set_page_id(page_id);
   page->set_dirty(false);
   page->Pin();

@@ -1,8 +1,12 @@
 #include "storage/disk_manager.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <thread>
 
+#include "util/crc32.h"
+#include "util/fault_points.h"
 #include "util/string_util.h"
 
 namespace tuffy {
@@ -39,6 +43,10 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
     return Status::OutOfRange(
         StrFormat("read of unallocated page %u", page_id));
   }
+  if (FaultPoints::Global().Hit("disk.read_page") != FaultAction::kNone) {
+    return Status::IOError(
+        StrFormat("injected read fault on page %u", page_id));
+  }
   SimulateLatency();
   std::lock_guard<std::mutex> lock(io_mutex_);
   long offset = static_cast<long>(page_id) * static_cast<long>(kPageSize);
@@ -46,11 +54,36 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
     return Status::IOError(StrFormat("seek to page %u failed", page_id));
   }
   size_t n = std::fread(out, 1, kPageSize, file_);
-  if (n < kPageSize) {
-    // Page allocated but never written: treat as zero-filled.
-    std::memset(out + n, 0, kPageSize - n);
+  if (n == 0) {
+    // Page allocated but never written (at or past EOF): reads as zero,
+    // and the zero header (page_id_plus1 == 0) marks it unwritten.
+    std::memset(out, 0, kPageSize);
+  } else if (n < kPageSize) {
+    // A partial page on disk is a torn write, never a legitimate state:
+    // WritePage is all-or-error. Report it instead of zero-padding
+    // garbage into a "successful" read.
+    return Status::Corruption(StrFormat(
+        "short read on page %u: %zu of %zu bytes", page_id, n, kPageSize));
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
+
+  PageHeader header;
+  std::memcpy(&header, out, sizeof(header));
+  if (header.page_id_plus1 == 0) {
+    // Never written; nothing to verify.
+    return Status::OK();
+  }
+  if (header.page_id_plus1 != page_id + 1) {
+    return Status::Corruption(
+        StrFormat("page %u holds data written for page %u", page_id,
+                  header.page_id_plus1 - 1));
+  }
+  const uint32_t crc = Crc32(out + kPageHeaderBytes, kPagePayloadSize);
+  if (crc != header.crc) {
+    return Status::Corruption(StrFormat(
+        "page %u checksum mismatch: stored %08x, computed %08x", page_id,
+        header.crc, crc));
+  }
   return Status::OK();
 }
 
@@ -60,16 +93,53 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
     return Status::OutOfRange(
         StrFormat("write of unallocated page %u", page_id));
   }
+  const FaultAction fault = FaultPoints::Global().Hit("disk.write_page");
+  if (fault == FaultAction::kIOError) {
+    return Status::IOError(
+        StrFormat("injected write fault on page %u", page_id));
+  }
   SimulateLatency();
   std::lock_guard<std::mutex> lock(io_mutex_);
   long offset = static_cast<long>(page_id) * static_cast<long>(kPageSize);
   if (std::fseek(file_, offset, SEEK_SET) != 0) {
     return Status::IOError(StrFormat("seek to page %u failed", page_id));
   }
-  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+  // Stamp the header over the caller's (ignored) header bytes. The
+  // caller's buffer is const, so assemble the frame in the per-manager
+  // scratch page (io_mutex_ serializes its use).
+  PageHeader header;
+  header.page_id_plus1 = page_id + 1;
+  header.crc = Crc32(data + kPageHeaderBytes, kPagePayloadSize);
+  std::memcpy(write_scratch_, &header, sizeof(header));
+  std::memcpy(write_scratch_ + kPageHeaderBytes, data + kPageHeaderBytes,
+              kPagePayloadSize);
+  const size_t to_write =
+      fault == FaultAction::kTornWrite ? kPageSize / 2 : kPageSize;
+  if (std::fwrite(write_scratch_, 1, to_write, file_) != to_write) {
     return Status::IOError(StrFormat("short write to page %u", page_id));
   }
+  if (fault == FaultAction::kTornWrite) {
+    std::fflush(file_);
+    return Status::IOError(
+        StrFormat("injected torn write on page %u", page_id));
+  }
   writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (file_ == nullptr) return Status::IOError("backing file not open");
+  if (FaultPoints::Global().Hit("disk.sync") != FaultAction::kNone) {
+    return Status::IOError("injected sync fault");
+  }
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush of page file failed");
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync of page file failed");
+  }
+  syncs_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

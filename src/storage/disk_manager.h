@@ -35,13 +35,28 @@ class DiskManager {
   /// Allocates a fresh page id.
   PageId AllocatePage();
 
+  /// Reads one page. The leading PageHeader of a written page is
+  /// verified (stored page id and payload CRC); a mismatch or a partial
+  /// page on disk returns Status::Corruption. A page that was allocated
+  /// but never written reads back as all zeros.
   Status ReadPage(PageId page_id, char* out);
+
+  /// Writes one page, stamping its PageHeader (page id + payload CRC32)
+  /// over the first kPageHeaderBytes of what lands on disk. The caller's
+  /// header bytes are ignored; only the payload region is the caller's.
   Status WritePage(PageId page_id, const char* data);
+
+  /// Flushes the stdio buffer and fsyncs the backing file: everything
+  /// written so far is durable when this returns OK. The WAL's group
+  /// commit and snapshot writes use the same barrier discipline (see
+  /// docs/DURABILITY.md).
+  Status Sync();
 
   uint64_t num_reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t num_writes() const {
     return writes_.load(std::memory_order_relaxed);
   }
+  uint64_t num_syncs() const { return syncs_.load(std::memory_order_relaxed); }
   uint32_t num_pages() const {
     return next_page_id_.load(std::memory_order_relaxed);
   }
@@ -58,7 +73,11 @@ class DiskManager {
   std::atomic<PageId> next_page_id_{0};
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
   uint32_t simulated_latency_us_ = 0;
+  /// Frame-assembly buffer for WritePage (header + const payload);
+  /// guarded by io_mutex_.
+  char write_scratch_[kPageSize];
 };
 
 }  // namespace tuffy

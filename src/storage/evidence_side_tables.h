@@ -62,6 +62,19 @@ class EvidenceSideTables final : public EvidenceListener {
   /// a Rebuild).
   uint64_t mutations_applied() const { return mutations_applied_; }
 
+  /// Installs deserialized rows for one predicate/polarity wholesale
+  /// (snapshot restore). Replaces any existing rows; the lazy args->row
+  /// index is dropped and rebuilt on the first subsequent mutation, so
+  /// restored tables behave exactly like Rebuild output — crucially, row
+  /// *order* is whatever the snapshot recorded, keeping downstream
+  /// catalog scans bit-reproducible.
+  void RestoreSide(PredicateId pred, bool truth, IdTable rows) {
+    Side& side = preds_[pred].side[truth ? 1 : 0];
+    side.rows = std::move(rows);
+    side.row_of.clear();
+    side.indexed = false;
+  }
+
   size_t EstimateBytes() const;
 
   // EvidenceListener: forwarded by the attached EvidenceDb.

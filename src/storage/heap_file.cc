@@ -9,23 +9,25 @@
 namespace tuffy {
 
 namespace {
-constexpr uint32_t kPageHeaderSize = sizeof(uint16_t);
+/// Heap-page layout prefix (inside the payload region; the on-disk
+/// PageHeader with the CRC sits before it and belongs to DiskManager).
+constexpr uint32_t kSlotCountSize = sizeof(uint16_t);
 
 uint16_t RecordCount(const Page* page) {
   uint16_t count;
-  std::memcpy(&count, page->data(), sizeof(count));
+  std::memcpy(&count, page->payload(), sizeof(count));
   return count;
 }
 
 void SetRecordCount(Page* page, uint16_t count) {
-  std::memcpy(page->data(), &count, sizeof(count));
+  std::memcpy(page->payload(), &count, sizeof(count));
 }
 }  // namespace
 
 HeapFile::HeapFile(BufferPool* pool, uint32_t record_size)
     : pool_(pool), record_size_(record_size) {
-  assert(record_size > 0 && record_size <= kPageSize - kPageHeaderSize);
-  records_per_page_ = (kPageSize - kPageHeaderSize) / record_size_;
+  assert(record_size > 0 && record_size <= kPagePayloadSize - kSlotCountSize);
+  records_per_page_ = (kPagePayloadSize - kSlotCountSize) / record_size_;
 }
 
 Result<RecordId> HeapFile::Append(const char* record) {
@@ -43,8 +45,8 @@ Result<RecordId> HeapFile::Append(const char* record) {
     pages_.push_back(page->page_id());
   }
   uint16_t slot = RecordCount(page);
-  uint32_t offset = kPageHeaderSize + slot * record_size_;
-  std::memcpy(page->data() + offset, record, record_size_);
+  uint32_t offset = kSlotCountSize + slot * record_size_;
+  std::memcpy(page->payload() + offset, record, record_size_);
   SetRecordCount(page, static_cast<uint16_t>(slot + 1));
   RecordId rid{page->page_id(), slot};
   TUFFY_RETURN_IF_ERROR(pool_->UnpinPage(page->page_id(), /*dirty=*/true));
@@ -55,26 +57,24 @@ Result<RecordId> HeapFile::Append(const char* record) {
 Status HeapFile::Read(RecordId rid, char* out) const {
   TUFFY_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
   if (rid.slot >= RecordCount(page)) {
-    Status unpin = pool_->UnpinPage(rid.page_id, false);
-    (void)unpin;
+    TUFFY_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, false));
     return Status::OutOfRange(
         StrFormat("slot %u out of range on page %u", rid.slot, rid.page_id));
   }
-  uint32_t offset = kPageHeaderSize + rid.slot * record_size_;
-  std::memcpy(out, page->data() + offset, record_size_);
+  uint32_t offset = kSlotCountSize + rid.slot * record_size_;
+  std::memcpy(out, page->payload() + offset, record_size_);
   return pool_->UnpinPage(rid.page_id, false);
 }
 
 Status HeapFile::Update(RecordId rid, const char* record) {
   TUFFY_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
   if (rid.slot >= RecordCount(page)) {
-    Status unpin = pool_->UnpinPage(rid.page_id, false);
-    (void)unpin;
+    TUFFY_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, false));
     return Status::OutOfRange(
         StrFormat("slot %u out of range on page %u", rid.slot, rid.page_id));
   }
-  uint32_t offset = kPageHeaderSize + rid.slot * record_size_;
-  std::memcpy(page->data() + offset, record, record_size_);
+  uint32_t offset = kSlotCountSize + rid.slot * record_size_;
+  std::memcpy(page->payload() + offset, record, record_size_);
   return pool_->UnpinPage(rid.page_id, /*dirty=*/true);
 }
 
@@ -99,11 +99,10 @@ Status HeapFile::Scan(
     TUFFY_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
     uint16_t count = RecordCount(page);
     for (uint16_t slot = 0; slot < count; ++slot) {
-      uint32_t offset = kPageHeaderSize + slot * record_size_;
-      Status st = fn(RecordId{page_id, slot}, page->data() + offset);
+      uint32_t offset = kSlotCountSize + slot * record_size_;
+      Status st = fn(RecordId{page_id, slot}, page->payload() + offset);
       if (!st.ok()) {
-        Status unpin = pool_->UnpinPage(page_id, false);
-        (void)unpin;
+        TUFFY_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
         return st;
       }
     }

@@ -6,15 +6,33 @@
 
 namespace tuffy {
 
-/// Size of every page in the storage layer, in bytes.
+/// Size of every page in the storage layer, in bytes (header included).
 constexpr size_t kPageSize = 8192;
 
 using PageId = uint32_t;
 constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 
+/// On-disk header at the start of every written page. The DiskManager
+/// owns it: WritePage stamps it, ReadPage verifies it, clients never see
+/// it (they address the payload). `page_id_plus1 == 0` marks a page that
+/// was never written — an allocated-but-untouched page reads back as all
+/// zeros and must not be CRC-checked. Storing the page id (plus one)
+/// also catches misdirected reads/writes, where a page lands intact at
+/// the wrong offset.
+struct PageHeader {
+  uint32_t crc = 0;            // CRC-32 (util/crc32.h) over the payload
+  uint32_t page_id_plus1 = 0;  // owning page id + 1; 0 = never written
+};
+
+constexpr size_t kPageHeaderBytes = sizeof(PageHeader);
+/// Bytes per page available to clients (HeapFile records, etc.).
+constexpr size_t kPagePayloadSize = kPageSize - kPageHeaderBytes;
+
 /// A fixed-size block of bytes plus the bookkeeping the buffer pool needs
-/// (pin count, dirty bit). Payload interpretation is up to the client
-/// (HeapFile lays out fixed-size records).
+/// (pin count, dirty bit). Clients address the payload region; the
+/// leading PageHeader bytes belong to the DiskManager. Payload
+/// interpretation is up to the client (HeapFile lays out fixed-size
+/// records).
 class Page {
  public:
   Page() { Reset(); }
@@ -26,8 +44,13 @@ class Page {
     dirty_ = false;
   }
 
+  /// The full frame, header included — what travels to/from disk.
   char* data() { return data_; }
   const char* data() const { return data_; }
+
+  /// The client-visible byte range.
+  char* payload() { return data_ + kPageHeaderBytes; }
+  const char* payload() const { return data_ + kPageHeaderBytes; }
 
   PageId page_id() const { return page_id_; }
   void set_page_id(PageId id) { page_id_ = id; }

@@ -1,0 +1,33 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace tuffy {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tuffy

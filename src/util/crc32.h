@@ -1,0 +1,24 @@
+#ifndef TUFFY_UTIL_CRC32_H_
+#define TUFFY_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tuffy {
+
+/// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320 —
+/// the zlib/PNG checksum). Feed `crc = 0` for the first chunk and the
+/// previous return value for subsequent chunks; the final value for
+/// "123456789" is 0xCBF43926. Shared by the evidence WAL, the session
+/// snapshot envelope, and the storage page headers, so every durability
+/// artifact in the tree is checked with the same code.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+/// One-shot convenience over a single buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Update(0, data, n);
+}
+
+}  // namespace tuffy
+
+#endif  // TUFFY_UTIL_CRC32_H_

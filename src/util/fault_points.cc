@@ -1,0 +1,109 @@
+#include "util/fault_points.h"
+
+#include <cstdlib>
+
+namespace tuffy {
+
+FaultPoints& FaultPoints::Global() {
+  static FaultPoints* instance = new FaultPoints();
+  return *instance;
+}
+
+const std::vector<const char*>& FaultPoints::Registry() {
+  static const std::vector<const char*> kPoints = {
+      // Evidence WAL (src/durability/wal.cc).
+      "wal.append.before",       // record not yet written at all
+      "wal.append.mid_record",   // torn mid-record: header + partial payload
+      "wal.append.short_write",  // write() persists fewer bytes than asked
+      "wal.sync.before",         // record written, fsync never issued
+      // Session snapshots (src/durability/snapshot.cc).
+      "snapshot.write.mid",      // torn temp file, never renamed
+      "snapshot.rename.before",  // complete temp file, rename never issued
+      // Page store (src/storage/disk_manager.cc).
+      "disk.read_page",
+      "disk.write_page",
+      "disk.sync",
+  };
+  return kPoints;
+}
+
+Status FaultPoints::Arm(const std::string& point, FaultAction action,
+                        uint64_t skip) {
+  bool known = false;
+  for (const char* name : Registry()) {
+    if (point == name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    return Status::InvalidArgument("unknown fault point: " + point);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[point] = Armed{action, skip};
+  return Status::OK();
+}
+
+void FaultPoints::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  hits_.clear();
+}
+
+FaultAction FaultPoints::Hit(const char* point) {
+  FaultAction fired = FaultAction::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_[point];
+    auto it = armed_.find(point);
+    if (it == armed_.end() || it->second.action == FaultAction::kNone) {
+      return FaultAction::kNone;
+    }
+    if (it->second.remaining > 0) {
+      --it->second.remaining;
+      return FaultAction::kNone;
+    }
+    fired = it->second.action;
+    armed_.erase(it);  // one-shot
+  }
+  if (fired == FaultAction::kCrash) {
+    // No destructors, no stream flushes: the closest an in-process
+    // harness gets to pulling the power cord.
+    std::_Exit(kFaultCrashExitCode);
+  }
+  return fired;
+}
+
+uint64_t FaultPoints::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+Status ArmFaultFromSpec(const std::string& spec) {
+  std::string point = spec;
+  FaultAction action = FaultAction::kCrash;
+  uint64_t skip = 0;
+  const size_t eq = spec.find('=');
+  if (eq != std::string::npos) {
+    point = spec.substr(0, eq);
+    std::string rest = spec.substr(eq + 1);
+    const size_t at = rest.find('@');
+    if (at != std::string::npos) {
+      skip = std::strtoull(rest.substr(at + 1).c_str(), nullptr, 10);
+      rest = rest.substr(0, at);
+    }
+    if (rest == "ioerror") {
+      action = FaultAction::kIOError;
+    } else if (rest == "torn") {
+      action = FaultAction::kTornWrite;
+    } else if (rest == "crash") {
+      action = FaultAction::kCrash;
+    } else {
+      return Status::InvalidArgument("unknown fault action: " + rest);
+    }
+  }
+  return FaultPoints::Global().Arm(point, action, skip);
+}
+
+}  // namespace tuffy

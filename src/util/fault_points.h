@@ -1,0 +1,90 @@
+#ifndef TUFFY_UTIL_FAULT_POINTS_H_
+#define TUFFY_UTIL_FAULT_POINTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tuffy {
+
+/// What an armed fault point does when its trigger count is reached.
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  /// The instrumented operation fails with Status::IOError, leaving
+  /// whatever bytes it had written so far on disk — the state a crash at
+  /// that instant would leave.
+  kIOError,
+  /// The instrumented write persists only a prefix of its payload before
+  /// failing (the classic torn write). Only meaningful at write-shaped
+  /// points; elsewhere it degrades to kIOError.
+  kTornWrite,
+  /// The process exits immediately via _Exit(kCrashExitCode) — no
+  /// destructors, no buffer flushes. Used by the CLI / subprocess smoke
+  /// tests; in-process tests use kIOError / kTornWrite, which produce
+  /// the identical on-disk state.
+  kCrash,
+};
+
+/// Exit code of a kCrash fault, so harnesses can tell an injected crash
+/// from a genuine failure.
+constexpr int kFaultCrashExitCode = 43;
+
+/// Registry of named crash/IO-error sites on the durability paths.
+/// Instrumented code calls `Hit("name")` at the site; tests and the CLI
+/// arm a point with an action and a skip count ("fire on the N+1-th
+/// hit"), exercising recovery at every point rather than only the happy
+/// path. Points fire once per arming: after firing, the point reverts
+/// to kNone until re-armed.
+///
+/// The process-wide singleton is deliberately global (like a kernel's
+/// fault-injection table): the sites live deep in the storage and WAL
+/// layers, far from any handle a test could thread a pointer through.
+class FaultPoints {
+ public:
+  static FaultPoints& Global();
+
+  /// Every instrumented point name, for CLI listings and arm-time
+  /// validation.
+  static const std::vector<const char*>& Registry();
+
+  /// Arms `point` to perform `action` on its (skip+1)-th upcoming hit.
+  /// Fails with InvalidArgument for a name not in Registry() — a typo'd
+  /// fault point that never fires would silently test nothing.
+  Status Arm(const std::string& point, FaultAction action, uint64_t skip = 0);
+
+  /// Disarms every point and zeroes hit counters.
+  void Reset();
+
+  /// Called by instrumented code. Counts the hit; returns the armed
+  /// action if this hit is the trigger (disarming the point), kNone
+  /// otherwise. A kCrash trigger does not return: it _Exit()s.
+  FaultAction Hit(const char* point);
+
+  /// Total hits on `point` since the last Reset (armed or not).
+  uint64_t hits(const std::string& point) const;
+
+ private:
+  FaultPoints() = default;
+
+  struct Armed {
+    FaultAction action = FaultAction::kNone;
+    uint64_t remaining = 0;  // hits to skip before firing
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Armed> armed_;
+  std::unordered_map<std::string, uint64_t> hits_;
+};
+
+/// Parses "point", "point=action" or "point=action@skip" (action in
+/// {ioerror, torn, crash}; bare name means crash) and arms it on the
+/// global registry. The grammar the CLI and the recovery smoke use.
+Status ArmFaultFromSpec(const std::string& spec);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_UTIL_FAULT_POINTS_H_

@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
     case StatusCode::kParseError:
       return "ParseError";
     case StatusCode::kResourceExhausted:

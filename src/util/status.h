@@ -15,6 +15,10 @@ enum class StatusCode {
   kAlreadyExists,
   kOutOfRange,
   kIOError,
+  /// Stored bytes fail their integrity check (bad CRC, torn or short
+  /// read, malformed snapshot). Distinct from kIOError: the I/O itself
+  /// succeeded but returned data that cannot be trusted.
+  kCorruption,
   kParseError,
   kResourceExhausted,
   kInternal,
@@ -49,6 +53,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));

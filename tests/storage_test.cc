@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -21,9 +25,102 @@ TEST(DiskManagerTest, WriteThenReadRoundTrips) {
   std::memset(out, 0xAB, kPageSize);
   ASSERT_TRUE(disk.WritePage(p, out).ok());
   ASSERT_TRUE(disk.ReadPage(p, in).ok());
-  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+  // The payload round-trips; the leading PageHeader bytes belong to the
+  // DiskManager (CRC + page id), so they differ from what was passed in.
+  EXPECT_EQ(std::memcmp(out + kPageHeaderBytes, in + kPageHeaderBytes,
+                        kPagePayloadSize),
+            0);
+  PageHeader header;
+  std::memcpy(&header, in, sizeof(header));
+  EXPECT_EQ(header.page_id_plus1, p + 1);
   EXPECT_EQ(disk.num_reads(), 1u);
   EXPECT_EQ(disk.num_writes(), 1u);
+}
+
+TEST(DiskManagerTest, CorruptedPageFailsChecksum) {
+  const std::string path = ::testing::TempDir() + "/tuffy_crc_page.db";
+  DiskManager disk(path);
+  PageId p = disk.AllocatePage();
+  char buf[kPageSize];
+  std::memset(buf, 0x5C, kPageSize);
+  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  ASSERT_TRUE(disk.Sync().ok());
+  EXPECT_EQ(disk.num_syncs(), 1u);
+
+  // Flip one payload byte behind the manager's back.
+  std::FILE* raw = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(raw, nullptr);
+  ASSERT_EQ(std::fseek(raw, kPageHeaderBytes + 100, SEEK_SET), 0);
+  char evil = 0x00;
+  ASSERT_EQ(std::fwrite(&evil, 1, 1, raw), 1u);
+  std::fclose(raw);
+
+  Status st = disk.ReadPage(p, buf);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+
+  // A rewrite heals the page.
+  std::memset(buf, 0x5C, kPageSize);
+  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  EXPECT_TRUE(disk.ReadPage(p, buf).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskManagerTest, ShortReadReportsCorruption) {
+  const std::string path = ::testing::TempDir() + "/tuffy_torn_page.db";
+  DiskManager disk(path);
+  PageId p = disk.AllocatePage();
+  char buf[kPageSize];
+  std::memset(buf, 0x11, kPageSize);
+  ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  ASSERT_TRUE(disk.Sync().ok());
+
+  // Tear the page: truncate the file to half a page.
+  ASSERT_EQ(::truncate(path.c_str(), kPageSize / 2), 0);
+
+  Status st = disk.ReadPage(p, buf);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DiskManagerTest, CorruptedPageFailsBufferPoolFetch) {
+  const std::string path = ::testing::TempDir() + "/tuffy_crc_pool.db";
+  auto disk = std::make_unique<DiskManager>(path);
+  BufferPool pool(2, disk.get());
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = page.value()->page_id();
+  std::memset(page.value()->payload(), 0x33, kPagePayloadSize);
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(disk->Sync().ok());
+
+  std::FILE* raw = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(raw, nullptr);
+  ASSERT_EQ(std::fseek(raw, kPageHeaderBytes + 7, SEEK_SET), 0);
+  char evil = 0x44;
+  ASSERT_EQ(std::fwrite(&evil, 1, 1, raw), 1u);
+  std::fclose(raw);
+
+  // Evict the clean resident copy so the next fetch goes to disk, then
+  // repeat the fetch: the pool must surface Corruption each time without
+  // leaking frames.
+  auto filler1 = pool.NewPage();
+  ASSERT_TRUE(filler1.ok());
+  auto filler2 = pool.NewPage();
+  ASSERT_TRUE(filler2.ok());
+  ASSERT_TRUE(pool.UnpinPage(filler1.value()->page_id(), false).ok());
+  ASSERT_TRUE(pool.UnpinPage(filler2.value()->page_id(), false).ok());
+  for (int i = 0; i < 4; ++i) {
+    auto fetch = pool.FetchPage(id);
+    ASSERT_FALSE(fetch.ok());
+    EXPECT_EQ(fetch.status().code(), StatusCode::kCorruption);
+  }
+  // The pool still has both frames: two new pins must succeed.
+  auto a = pool.NewPage();
+  auto b = pool.NewPage();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  std::remove(path.c_str());
 }
 
 TEST(DiskManagerTest, UnwrittenPageReadsAsZero) {
@@ -62,7 +159,7 @@ TEST(BufferPoolTest, NewPageIsPinnedAndWritable) {
   auto page = pool.NewPage();
   ASSERT_TRUE(page.ok());
   Page* p = page.value();
-  std::memset(p->data(), 0x42, kPageSize);
+  std::memset(p->payload(), 0x42, kPagePayloadSize);
   EXPECT_EQ(p->pin_count(), 1);
   ASSERT_TRUE(pool.UnpinPage(p->page_id(), true).ok());
 }
@@ -89,7 +186,7 @@ TEST(BufferPoolTest, EvictionWritesBackAndDataSurvives) {
   for (int i = 0; i < 6; ++i) {
     auto page = pool.NewPage();
     ASSERT_TRUE(page.ok());
-    std::memset(page.value()->data(), 0x10 + i, kPageSize);
+    std::memset(page.value()->payload(), 0x10 + i, kPagePayloadSize);
     ids.push_back(page.value()->page_id());
     ASSERT_TRUE(pool.UnpinPage(ids.back(), true).ok());
   }
@@ -97,7 +194,7 @@ TEST(BufferPoolTest, EvictionWritesBackAndDataSurvives) {
   for (int i = 0; i < 6; ++i) {
     auto page = pool.FetchPage(ids[i]);
     ASSERT_TRUE(page.ok());
-    EXPECT_EQ(page.value()->data()[100], static_cast<char>(0x10 + i));
+    EXPECT_EQ(page.value()->payload()[100], static_cast<char>(0x10 + i));
     ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
   }
 }
@@ -129,12 +226,12 @@ TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
   auto page = pool.NewPage();
   ASSERT_TRUE(page.ok());
   PageId id = page.value()->page_id();
-  std::memset(page.value()->data(), 0x7E, kPageSize);
+  std::memset(page.value()->payload(), 0x7E, kPagePayloadSize);
   ASSERT_TRUE(pool.UnpinPage(id, true).ok());
   ASSERT_TRUE(pool.FlushAll().ok());
   char buf[kPageSize];
   ASSERT_TRUE(disk.ReadPage(id, buf).ok());
-  EXPECT_EQ(buf[17], 0x7E);
+  EXPECT_EQ(buf[kPageHeaderBytes + 17], 0x7E);
 }
 
 // --------------------------------------------------------------- HeapFile
