@@ -37,21 +37,6 @@ Status WriteFully(int fd, const char* data, size_t n) {
   return Status::OK();
 }
 
-Status SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return Status::IOError(StrFormat("cannot open dir %s for fsync: %s",
-                                     dir.c_str(), std::strerror(errno)));
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return Status::IOError(StrFormat("fsync of dir %s failed: %s",
-                                     dir.c_str(), std::strerror(errno)));
-  }
-  return Status::OK();
-}
-
 uint64_t FnvMix(uint64_t h, const void* data, size_t n) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
   for (size_t i = 0; i < n; ++i) {
@@ -69,6 +54,21 @@ uint64_t FnvMixStr(uint64_t h, const std::string& s) {
 }
 
 }  // namespace
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("cannot open dir %s for fsync: %s",
+                                     dir.c_str(), std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(StrFormat("fsync of dir %s failed: %s",
+                                     dir.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
 
 Status EnsureDir(const std::string& dir) {
   // Create parents left to right, mkdir -p style; an existing directory
@@ -199,6 +199,21 @@ Result<std::string> ReadSnapshotFile(const std::string& path) {
     return Status::Corruption("snapshot checksum mismatch in " + path);
   }
   return bytes.substr(kEnvelopeBytes);
+}
+
+Status RemoveSnapshotsAbove(const std::string& dir, uint64_t seq) {
+  TUFFY_ASSIGN_OR_RETURN(std::vector<SnapshotRef> snaps, ListSnapshots(dir));
+  bool removed = false;
+  for (const SnapshotRef& ref : snaps) {  // newest first
+    if (ref.seq <= seq) break;
+    if (::unlink(ref.path.c_str()) != 0) {
+      return Status::IOError(StrFormat("cannot remove stale snapshot %s: %s",
+                                       ref.path.c_str(),
+                                       std::strerror(errno)));
+    }
+    removed = true;
+  }
+  return removed ? SyncDir(dir) : Status::OK();
 }
 
 uint64_t ProgramFingerprint(const MlnProgram& program) {

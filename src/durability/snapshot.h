@@ -20,13 +20,19 @@ namespace tuffy {
 ///
 /// Written atomically: full temp file + fsync + rename + directory
 /// fsync, so a snapshot either exists completely or not at all; a crash
-/// mid-write leaves only an ignored *.tmp. Old snapshots are never
-/// deleted by the writer — recovery walks them newest-first, so an
-/// older intact snapshot backstops a corrupt newer one (the WAL suffix
-/// is replayed from whichever seq loads).
+/// mid-write leaves only an ignored *.tmp. The writer never deletes old
+/// snapshots — recovery walks them newest-first, so an older intact
+/// snapshot backstops a corrupt newer one (the WAL suffix is replayed
+/// from whichever seq loads). Recovery itself deletes snapshots only in
+/// one case: after a tail-loss rebase, when their seq points past the
+/// end of the surviving log (see docs/DURABILITY.md).
 
 /// Creates `dir` (and parents) if needed.
 Status EnsureDir(const std::string& dir);
+
+/// fsync of the directory itself, making renames/unlinks inside it
+/// durable.
+Status SyncDir(const std::string& dir);
 
 std::string SnapshotFileName(uint64_t seq);
 
@@ -47,6 +53,12 @@ Result<std::vector<SnapshotRef>> ListSnapshots(const std::string& dir);
 /// Reads one snapshot file, validating magic, length, and CRC; returns
 /// the payload or Corruption.
 Result<std::string> ReadSnapshotFile(const std::string& path);
+
+/// Deletes every snapshot in `dir` with seq strictly greater than
+/// `seq`, then fsyncs the directory. Recovery's tail-loss cleanup: such
+/// snapshots count WAL records the surviving log no longer holds, so
+/// their seq would mis-skip file records on a later recovery.
+Status RemoveSnapshotsAbove(const std::string& dir, uint64_t seq);
 
 /// Structural fingerprint of a program (predicates, rules, weights,
 /// interned symbols), stamped into WAL headers and snapshots so recovery

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "durability/serialize.h"
@@ -195,7 +197,13 @@ Status InferenceSession::Open(const EvidenceDb& initial_evidence,
     }
     program_fp_ = ProgramFingerprint(program_);
     options_fp_ = OptionsFingerprint(options_);
-    TUFFY_ASSIGN_OR_RETURN(wal_, WalWriter::Create(wal_path));
+    // Initialization happens under a temp name and publishes wal.log
+    // last: its presence is the commit point. A crash or error anywhere
+    // before the rename leaves only wal.log.init (plus a snapshot-0
+    // orphan), both of which the next Open simply overwrites — the
+    // directory is never wedged half-initialized.
+    const std::string init_path = wal_path + ".init";
+    TUFFY_ASSIGN_OR_RETURN(wal_, WalWriter::Create(init_path));
     BinaryWriter hdr;
     hdr.U8(kWalRecordHeader);
     hdr.U32(kWalMagic);
@@ -208,6 +216,12 @@ Status InferenceSession::Open(const EvidenceDb& initial_evidence,
     // to stand on, so it never re-runs the cold search — and the initial
     // evidence never needs to be in the log.
     TUFFY_RETURN_IF_ERROR(WriteSnapshot());
+    if (std::rename(init_path.c_str(), wal_path.c_str()) != 0) {
+      return Status::IOError(StrFormat("cannot publish wal %s: %s",
+                                       wal_path.c_str(),
+                                       std::strerror(errno)));
+    }
+    TUFFY_RETURN_IF_ERROR(SyncDir(options_.wal_dir));
   }
   open_ = true;  // only a fully-initialized session accepts deltas
   return Status::OK();
@@ -435,6 +449,7 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
   TUFFY_ASSIGN_OR_RETURN(std::vector<SnapshotRef> snaps,
                          ListSnapshots(options.wal_dir));
   std::unique_ptr<InferenceSession> session;
+  Status last_failure = Status::OK();
   for (const SnapshotRef& ref : snaps) {
     ++rstats.snapshots_tried;
     Result<std::string> payload = ReadSnapshotFile(ref.path);
@@ -450,18 +465,35 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
       rstats.snapshot_seq = ref.seq;
       break;
     }
+    // Any per-candidate failure — corruption, a file that vanished
+    // between listing and reading, a transient IO error — means "try
+    // the next older one": an older intact snapshot is always a
+    // correct (if slower-to-replay) recovery point.
     session.reset();
-    if (restored.code() != StatusCode::kCorruption) return restored;
+    last_failure = restored;
   }
   if (session == nullptr) {
-    return Status::Corruption("no usable snapshot in " + options.wal_dir);
+    std::string msg = "no usable snapshot in " + options.wal_dir;
+    if (!last_failure.ok()) {
+      msg += " (last failure: " + last_failure.ToString() + ")";
+    }
+    return Status::Corruption(msg);
   }
+  bool tail_loss_rebase = false;
   if (session->wal_records_ > rstats.wal_records_total) {
     // The snapshot has absorbed records the (truncated) WAL no longer
     // holds — the tail loss ate into snapshotted history. The snapshot
-    // is still the latest durable state; there is just nothing to
-    // replay.
+    // is still the latest durable state and there is nothing to replay,
+    // but its logical record count runs ahead of the file. Rebase the
+    // counter onto the file so future appends line up with file record
+    // positions again; without this the session would keep counting
+    // from the snapshot seq, and the next recovery would skip that many
+    // *file* records — silently dropping durable deltas appended after
+    // this recovery. The re-anchor snapshot below makes the rebased seq
+    // durable before any such append can happen.
     rstats.records_skipped = rstats.wal_records_total;
+    session->wal_records_ = rstats.wal_records_total;
+    tail_loss_rebase = true;
   } else {
     rstats.records_skipped = session->wal_records_;
   }
@@ -511,6 +543,21 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
                          WalWriter::OpenAt(wal_path, scan.valid_bytes));
   session->program_fp_ = program_fp;
   session->options_fp_ = options_fp;
+  if (tail_loss_rebase) {
+    // Re-anchor the durable timeline at the rebased position: the lost
+    // records now live only in the loaded snapshot, so write the
+    // restored state as snapshot <file record count> and then drop
+    // every snapshot whose seq points past the end of the file — on the
+    // rebased timeline those seqs would over-skip records appended from
+    // here on. Write first, delete second: a crash in between leaves
+    // both copies of this state, never neither. Snapshots older than
+    // the rebase point stay; they can no longer reconstruct the lost
+    // records, and a recovery that falls back to one fails loudly on
+    // the replay epoch check instead of diverging silently.
+    TUFFY_RETURN_IF_ERROR(session->WriteSnapshot());
+    TUFFY_RETURN_IF_ERROR(
+        RemoveSnapshotsAbove(options.wal_dir, session->wal_records_));
+  }
   if (stats != nullptr) *stats = rstats;
   return session;
 }

@@ -53,7 +53,14 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
   if (std::fseek(file_, offset, SEEK_SET) != 0) {
     return Status::IOError(StrFormat("seek to page %u failed", page_id));
   }
+  std::clearerr(file_);
   size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n < kPageSize && std::ferror(file_) != 0) {
+    // fread also returns short (or zero) on a genuine device error;
+    // only a clean EOF may be treated as an unwritten page.
+    return Status::IOError(StrFormat("read of page %u failed after %zu bytes",
+                                     page_id, n));
+  }
   if (n == 0) {
     // Page allocated but never written (at or past EOF): reads as zero,
     // and the zero header (page_id_plus1 == 0) marks it unwritten.

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -442,6 +443,133 @@ TEST(RecoveryTest, CorruptNewestSnapshotFallsBackAndReplaysMore) {
   ASSERT_TRUE(twin.Open(evidence).ok());
   for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(twin.ApplyDelta(deltas[i]).ok());
   ExpectBitIdentical(*recovered.value(), twin);
+}
+
+TEST(RecoveryTest, SnapshotNewerThanWalRebasesTimeline) {
+  // Simulates fsync-off tail loss: the newest snapshot has absorbed a
+  // WAL record that no longer survives in the file. Recovery must
+  // re-anchor its record counter onto the surviving file — otherwise
+  // deltas appended after this recovery are over-skipped (silently
+  // dropped) by the next one.
+  MlnProgram program = LinkProgram();
+  const EvidenceDb evidence = InitialEvidence(program);
+  const std::vector<EvidenceDelta> deltas = DeltaStream(program);
+  const std::string dir = MakeTempDir("rebase");
+  SessionOptions durable = BaseOptions();
+  durable.wal_dir = dir;
+  durable.snapshot_every = 1;
+
+  {
+    InferenceSession victim(program, durable);
+    ASSERT_TRUE(victim.Open(evidence).ok());
+    ASSERT_TRUE(victim.ApplyDelta(deltas[0]).ok());
+    ASSERT_TRUE(victim.ApplyDelta(deltas[1]).ok());
+  }
+  // Lose delta 1's record from the log; snapshot-2 still covers it.
+  CorruptFile(dir + "/wal.log", -2);
+
+  RecoveryStats rstats;
+  auto recovered =
+      InferenceSession::Recover(program, durable, nullptr, &rstats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(rstats.snapshot_seq, 2u);
+  EXPECT_EQ(rstats.wal_records_total, 1u);
+  EXPECT_EQ(rstats.records_skipped, 1u);
+  EXPECT_EQ(rstats.records_replayed, 0u);
+
+  {
+    InferenceSession twin(program, BaseOptions());
+    ASSERT_TRUE(twin.Open(evidence).ok());
+    ASSERT_TRUE(twin.ApplyDelta(deltas[0]).ok());
+    ASSERT_TRUE(twin.ApplyDelta(deltas[1]).ok());
+    ExpectBitIdentical(*recovered.value(), twin);
+  }
+
+  // The rebase re-anchored the restored state as a snapshot at the
+  // surviving record count and removed the dead-timeline snapshot whose
+  // seq pointed past the end of the file.
+  auto snaps = ListSnapshots(dir);
+  ASSERT_TRUE(snaps.ok());
+  ASSERT_FALSE(snaps.value().empty());
+  EXPECT_EQ(snaps.value()[0].seq, 1u);
+
+  // A delta appended after the rebased recovery stays durable: recover
+  // again and the twin of all three deltas must match.
+  ASSERT_TRUE(recovered.value()->ApplyDelta(deltas[2]).ok());
+  recovered.value().reset();
+
+  auto again = InferenceSession::Recover(program, durable, nullptr, &rstats);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(rstats.records_skipped + rstats.records_replayed,
+            rstats.wal_records_total);
+
+  InferenceSession twin(program, BaseOptions());
+  ASSERT_TRUE(twin.Open(evidence).ok());
+  for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(twin.ApplyDelta(deltas[i]).ok());
+  ExpectBitIdentical(*again.value(), twin);
+}
+
+TEST(RecoveryTest, UnreadableSnapshotFallsBackToOlder) {
+  MlnProgram program = LinkProgram();
+  const EvidenceDb evidence = InitialEvidence(program);
+  const std::vector<EvidenceDelta> deltas = DeltaStream(program);
+  const std::string dir = MakeTempDir("unreadable");
+  SessionOptions durable = BaseOptions();
+  durable.wal_dir = dir;
+  durable.snapshot_every = 1;
+  {
+    InferenceSession victim(program, durable);
+    ASSERT_TRUE(victim.Open(evidence).ok());
+    ASSERT_TRUE(victim.ApplyDelta(deltas[0]).ok());
+  }
+  // A "snapshot" that lists but cannot be read (a directory stands in
+  // for a file that vanished between listing and reading, or a failing
+  // device): the fallback walk must move past it to an older intact
+  // candidate, not abort on the non-Corruption error.
+  ASSERT_EQ(::mkdir((dir + "/" + SnapshotFileName(9)).c_str(), 0755), 0);
+
+  RecoveryStats rstats;
+  auto recovered =
+      InferenceSession::Recover(program, durable, nullptr, &rstats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(rstats.snapshots_tried, 2u);
+  EXPECT_EQ(rstats.snapshot_seq, 1u);
+
+  InferenceSession twin(program, BaseOptions());
+  ASSERT_TRUE(twin.Open(evidence).ok());
+  ASSERT_TRUE(twin.ApplyDelta(deltas[0]).ok());
+  ExpectBitIdentical(*recovered.value(), twin);
+}
+
+TEST(RecoveryTest, FailedOpenLeavesDirRetryable) {
+  FaultPoints::Global().Reset();
+  MlnProgram program = LinkProgram();
+  const EvidenceDb evidence = InitialEvidence(program);
+  const std::string dir = MakeTempDir("halfinit");
+  SessionOptions durable = BaseOptions();
+  durable.wal_dir = dir;
+
+  // Fail initialization after the WAL file exists but before snapshot 0
+  // lands — the half-initialized state that used to wedge the directory
+  // (Open: AlreadyExists; Recover: no usable snapshot).
+  ASSERT_TRUE(FaultPoints::Global()
+                  .Arm("snapshot.rename.before", FaultAction::kIOError)
+                  .ok());
+  {
+    InferenceSession victim(program, durable);
+    EXPECT_FALSE(victim.Open(evidence).ok());
+  }
+  FaultPoints::Global().Reset();
+  // wal.log is published last, so the failed attempt never created it...
+  EXPECT_NE(::access((dir + "/wal.log").c_str(), F_OK), 0);
+
+  // ...and a plain retry opens, publishes, and stays recoverable.
+  {
+    InferenceSession retry(program, durable);
+    ASSERT_TRUE(retry.Open(evidence).ok());
+  }
+  EXPECT_EQ(::access((dir + "/wal.log").c_str(), F_OK), 0);
+  EXPECT_TRUE(InferenceSession::Recover(program, durable).ok());
 }
 
 TEST(RecoveryTest, RefusesForeignDurableState) {
