@@ -1,0 +1,304 @@
+// Network serving benchmark: N ∈ {1, 8, 64} concurrent clients, each
+// with its own session, streaming relabel deltas through the net/ front
+// end on loopback, versus the same workload driven straight into an
+// in-process SessionManager. Every client runs the identical delta
+// sequence, so all sessions must converge to the same final MAP cost —
+// which is also checked against one from-scratch engine run over the
+// accumulated evidence (the wire must not change inference).
+//
+// BENCH_JSON schema (one line per system × client count):
+//   {"bench":"net_serving","system":"net"|"inproc","clients":N,
+//    "deltas_per_sec":...,"p50_ms":...,"p99_ms":...,
+//    "total_deltas":...,"seconds":...,"final_cost":...,
+//    "fresh_cost":...}
+// p50/p99 are client-observed per-delta latencies (for the net rows
+// that includes framing, loopback, queueing, and the reply).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace tuffy;
+using namespace tuffy::bench;
+
+namespace {
+
+constexpr uint64_t kFlips = 60000;
+constexpr int kDeltasPerClient = 16;
+const std::vector<int> kClientCounts = {1, 8, 64};
+
+Dataset NetRc() {
+  RcParams p;
+  p.num_clusters = 4;
+  p.papers_per_cluster = 6;
+  // 6 categories so both relabel targets ("Networking", "Theory") exist
+  // in the interned domain.
+  p.num_categories = 6;
+  p.labeled_fraction = 0.6;
+  auto r = MakeRcDataset(p);
+  if (!r.ok()) {
+    std::fprintf(stderr, "RC generation failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.TakeValue();
+}
+
+SessionOptions BenchSessionOptions() {
+  SessionOptions opts;
+  opts.total_flips = kFlips;
+  opts.seed = 42;
+  return opts;
+}
+
+/// The relabel stream every client applies, in order. Identical across
+/// clients so every session ends in the same state.
+std::vector<EvidenceDelta> MakeDeltas(const Dataset& ds,
+                                      EvidenceDb* accumulated) {
+  PredicateId cat = ds.program.FindPredicate("cat").value();
+  std::vector<GroundAtom> labels;
+  for (const auto& [atom, truth] : ds.evidence.entries()) {
+    if (atom.pred == cat && truth) labels.push_back(atom);
+  }
+  ConstantId cat_a = ds.program.symbols().Find("Networking");
+  ConstantId cat_b = ds.program.symbols().Find("Theory");
+  if (cat_a < 0 || cat_b < 0) {
+    std::fprintf(stderr, "relabel categories missing from the domain\n");
+    std::exit(1);
+  }
+  Rng rng(7);
+  std::vector<EvidenceDelta> deltas;
+  for (int d = 0; d < kDeltasPerClient; ++d) {
+    GroundAtom victim = labels[rng.Uniform(labels.size())];
+    EvidenceDelta delta;
+    delta.Retract(victim);
+    GroundAtom relabeled = victim;
+    relabeled.args[1] = relabeled.args[1] == cat_a ? cat_b : cat_a;
+    delta.Assert(relabeled, true);
+    deltas.push_back(delta);
+    if (accumulated != nullptr) {
+      accumulated->Remove(victim);
+      accumulated->Add(relabeled, true);
+    }
+    labels[rng.Uniform(labels.size())] = relabeled;
+  }
+  return deltas;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double final_cost = 0.0;
+  bool cost_consistent = true;
+  LatencyHistogram latency;
+};
+
+void EmitRow(const char* system, int clients, const RunResult& r,
+             double fresh_cost) {
+  const double total = static_cast<double>(clients) * kDeltasPerClient;
+  std::printf(
+      "BENCH_JSON {\"bench\":\"net_serving\",\"system\":\"%s\","
+      "\"clients\":%d,\"deltas_per_sec\":%.1f,\"p50_ms\":%.3f,"
+      "\"p99_ms\":%.3f,\"total_deltas\":%d,\"seconds\":%.4f,"
+      "\"final_cost\":%.4f,\"fresh_cost\":%.4f}\n",
+      system, clients, total / r.seconds,
+      r.latency.Percentile(0.50) * 1e3, r.latency.Percentile(0.99) * 1e3,
+      static_cast<int>(total), r.seconds, r.final_cost, fresh_cost);
+}
+
+/// Drives `clients` concurrent sessions over the wire. Sessions are
+/// opened before the clock starts; only the delta stream is timed.
+RunResult RunNet(const Dataset& ds,
+                 const std::vector<EvidenceDelta>& deltas, int clients) {
+  ServerOptions opts;
+  opts.session = BenchSessionOptions();
+  opts.num_workers =
+      std::max(2u, std::thread::hardware_concurrency());
+  opts.max_queue = static_cast<size_t>(clients) * 2 + 16;
+  Server server(ds.program, ds.evidence, opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start: %s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<Client> conns(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    Status st = conns[c].Connect("127.0.0.1", server.port());
+    if (!st.ok()) {
+      std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    auto open = conns[c].OpenSession("bench-" + std::to_string(c));
+    if (!open.ok() || open.value().type != MsgType::kOpenReply) {
+      std::fprintf(stderr, "open %d failed\n", c);
+      std::exit(1);
+    }
+  }
+
+  RunResult result;
+  std::mutex mu;
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LatencyHistogram local;
+      double cost = 0.0;
+      bool ok = true;
+      const std::string session = "bench-" + std::to_string(c);
+      for (const EvidenceDelta& delta : deltas) {
+        Timer t;
+        auto r = conns[c].ApplyDelta(session, delta);
+        // Overload shedding is retryable by contract; the bench retries
+        // so every delta lands and ordering per session still holds.
+        while (r.ok() && r.value().type == MsgType::kError &&
+               r.value().retryable) {
+          r = conns[c].ApplyDelta(session, delta);
+        }
+        if (!r.ok() || r.value().type != MsgType::kDeltaReply) {
+          ok = false;
+          break;
+        }
+        local.Record(t.ElapsedSeconds());
+        cost = r.value().map_cost;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latency.Merge(local);
+      if (!ok) {
+        result.cost_consistent = false;
+      } else if (result.final_cost == 0.0) {
+        result.final_cost = cost;
+      } else if (std::fabs(result.final_cost - cost) > 1e-6) {
+        result.cost_consistent = false;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = timer.ElapsedSeconds();
+
+  ServerMetrics m = server.metrics();
+  std::printf("  net %2d clients: server p50 %.3f ms, p99 %.3f ms, "
+              "queue peak %zu, %llu overloaded\n",
+              clients, m.delta_p50_ms, m.delta_p99_ms, m.queue_peak,
+              (unsigned long long)m.overloaded);
+  server.Stop();
+  return result;
+}
+
+/// The same workload without the wire: N threads calling straight into
+/// a SessionManager.
+RunResult RunInProcess(const Dataset& ds,
+                       const std::vector<EvidenceDelta>& deltas,
+                       int clients) {
+  SessionManagerOptions mopts;
+  mopts.num_threads = 1;
+  SessionManager manager(mopts);
+  for (int c = 0; c < clients; ++c) {
+    auto open = manager.Open("bench-" + std::to_string(c), ds.program,
+                             ds.evidence, BenchSessionOptions());
+    if (!open.ok()) {
+      std::fprintf(stderr, "inproc open %d: %s\n", c,
+                   open.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  RunResult result;
+  std::mutex mu;
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LatencyHistogram local;
+      double cost = 0.0;
+      bool ok = true;
+      const std::string session = "bench-" + std::to_string(c);
+      for (const EvidenceDelta& delta : deltas) {
+        Timer t;
+        auto r = manager.ApplyDelta(session, delta);
+        if (!r.ok()) {
+          ok = false;
+          break;
+        }
+        local.Record(t.ElapsedSeconds());
+        cost = r.value().map_cost;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latency.Merge(local);
+      if (!ok) {
+        result.cost_consistent = false;
+      } else if (result.final_cost == 0.0) {
+        result.final_cost = cost;
+      } else if (std::fabs(result.final_cost - cost) > 1e-6) {
+        result.cost_consistent = false;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Net serving: concurrent wire clients vs in-process manager");
+  Dataset ds = NetRc();
+  EvidenceDb accumulated = ds.evidence;
+  std::vector<EvidenceDelta> deltas = MakeDeltas(ds, &accumulated);
+
+  // The single source of truth every session must land on.
+  EngineOptions eopts;
+  eopts.search_mode = SearchMode::kComponentAware;
+  eopts.grounding.lazy_closure = false;
+  eopts.total_flips = kFlips;
+  eopts.seed = 42;
+  TuffyEngine engine(ds.program, accumulated, eopts);
+  auto fresh = engine.Run();
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "fresh run failed: %s\n",
+                 fresh.status().ToString().c_str());
+    return 1;
+  }
+  const double fresh_cost = fresh.value().total_cost;
+  std::printf("fresh MAP cost over final evidence: %.4f\n", fresh_cost);
+
+  bool all_match = true;
+  for (int clients : kClientCounts) {
+    RunResult net = RunNet(ds, deltas, clients);
+    RunResult inproc = RunInProcess(ds, deltas, clients);
+    EmitRow("net", clients, net, fresh_cost);
+    EmitRow("inproc", clients, inproc, fresh_cost);
+    for (const RunResult* r : {&net, &inproc}) {
+      if (!r->cost_consistent ||
+          std::fabs(r->final_cost - fresh_cost) > 1e-6) {
+        all_match = false;
+      }
+    }
+    const double ratio =
+        (net.seconds > 0 && inproc.seconds > 0)
+            ? inproc.seconds / net.seconds
+            : 0.0;
+    std::printf("  %2d clients: wire throughput is %.2fx in-process\n",
+                clients, ratio);
+  }
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: a session's final MAP cost diverged from the "
+                 "from-scratch run\n");
+    return 1;
+  }
+  std::printf("all sessions converged to the fresh MAP cost\n");
+  return 0;
+}

@@ -53,21 +53,43 @@
 //                  deltas (default 0: initial snapshot only)
 //   -no_fsync      (-session) skip per-delta WAL fsync (faster; a crash
 //                  may lose the OS write-back window)
+//   -serve PORT    expose sessions over TCP (src/net/): start the
+//                  poll-based server on PORT (0 = ephemeral, the chosen
+//                  port is printed), block until SIGINT, then dump the
+//                  serving metrics report to stderr. Session knobs
+//                  (-flips, -seed, -marginal, -wal_dir, -snapshot_every,
+//                  -no_fsync, -threads, -budget) apply to every served
+//                  session.
+//   -connect HOST:PORT
+//                  drive a remote -serve process instead of an
+//                  in-process session: same REPL commands as -session,
+//                  sent over the binary wire protocol. The local program
+//                  (-i/-gen, for atom names and the fingerprint check)
+//                  must match the server's.
 //
 // Examples:
 //   ./build/examples/tuffy_cli -i prog.mln -e facts.db -q cat
 //   ./build/examples/tuffy_cli -gen rc -learnwt -algo dn -epochs 30
+//   ./build/examples/tuffy_cli -gen rc -serve 7777
+//   ./build/examples/tuffy_cli -gen rc -connect 127.0.0.1:7777
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/datasets.h"
+#include "durability/snapshot.h"
 #include "exec/tuffy_engine.h"
 #include "mln/io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "util/string_util.h"
 
 using namespace tuffy;  // NOLINT: example brevity
@@ -84,6 +106,9 @@ struct CliArgs {
   bool learn = false;
   bool session = false;
   bool explain = false;
+  bool serve = false;
+  uint16_t serve_port = 0;
+  std::string connect;  // "host:port"; empty = no -connect
   EngineOptions engine;
   LearnOptions learnwt;
 };
@@ -96,7 +121,7 @@ int Usage(const char* argv0) {
                "[-algo vp|dn] [-epochs N] [-lr X] [-flips N] [-threads N] "
                "[-budget BYTES] [-mode component|memory|partition|disk] "
                "[-topdown] [-seed N] [-wal_dir DIR] [-snapshot_every N] "
-               "[-no_fsync]\n",
+               "[-no_fsync] [-serve PORT] [-connect HOST:PORT]\n",
                argv0);
   return 2;
 }
@@ -242,6 +267,15 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
           static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (a == "-no_fsync") {
       args->engine.wal_fsync = false;
+    } else if (a == "-serve") {
+      const char* v = next();
+      if (!v) return false;
+      args->serve = true;
+      args->serve_port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "-connect") {
+      const char* v = next();
+      if (!v) return false;
+      args->connect = v;
     } else if (a == "-topdown") {
       args->engine.grounding_mode = GroundingMode::kTopDown;
     } else if (a == "-seed") {
@@ -260,6 +294,13 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->query_preds.push_back(pred);
     }
     return true;
+  }
+  if (args->serve || !args->connect.empty()) {
+    // The wire modes need the program (atom names, fingerprint check);
+    // -serve also needs evidence for the sessions' base state, while a
+    // -connect client never touches evidence locally.
+    return !args->program_file.empty() &&
+           (!args->serve || !args->evidence_file.empty());
   }
   return !args->program_file.empty() && !args->evidence_file.empty() &&
          !args->query_preds.empty();
@@ -374,6 +415,45 @@ void PrintRecoveryStats(const RecoveryStats& rs) {
                (unsigned long long)rs.truncated_bytes);
 }
 
+/// Handles "assert pred(...) [true|false]" / "retract pred(...)" for
+/// both the in-process and the -connect REPL. Anything after the
+/// closing paren must be a recognized truth flag — silently dropping a
+/// typo like "False" would stage the opposite of what the user meant.
+void StageEdit(const MlnProgram& program, const std::string& cmd,
+               const std::string& rest, EvidenceDelta* staged) {
+  size_t close = rest.rfind(')');
+  std::string spec =
+      close == std::string::npos ? rest : rest.substr(0, close + 1);
+  std::string suffix =
+      close == std::string::npos ? "" : rest.substr(close + 1);
+  size_t b = suffix.find_first_not_of(" \t");
+  size_t e = suffix.find_last_not_of(" \t");
+  suffix = b == std::string::npos ? "" : suffix.substr(b, e - b + 1);
+  bool truth = true;
+  if (cmd == "retract") {
+    if (!suffix.empty()) {
+      std::fprintf(stderr, "retract takes no flag, got '%s'\n",
+                   suffix.c_str());
+      return;
+    }
+  } else if (suffix == "false") {
+    truth = false;
+  } else if (!suffix.empty() && suffix != "true") {
+    std::fprintf(stderr, "expected 'true' or 'false', got '%s'\n",
+                 suffix.c_str());
+    return;
+  }
+  GroundAtom atom;
+  if (!ParseAtomSpec(program, spec, &atom)) return;
+  if (cmd == "assert") {
+    staged->Assert(std::move(atom), truth);
+  } else {
+    staged->Retract(std::move(atom));
+  }
+  std::fprintf(stderr, "staged (%zu assertions, %zu retractions)\n",
+               staged->assertions.size(), staged->retractions.size());
+}
+
 /// Interactive serving session: reads delta commands from stdin.
 int RunSession(const CliArgs& args, const MlnProgram& program,
                const EvidenceDb& evidence) {
@@ -416,43 +496,7 @@ int RunSession(const CliArgs& args, const MlnProgram& program,
 
     if (cmd.empty()) {
     } else if (cmd == "assert" || cmd == "retract") {
-      // "assert pred(...) [true|false]" / "retract pred(...)". Anything
-      // after the closing paren must be a recognized truth flag —
-      // silently dropping a typo like "False" would stage the opposite
-      // of what the user meant.
-      size_t close = rest.rfind(')');
-      std::string spec =
-          close == std::string::npos ? rest : rest.substr(0, close + 1);
-      std::string suffix =
-          close == std::string::npos ? "" : rest.substr(close + 1);
-      size_t b = suffix.find_first_not_of(" \t");
-      size_t e = suffix.find_last_not_of(" \t");
-      suffix = b == std::string::npos ? "" : suffix.substr(b, e - b + 1);
-      bool truth = true;
-      bool parsed = true;
-      if (cmd == "retract") {
-        if (!suffix.empty()) {
-          std::fprintf(stderr, "retract takes no flag, got '%s'\n",
-                       suffix.c_str());
-          parsed = false;
-        }
-      } else if (suffix == "false") {
-        truth = false;
-      } else if (!suffix.empty() && suffix != "true") {
-        std::fprintf(stderr, "expected 'true' or 'false', got '%s'\n",
-                     suffix.c_str());
-        parsed = false;
-      }
-      GroundAtom atom;
-      if (parsed && ParseAtomSpec(program, spec, &atom)) {
-        if (cmd == "assert") {
-          staged.Assert(std::move(atom), truth);
-        } else {
-          staged.Retract(std::move(atom));
-        }
-        std::fprintf(stderr, "staged (%zu assertions, %zu retractions)\n",
-                     staged.assertions.size(), staged.retractions.size());
-      }
+      StageEdit(program, cmd, rest, &staged);
     } else if (cmd == "apply") {
       auto r = sess->ApplyDelta(staged);
       staged = EvidenceDelta{};
@@ -544,6 +588,191 @@ int RunSession(const CliArgs& args, const MlnProgram& program,
   return 0;
 }
 
+// ------------------------------------------------------ -serve/-connect
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+/// Serves the loaded program + evidence over TCP until SIGINT/SIGTERM,
+/// then dumps the metrics report to stderr (the CI smoke greps it).
+int RunServe(const CliArgs& args, const MlnProgram& program,
+             const EvidenceDb& evidence) {
+  ServerOptions opts;
+  opts.port = args.serve_port;
+  opts.num_workers = args.engine.num_threads > 1 ? args.engine.num_threads : 2;
+  opts.session.total_flips = args.engine.total_flips;
+  opts.session.seed = args.engine.seed;
+  opts.session.track_marginals = args.marginal;
+  opts.memory_budget_bytes = args.engine.memory_budget_bytes;
+  opts.durability_root = args.engine.wal_dir;
+  opts.snapshot_every = args.engine.snapshot_every;
+  opts.wal_fsync = args.engine.wal_fsync;
+  Server server(program, evidence, opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Port on stdout so scripts can capture it even with -serve 0.
+  std::printf("serving on %s:%u\n", opts.host.c_str(), server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr, "program fingerprint %016llx; SIGINT to stop\n",
+               (unsigned long long)ProgramFingerprint(program));
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fputs(server.MetricsReport().c_str(), stderr);
+  server.Stop();
+  return 0;
+}
+
+std::string FormatAtom(const MlnProgram& program, const GroundAtom& atom) {
+  std::string out = program.predicate(atom.pred).name + "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += program.symbols().SymbolName(atom.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+/// The -session REPL, but the session lives in a remote -serve process
+/// and every command travels as one wire request.
+int RunConnect(const CliArgs& args, const MlnProgram& program) {
+  size_t colon = args.connect.rfind(':');
+  if (colon == std::string::npos || colon + 1 == args.connect.size()) {
+    std::fprintf(stderr, "-connect expects HOST:PORT, got '%s'\n",
+                 args.connect.c_str());
+    return 2;
+  }
+  const std::string host = args.connect.substr(0, colon);
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(args.connect.c_str() + colon + 1, nullptr, 10));
+  Client client;
+  Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // A kError reply is a *successful* call at the transport level; a
+  // non-OK Result means the connection itself is gone. The REPL keeps
+  // going on wire errors (except at open) and dies on transport ones.
+  auto call = [&](const char* what,
+                  Result<NetResponse> r) -> Result<NetResponse> {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: connection lost: %s\n", what,
+                   r.status().ToString().c_str());
+      return r;
+    }
+    if (r.value().type == MsgType::kError) {
+      std::fprintf(stderr, "%s: %s%s: %s\n", what,
+                   WireErrorName(r.value().error),
+                   r.value().retryable ? " (retryable)" : "",
+                   r.value().message.c_str());
+    }
+    return r;
+  };
+
+  const std::string session = "cli";
+  auto open = call("open", client.OpenSession(
+                               session, ProgramFingerprint(program)));
+  if (!open.ok() || open.value().type != MsgType::kOpenReply) return 1;
+  std::fprintf(stderr,
+               "%s session '%s' on %s: %llu atoms, %llu clauses, "
+               "%llu components, cost %.2f\n> ",
+               open.value().attached ? "re-attached to" : "opened",
+               session.c_str(), args.connect.c_str(),
+               (unsigned long long)open.value().num_atoms,
+               (unsigned long long)open.value().num_clauses,
+               (unsigned long long)open.value().num_components,
+               open.value().map_cost);
+
+  EvidenceDelta staged;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    size_t sp = line.find(' ');
+    std::string cmd = line.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+
+    if (cmd.empty()) {
+    } else if (cmd == "assert" || cmd == "retract") {
+      StageEdit(program, cmd, rest, &staged);
+    } else if (cmd == "apply") {
+      auto r = call("apply", client.ApplyDelta(session, staged));
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kDeltaReply) {
+        staged = EvidenceDelta{};
+        const NetResponse& d = r.value();
+        std::fprintf(stderr,
+                     "%s: seq %llu, %llu/%llu components re-searched, "
+                     "%llu flips, cost %.2f\n",
+                     d.no_op ? "no-op" : "applied",
+                     (unsigned long long)d.seq,
+                     (unsigned long long)d.components_dirty,
+                     (unsigned long long)d.components_total,
+                     (unsigned long long)d.flips, d.map_cost);
+      }
+      // On a retryable wire error the delta stays staged: "apply" again.
+    } else if (cmd == "cost") {
+      auto r = call("cost", client.QueryMap(session, ""));
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kMapReply) {
+        std::fprintf(stderr, "map cost: %.4f\n", r.value().map_cost);
+      }
+    } else if (cmd == "query") {
+      auto r = call("query", client.QueryMap(session, rest));
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kMapReply) {
+        for (const GroundAtom& atom : r.value().atoms) {
+          std::printf("%s\n", FormatAtom(program, atom).c_str());
+        }
+        std::fflush(stdout);
+      }
+    } else if (cmd == "marginals") {
+      auto r = call("marginals", client.QueryMarginals(session, rest));
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kMarginalsReply) {
+        for (const auto& [atom, p] : r.value().marginals) {
+          std::printf("%.4f\t%s\n", p, FormatAtom(program, atom).c_str());
+        }
+        std::fflush(stdout);
+      }
+    } else if (cmd == "recover") {
+      auto r = call("recover", client.Recover(session));
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kRecoverReply) {
+        PrintRecoveryStats(r.value().recovery);
+        std::fprintf(stderr, "map cost after recovery: %.4f\n",
+                     r.value().map_cost);
+      }
+    } else if (cmd == "stats") {
+      auto r = call("stats", client.Stats(session));
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kStatsReply) {
+        for (const auto& [key, value] : r.value().stats) {
+          std::fprintf(stderr, "%s = %g\n", key.c_str(), value);
+        }
+      }
+    } else if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else {
+      std::fprintf(stderr,
+                   "commands: assert A [false] | retract A | apply | cost "
+                   "| query P | marginals P | recover | stats | quit\n");
+    }
+    std::fprintf(stderr, "> ");
+  }
+  client.Disconnect();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -568,14 +797,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     program = program_result.TakeValue();
-    Status st = LoadEvidenceFile(args.evidence_file, &program, &evidence);
-    if (!st.ok()) {
-      std::fprintf(stderr, "%s: %s\n", args.evidence_file.c_str(),
-                   st.ToString().c_str());
-      return 1;
+    if (!args.evidence_file.empty()) {  // -connect may go without
+      Status st = LoadEvidenceFile(args.evidence_file, &program, &evidence);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s: %s\n", args.evidence_file.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
     }
   }
 
+  if (args.serve) return RunServe(args, program, evidence);
+  if (!args.connect.empty()) return RunConnect(args, program);
   if (args.learn) return RunLearn(args, program, evidence);
   if (args.session) return RunSession(args, program, evidence);
 

@@ -88,6 +88,10 @@ class BinaryReader {
 
   bool ok() const { return ok_; }
   size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  /// Marks the payload malformed. For callers that validate a count or
+  /// length field against remaining() before allocating: a forged field
+  /// must fail the whole decode, not silently read as empty.
+  void Invalidate() { ok_ = false; }
   /// Fully consumed without overrun — what a well-formed payload of the
   /// expected layout must satisfy.
   bool Exhausted() const { return ok_ && p_ == end_; }

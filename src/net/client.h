@@ -1,0 +1,93 @@
+#ifndef TUFFY_NET_CLIENT_H_
+#define TUFFY_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/protocol.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Blocking client for the net/server.h wire protocol. One TCP
+/// connection; not thread-safe — give each thread its own Client.
+///
+/// Two usage styles:
+///  - synchronous: the convenience wrappers (OpenSession, ApplyDelta,
+///    ...) send one request and block for its reply;
+///  - pipelined: Send() any number of requests back to back, then
+///    Receive() replies in arrival order. Within one session the server
+///    guarantees application (and therefore reply) order matches send
+///    order; match replies to requests by request_id.
+///
+/// A reply of type MsgType::kError is a *successful* call at this
+/// layer: the Result is OK and the NetResponse carries the wire error
+/// (check `resp.error`, and `resp.retryable` for kOverloaded /
+/// kResourceExhausted). Non-OK Results mean transport trouble —
+/// connect, send, or receive failed, or the stream is corrupt.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_),
+        in_(std::move(other.in_)),
+        next_request_id_(other.next_request_id_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Disconnect();
+      fd_ = other.fd_;
+      in_ = std::move(other.in_);
+      next_request_id_ = other.next_request_id_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+  /// The raw socket, for tests that cut the connection mid-request.
+  int fd() const { return fd_; }
+
+  /// Sends one framed request without waiting for the reply. A zero
+  /// request_id is replaced with a fresh one; the assigned id is
+  /// returned either way.
+  Result<uint64_t> Send(NetRequest request);
+  /// Blocks for the next response frame, whatever request it answers.
+  Result<NetResponse> Receive();
+  /// Send + Receive, checking the reply answers this request.
+  Result<NetResponse> Call(NetRequest request);
+
+  // ---- convenience wrappers (synchronous) ----
+  /// `program_fp`: pass ProgramFingerprint(program) so the server can
+  /// reject a mismatched program (0 skips the check).
+  Result<NetResponse> OpenSession(const std::string& session,
+                                  uint64_t program_fp = 0);
+  Result<NetResponse> ApplyDelta(const std::string& session,
+                                 const EvidenceDelta& delta);
+  Result<NetResponse> QueryMap(const std::string& session,
+                               const std::string& predicate = "");
+  Result<NetResponse> QueryMarginals(const std::string& session,
+                                     const std::string& predicate = "");
+  Result<NetResponse> CloseSession(const std::string& session);
+  Result<NetResponse> Recover(const std::string& session);
+  /// Session counters, or server-wide metrics when `session` is empty.
+  Result<NetResponse> Stats(const std::string& session = "");
+
+ private:
+  int fd_ = -1;
+  std::string in_;
+  uint64_t next_request_id_ = 1;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_NET_CLIENT_H_

@@ -1,0 +1,181 @@
+#ifndef TUFFY_NET_PROTOCOL_H_
+#define TUFFY_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mln/model.h"
+#include "serve/delta_grounder.h"
+#include "serve/inference_session.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Wire protocol of the network serving front end (docs/SERVING.md,
+/// "Network front end"). Every message travels in one frame using the
+/// WAL's framing discipline (durability/wal.h):
+///
+///   [u32 crc over payload][u32 payload length][payload bytes]
+///
+/// crc/len are little-endian; the payload is a BinaryWriter encoding
+/// that starts with [u8 message tag][u64 request id]. Request ids are
+/// chosen by the client and echoed verbatim in the matching response,
+/// so a client may pipeline: several requests can be in flight on one
+/// connection, and responses to *different* sessions may return in any
+/// order. Responses to one session always return in request order (the
+/// server applies a session's requests strictly in arrival order — one
+/// in-flight job per session).
+///
+/// The wire carries numeric ids (PredicateId, ConstantId), not symbol
+/// strings: client and server must load the same program, which
+/// OpenSession can verify by sending ProgramFingerprint(program).
+
+// ----------------------------------------------------------- messages
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kOpenSession = 1,  // open (or re-attach to) a named session
+  kApplyDelta = 2,   // apply one evidence delta
+  kQueryMap = 3,     // MAP cost + true atoms of a predicate
+  kQueryMarginals = 4,
+  kCloseSession = 5,
+  kRecover = 6,  // rebuild a crashed durable session from its WAL dir
+  kStats = 7,    // per-session (name set) or server-wide (name empty)
+
+  // Responses.
+  kOpenReply = 64,
+  kDeltaReply = 65,
+  kMapReply = 66,
+  kMarginalsReply = 67,
+  kCloseReply = 68,
+  kRecoverReply = 69,
+  kStatsReply = 70,
+  kError = 71,
+};
+
+/// Error taxonomy a client can act on. kOverloaded and
+/// kResourceExhausted are *retryable*: the request was refused before
+/// touching any session state (full job queue / admission budget), so
+/// resending it later is always safe.
+enum class WireError : uint8_t {
+  kNone = 0,
+  kOverloaded = 1,         // job queue full; retry after a beat
+  kResourceExhausted = 2,  // MemTracker admission refused the session
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kInvalidArgument = 5,
+  kCorruption = 6,
+  kUnknownMessage = 7,  // unrecognized tag or malformed body
+  kInternal = 8,
+};
+
+const char* WireErrorName(WireError e);
+bool WireErrorRetryable(WireError e);
+/// Maps a serving-layer Status onto the wire taxonomy.
+WireError WireErrorFromStatus(const Status& status);
+
+/// A decoded request. One struct for all tags (the unused fields of a
+/// given tag stay empty) — the protocol is small enough that a tagged
+/// union would cost more in ceremony than it saves in bytes.
+struct NetRequest {
+  MsgType type = MsgType::kStats;
+  uint64_t request_id = 0;
+  /// Session name; empty only for server-wide kStats.
+  std::string session;
+  /// kOpenSession: expected ProgramFingerprint, 0 = don't check.
+  uint64_t program_fp = 0;
+  /// kApplyDelta payload.
+  EvidenceDelta delta;
+  /// kQueryMap / kQueryMarginals: predicate name ("" = cost only).
+  std::string predicate;
+};
+
+/// A decoded response; same one-struct convention as NetRequest.
+struct NetResponse {
+  MsgType type = MsgType::kError;
+  uint64_t request_id = 0;
+
+  // kError.
+  WireError error = WireError::kNone;
+  bool retryable = false;
+  std::string message;
+
+  // kOpenReply.
+  bool attached = false;  // name already existed; state is the live one
+  uint64_t num_atoms = 0;
+  uint64_t num_clauses = 0;
+  uint64_t num_components = 0;
+
+  // kDeltaReply.
+  bool no_op = false;
+  /// Session-wide delta sequence number (stats().deltas_applied after
+  /// this delta): strictly increasing in server application order, the
+  /// pipelined-ordering observable.
+  uint64_t seq = 0;
+  uint64_t components_dirty = 0;
+  uint64_t components_total = 0;
+  uint64_t flips = 0;
+
+  /// kOpenReply / kDeltaReply / kMapReply / kRecoverReply.
+  double map_cost = 0.0;
+
+  // kMapReply: true atoms of the requested predicate.
+  std::vector<GroundAtom> atoms;
+
+  // kMarginalsReply.
+  std::vector<std::pair<GroundAtom, double>> marginals;
+
+  // kStatsReply: flat key -> value metric pairs.
+  std::vector<std::pair<std::string, double>> stats;
+
+  // kRecoverReply.
+  RecoveryStats recovery;
+};
+
+// ------------------------------------------------------------ framing
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 crc + u32 len
+/// Default cap on a single frame's payload. A peer announcing a larger
+/// frame is a protocol violation and the connection is dropped — the
+/// length field is attacker-controlled bytes and must never size an
+/// allocation unchecked.
+constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Wraps `payload` in the [crc][len][payload] frame.
+std::string EncodeFrame(const std::string& payload);
+
+enum class FrameDecode {
+  kFrame,     // *payload filled, *consumed bytes eaten
+  kNeedMore,  // prefix of a valid frame; read more bytes
+  kBadCrc,    // checksum mismatch: close the connection
+  kTooLarge,  // announced length exceeds max_payload: close
+};
+
+/// Streaming frame decoder over a receive buffer. On kFrame, `payload`
+/// holds the verified payload and `consumed` the frame's total size;
+/// the caller erases the consumed prefix and calls again (a buffer may
+/// hold several pipelined frames).
+FrameDecode TryDecodeFrame(const char* data, size_t size, size_t max_payload,
+                           std::string* payload, size_t* consumed);
+
+// ------------------------------------------------------------- codecs
+
+/// Serializes a request/response into an (unframed) payload.
+std::string EncodeRequest(const NetRequest& req);
+std::string EncodeResponse(const NetResponse& resp);
+
+/// Parses a payload. InvalidArgument on an unknown tag or a body that
+/// does not match the tag's layout (the frame CRC already vouched for
+/// the bytes, so failure means a software mismatch, not corruption).
+Result<NetRequest> DecodeRequest(const std::string& payload);
+Result<NetResponse> DecodeResponse(const std::string& payload);
+
+/// Best-effort request id of a payload that may fail full decode, so
+/// an error response can still echo it (0 if the payload is too short).
+uint64_t PeekRequestId(const std::string& payload);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_NET_PROTOCOL_H_

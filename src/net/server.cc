@@ -1,0 +1,723 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "durability/snapshot.h"
+#include "exec/tuffy_engine.h"
+#include "util/string_util.h"
+
+namespace tuffy {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Server::Server(const MlnProgram& program, const EvidenceDb& evidence,
+               ServerOptions options)
+    : program_(program), evidence_(evidence), options_(std::move(options)) {
+  program_fp_ = ProgramFingerprint(program_);
+  // Wire sessions are named; their durable directories come from the
+  // manager's durability_root, never from a shared wal_dir.
+  options_.session.wal_dir.clear();
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " + options_.host);
+  }
+  auto fail = [&](const char* what) {
+    Status st = Status::IOError(std::string(what) + ": " +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  };
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) return fail("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  Status nb = SetNonBlocking(listen_fd_);
+  if (!nb.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return nb;
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) return fail("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  (void)SetNonBlocking(wake_read_fd_);
+  (void)SetNonBlocking(wake_write_fd_);
+
+  SessionManagerOptions mgr;
+  // Search parallelism comes from running whole jobs on distinct
+  // workers; each session's own search runs inline on its worker.
+  mgr.num_threads = 1;
+  mgr.memory_budget_bytes = options_.memory_budget_bytes;
+  mgr.durability_root = options_.durability_root;
+  mgr.snapshot_every = options_.snapshot_every;
+  mgr.wal_fsync = options_.wal_fsync;
+  manager_ = std::make_unique<SessionManager>(mgr);
+  workers_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(options_.num_workers > 0 ? options_.num_workers
+                                                   : 1));
+
+  stop_ = false;
+  started_ = true;
+  loop_thread_ = std::thread(&Server::Loop, this);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  stop_ = true;
+  Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // In-flight jobs still reference the manager; let them finish. Their
+  // completions land in completions_ and are simply dropped.
+  workers_->WaitIdle();
+  workers_.reset();
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completions_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  started_ = false;
+}
+
+void Server::Wake() {
+  if (wake_write_fd_ < 0) return;
+  char byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  ssize_t ignored = ::write(wake_write_fd_, &byte, 1);
+  (void)ignored;
+}
+
+// ---------------------------------------------------------- event loop
+
+void Server::Loop() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> conn_of_pfd;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    conn_of_pfd.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    conn_of_pfd.push_back(0);
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    conn_of_pfd.push_back(0);
+    for (const auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      pfds.push_back({conn.fd, events, 0});
+      conn_of_pfd.push_back(id);
+    }
+
+    int rc = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (pfds[1].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    // Completions may exist even without a wake byte (pipe full), so
+    // drain unconditionally.
+    DrainCompletions();
+
+    if (pfds[0].revents & POLLIN) AcceptReady();
+
+    std::vector<uint64_t> to_close;
+    for (size_t i = 2; i < pfds.size(); ++i) {
+      const uint64_t id = conn_of_pfd[i];
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+        to_close.push_back(id);
+        continue;
+      }
+      if ((pfds[i].revents & POLLIN) && !ReadReady(id, &it->second)) {
+        to_close.push_back(id);
+        continue;
+      }
+      // POLLHUP with readable data still delivers POLLIN first; a bare
+      // hangup with nothing to read is a close.
+      if ((pfds[i].revents & POLLHUP) && !(pfds[i].revents & POLLIN)) {
+        to_close.push_back(id);
+        continue;
+      }
+      if ((pfds[i].revents & POLLOUT) && !WriteReady(&it->second)) {
+        to_close.push_back(id);
+      }
+    }
+    for (uint64_t id : to_close) CloseConnection(id);
+  }
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.connections_open = 0;
+  }
+  conns_.clear();
+}
+
+void Server::AcceptReady() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN or transient error; poll again
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    // Small pipelined frames must not sit out a Nagle window.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    conns_.emplace(next_conn_id_++, std::move(conn));
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.connections_accepted;
+    ++counters_.connections_open;
+  }
+}
+
+bool Server::ReadReady(uint64_t conn_id, Connection* conn) {
+  char buf[65536];
+  bool alive = true;
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.bytes_in += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      // Orderly shutdown. Frames already buffered still execute — a
+      // client may legitimately fire a request and hang up without
+      // waiting; only its reply is lost, never the request.
+      alive = false;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    alive = false;
+    break;
+  }
+
+  size_t off = 0;
+  while (true) {
+    std::string payload;
+    size_t consumed = 0;
+    FrameDecode fd = TryDecodeFrame(conn->in.data() + off,
+                                    conn->in.size() - off,
+                                    options_.max_frame_bytes, &payload,
+                                    &consumed);
+    if (fd == FrameDecode::kFrame) {
+      off += consumed;
+      HandlePayload(conn_id, payload);
+      continue;
+    }
+    if (fd == FrameDecode::kNeedMore) break;
+    // kBadCrc / kTooLarge: the stream is garbage or hostile from here
+    // on — there is no way to resynchronize a length-prefixed stream —
+    // so the connection dies. Sessions are unaffected.
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.protocol_errors;
+    return false;
+  }
+  conn->in.erase(0, off);
+  return alive;
+}
+
+bool Server::WriteReady(Connection* conn) {
+  while (!conn->out.empty()) {
+    ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out.erase(0, static_cast<size_t>(n));
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.bytes_out += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  conns_.erase(it);
+  // Jobs in flight for this connection keep running; their responses
+  // are dropped at completion drain. The session itself lives on in
+  // the manager — that is the re-attach guarantee.
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  --counters_.connections_open;
+}
+
+// ------------------------------------------------------------- routing
+
+void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.requests;
+  }
+  auto decoded = DecodeRequest(payload);
+  if (!decoded.ok()) {
+    SendError(conn_id, PeekRequestId(payload), WireError::kUnknownMessage,
+              decoded.status().ToString());
+    return;
+  }
+  NetRequest req = decoded.TakeValue();
+
+  // Server-wide stats answer inline on the loop thread: always cheap,
+  // and observable even while the job queue is saturated.
+  if (req.type == MsgType::kStats && req.session.empty()) {
+    NetResponse resp = ServerStatsResponse(req.request_id);
+    SendToConnection(conn_id, EncodeFrame(EncodeResponse(resp)));
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.responses;
+    return;
+  }
+  if (req.session.empty()) {
+    SendError(conn_id, req.request_id, WireError::kInvalidArgument,
+              "request needs a session name");
+    return;
+  }
+
+  // Admission: shed instead of queueing past the bound. The event loop
+  // must never block behind session work.
+  if (jobs_pending_ >= options_.max_queue) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++counters_.overloaded;
+    }
+    SendError(conn_id, req.request_id, WireError::kOverloaded,
+              "job queue full");
+    return;
+  }
+
+  Job job;
+  job.conn_id = conn_id;
+  job.request = std::move(req);
+  job.enqueued_at = MonotonicSeconds();
+  ++jobs_pending_;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.queue_depth = jobs_pending_;
+    if (jobs_pending_ > counters_.queue_peak) {
+      counters_.queue_peak = jobs_pending_;
+    }
+  }
+  Lane& lane = lanes_[job.request.session];
+  if (lane.running) {
+    // The session already has a job in flight: FIFO behind it. This is
+    // what makes pipelined deltas apply in send order.
+    lane.waiting.push_back(std::move(job));
+    return;
+  }
+  lane.running = true;
+  workers_->Submit([this, job = std::move(job)]() {
+    NetResponse resp = Execute(job.request);
+    resp.request_id = job.request.request_id;
+    Completion done;
+    done.conn_id = job.conn_id;
+    done.lane = job.request.session;
+    done.is_delta = job.request.type == MsgType::kApplyDelta;
+    done.is_error = resp.type == MsgType::kError;
+    done.latency_seconds = MonotonicSeconds() - job.enqueued_at;
+    done.frame = EncodeFrame(EncodeResponse(resp));
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      if (done.is_error) ++counters_.errors_sent;
+      if (done.is_delta && !done.is_error) {
+        ++counters_.deltas_applied;
+        delta_latency_.Record(done.latency_seconds);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.push_back(std::move(done));
+    }
+    Wake();
+  });
+}
+
+void Server::PumpLane(const std::string& lane_name) {
+  auto it = lanes_.find(lane_name);
+  if (it == lanes_.end() || it->second.running) return;
+  if (it->second.waiting.empty()) {
+    lanes_.erase(it);
+    return;
+  }
+  Job job = std::move(it->second.waiting.front());
+  it->second.waiting.pop_front();
+  it->second.running = true;
+  workers_->Submit([this, job = std::move(job)]() {
+    NetResponse resp = Execute(job.request);
+    resp.request_id = job.request.request_id;
+    Completion done;
+    done.conn_id = job.conn_id;
+    done.lane = job.request.session;
+    done.is_delta = job.request.type == MsgType::kApplyDelta;
+    done.is_error = resp.type == MsgType::kError;
+    done.latency_seconds = MonotonicSeconds() - job.enqueued_at;
+    done.frame = EncodeFrame(EncodeResponse(resp));
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      if (done.is_error) ++counters_.errors_sent;
+      if (done.is_delta && !done.is_error) {
+        ++counters_.deltas_applied;
+        delta_latency_.Record(done.latency_seconds);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.push_back(std::move(done));
+    }
+    Wake();
+  });
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    --jobs_pending_;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.queue_depth = jobs_pending_;
+      ++counters_.responses;
+    }
+    auto lane = lanes_.find(c.lane);
+    if (lane != lanes_.end()) {
+      lane->second.running = false;
+      PumpLane(c.lane);
+    }
+    SendToConnection(c.conn_id, c.frame);
+  }
+}
+
+void Server::SendToConnection(uint64_t conn_id, const std::string& frame) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // client left; drop the response
+  Connection& conn = it->second;
+  const bool was_empty = conn.out.empty();
+  conn.out.append(frame);
+  // Eager flush: skip one poll round trip when the socket has room. A
+  // write failure is NOT handled here — this runs inside ReadReady's
+  // decode loop, which still holds a pointer into the connection, so
+  // erasing it now would be a use-after-free. The dead socket reports
+  // POLLERR on the next poll and is reaped there.
+  if (was_empty) (void)WriteReady(&conn);
+}
+
+void Server::SendError(uint64_t conn_id, uint64_t request_id, WireError error,
+                       std::string message) {
+  NetResponse resp;
+  resp.type = MsgType::kError;
+  resp.request_id = request_id;
+  resp.error = error;
+  resp.retryable = WireErrorRetryable(error);
+  resp.message = std::move(message);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.errors_sent;
+    ++counters_.responses;
+  }
+  SendToConnection(conn_id, EncodeFrame(EncodeResponse(resp)));
+}
+
+// --------------------------------------------------------- job bodies
+
+NetResponse Server::Execute(const NetRequest& request) {
+  NetResponse resp;
+  resp.request_id = request.request_id;
+  auto error_from = [&](const Status& status) {
+    resp.type = MsgType::kError;
+    resp.error = WireErrorFromStatus(status);
+    resp.retryable = WireErrorRetryable(resp.error);
+    resp.message = status.ToString();
+  };
+
+  switch (request.type) {
+    case MsgType::kOpenSession: {
+      if (request.program_fp != 0 && request.program_fp != program_fp_) {
+        resp.type = MsgType::kError;
+        resp.error = WireError::kInvalidArgument;
+        resp.message = StrFormat(
+            "program fingerprint mismatch: client %llx, server %llx — "
+            "the wire carries numeric ids, so both ends must load the "
+            "same program",
+            (unsigned long long)request.program_fp,
+            (unsigned long long)program_fp_);
+        break;
+      }
+      InferenceSession* session = nullptr;
+      auto existing = manager_->Get(request.session);
+      if (existing.ok()) {
+        // Re-attach: the session survived its previous client.
+        session = existing.value();
+        resp.attached = true;
+      } else {
+        auto opened = manager_->Open(request.session, program_, evidence_,
+                                     options_.session);
+        if (!opened.ok()) {
+          error_from(opened.status());
+          break;
+        }
+        session = opened.value();
+      }
+      resp.type = MsgType::kOpenReply;
+      resp.num_atoms = session->atoms().num_atoms();
+      resp.num_clauses = session->clauses().size();
+      resp.num_components = session->num_components();
+      resp.map_cost = session->map_cost();
+      break;
+    }
+    case MsgType::kApplyDelta: {
+      auto r = manager_->ApplyDelta(request.session, request.delta);
+      if (!r.ok()) {
+        error_from(r.status());
+        break;
+      }
+      const DeltaApplyResult& d = r.value();
+      resp.type = MsgType::kDeltaReply;
+      resp.no_op = d.edits.no_op;
+      resp.seq = d.seq;
+      resp.components_dirty = d.components_dirty;
+      resp.components_total = d.components_total;
+      resp.flips = d.flips;
+      resp.map_cost = d.map_cost;
+      break;
+    }
+    case MsgType::kQueryMap: {
+      auto session = manager_->Get(request.session);
+      if (!session.ok()) {
+        error_from(session.status());
+        break;
+      }
+      resp.type = MsgType::kMapReply;
+      resp.map_cost = session.value()->map_cost();
+      if (!request.predicate.empty()) {
+        auto atoms = ExtractTrueAtoms(program_, session.value()->atoms(),
+                                      session.value()->truth(),
+                                      request.predicate);
+        if (!atoms.ok()) {
+          error_from(atoms.status());
+          break;
+        }
+        resp.atoms = atoms.TakeValue();
+      }
+      break;
+    }
+    case MsgType::kQueryMarginals: {
+      auto session = manager_->Get(request.session);
+      if (!session.ok()) {
+        error_from(session.status());
+        break;
+      }
+      const std::vector<double>& marginals = session.value()->marginals();
+      if (marginals.empty()) {
+        error_from(Status::InvalidArgument(
+            "session does not track marginals (server opened it without "
+            "track_marginals)"));
+        break;
+      }
+      PredicateId pid = kInvalidPredicate;
+      if (!request.predicate.empty()) {
+        auto found = program_.FindPredicate(request.predicate);
+        if (!found.ok()) {
+          error_from(found.status());
+          break;
+        }
+        pid = found.value();
+      }
+      resp.type = MsgType::kMarginalsReply;
+      const AtomStore& atoms = session.value()->atoms();
+      for (AtomId a = 0; a < atoms.num_atoms() && a < marginals.size();
+           ++a) {
+        if (pid != kInvalidPredicate && atoms.atom(a).pred != pid) continue;
+        resp.marginals.emplace_back(atoms.atom(a), marginals[a]);
+      }
+      break;
+    }
+    case MsgType::kCloseSession: {
+      Status closed = manager_->Close(request.session);
+      if (!closed.ok()) {
+        error_from(closed);
+        break;
+      }
+      resp.type = MsgType::kCloseReply;
+      break;
+    }
+    case MsgType::kRecover: {
+      RecoveryStats stats;
+      auto recovered = manager_->Recover(request.session, program_,
+                                         options_.session, &stats);
+      if (!recovered.ok()) {
+        error_from(recovered.status());
+        break;
+      }
+      resp.type = MsgType::kRecoverReply;
+      resp.recovery = stats;
+      resp.map_cost = recovered.value()->map_cost();
+      break;
+    }
+    case MsgType::kStats: {
+      auto snap = manager_->Stats(request.session);
+      if (!snap.ok()) {
+        error_from(snap.status());
+        break;
+      }
+      const SessionStatsSnapshot& s = snap.value();
+      resp.type = MsgType::kStatsReply;
+      resp.stats = {
+          {"deltas_applied", static_cast<double>(s.stats.deltas_applied)},
+          {"no_op_deltas", static_cast<double>(s.stats.no_op_deltas)},
+          {"components_researched",
+           static_cast<double>(s.stats.components_researched)},
+          {"flips", static_cast<double>(s.stats.flips)},
+          {"arena_rebuilds", static_cast<double>(s.stats.arena_rebuilds)},
+          {"resident_bytes", static_cast<double>(s.charged_bytes)},
+          {"num_atoms", static_cast<double>(s.num_atoms)},
+          {"num_clauses", static_cast<double>(s.num_clauses)},
+          {"num_components", static_cast<double>(s.num_components)},
+          {"map_cost", s.map_cost},
+      };
+      break;
+    }
+    default: {
+      resp.type = MsgType::kError;
+      resp.error = WireError::kUnknownMessage;
+      resp.message = "unhandled request tag";
+      break;
+    }
+  }
+  return resp;
+}
+
+NetResponse Server::ServerStatsResponse(uint64_t request_id) {
+  NetResponse resp;
+  resp.type = MsgType::kStatsReply;
+  resp.request_id = request_id;
+  ServerMetrics m = metrics();
+  resp.stats = {
+      {"connections_accepted", static_cast<double>(m.connections_accepted)},
+      {"connections_open", static_cast<double>(m.connections_open)},
+      {"bytes_in", static_cast<double>(m.bytes_in)},
+      {"bytes_out", static_cast<double>(m.bytes_out)},
+      {"requests", static_cast<double>(m.requests)},
+      {"responses", static_cast<double>(m.responses)},
+      {"errors_sent", static_cast<double>(m.errors_sent)},
+      {"overloaded", static_cast<double>(m.overloaded)},
+      {"protocol_errors", static_cast<double>(m.protocol_errors)},
+      {"deltas_applied", static_cast<double>(m.deltas_applied)},
+      {"queue_depth", static_cast<double>(m.queue_depth)},
+      {"queue_peak", static_cast<double>(m.queue_peak)},
+      {"sessions_open", static_cast<double>(m.sessions_open)},
+      {"delta_p50_ms", m.delta_p50_ms},
+      {"delta_p99_ms", m.delta_p99_ms},
+      {"delta_mean_ms", m.delta_mean_ms},
+  };
+  return resp;
+}
+
+ServerMetrics Server::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ServerMetrics m = counters_;
+  m.sessions_open = manager_ ? manager_->num_sessions() : 0;
+  m.delta_p50_ms = delta_latency_.Percentile(0.50) * 1e3;
+  m.delta_p99_ms = delta_latency_.Percentile(0.99) * 1e3;
+  m.delta_mean_ms = delta_latency_.mean_seconds() * 1e3;
+  return m;
+}
+
+std::string Server::MetricsReport() const {
+  ServerMetrics m = metrics();
+  std::string out = "== net serving metrics ==\n";
+  out += StrFormat(
+      "connections: %llu accepted, %llu open\n",
+      (unsigned long long)m.connections_accepted,
+      (unsigned long long)m.connections_open);
+  out += StrFormat("bytes: %llu in, %llu out\n",
+                   (unsigned long long)m.bytes_in,
+                   (unsigned long long)m.bytes_out);
+  out += StrFormat(
+      "requests: %llu in, %llu responses (%llu errors, %llu overloaded, "
+      "%llu protocol errors)\n",
+      (unsigned long long)m.requests, (unsigned long long)m.responses,
+      (unsigned long long)m.errors_sent, (unsigned long long)m.overloaded,
+      (unsigned long long)m.protocol_errors);
+  out += StrFormat("job queue: depth %zu, peak %zu\n", m.queue_depth,
+                   m.queue_peak);
+  out += StrFormat("sessions open: %llu\n",
+                   (unsigned long long)m.sessions_open);
+  out += StrFormat(
+      "deltas: %llu applied, latency p50 %.3f ms, p99 %.3f ms, "
+      "mean %.3f ms\n",
+      (unsigned long long)m.deltas_applied, m.delta_p50_ms, m.delta_p99_ms,
+      m.delta_mean_ms);
+  return out;
+}
+
+}  // namespace tuffy

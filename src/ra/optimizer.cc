@@ -307,9 +307,10 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
 
   // Anti-joins above the projection: evidence-satisfaction pruning
   // (probe columns are output columns). The packed-key batch variant
-  // handles at most two distinct probe columns over a narrow build side;
-  // a wider ref keeps the whole query on the Volcano operators so both
-  // translations prune identically.
+  // handles up to four distinct probe columns over a narrow build side
+  // (one or two pack into a single uint64, three or four into a 128-bit
+  // two-word key); a wider ref keeps the whole query on the Volcano
+  // operators so both translations prune identically.
   for (const AntiJoinRef& aj : query.anti_joins) {
     if (aj.build == nullptr) {
       return Status::InvalidArgument("anti-join ref has no build relation");
@@ -322,7 +323,7 @@ Result<OptimizedPlan> Optimizer::Plan(ConjunctiveQuery query) const {
       for (int p : distinct_probe) seen = seen || p == term.probe_col;
       if (!seen) distinct_probe.push_back(term.probe_col);
     }
-    if (distinct_probe.size() > 2) vec_ok = false;
+    if (distinct_probe.size() > 4) vec_ok = false;
     explain += StrFormat("AntiJoin %s (build_rows=%zu)\n", aj.label.c_str(),
                          aj.build->num_rows());
     root = std::make_unique<AntiJoinOp>(std::move(root), aj);

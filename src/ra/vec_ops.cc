@@ -354,28 +354,77 @@ void VecCrossJoinOp::Close() {
 
 // ------------------------------------------------------------ VecAntiJoin
 
+namespace {
+
+/// Packs up to four narrow (31-bit) values into a 128-bit key as two
+/// words. The layout is fixed per operator by the key-column count, so
+/// distinct tuples never collide: one column uses the value verbatim
+/// (64-bit safe), two or more pack each value into a 32-bit half.
+inline void Pack128(const int64_t* v, size_t n, uint64_t* lo, uint64_t* hi) {
+  switch (n) {
+    case 1:
+      *lo = static_cast<uint64_t>(v[0]);
+      *hi = 0;
+      break;
+    case 2:
+      *lo = (static_cast<uint64_t>(static_cast<uint32_t>(v[0])) << 32) |
+            static_cast<uint32_t>(v[1]);
+      *hi = 0;
+      break;
+    case 3:
+      *lo = (static_cast<uint64_t>(static_cast<uint32_t>(v[0])) << 32) |
+            static_cast<uint32_t>(v[1]);
+      *hi = static_cast<uint32_t>(v[2]);
+      break;
+    default:
+      *lo = (static_cast<uint64_t>(static_cast<uint32_t>(v[0])) << 32) |
+            static_cast<uint32_t>(v[1]);
+      *hi = (static_cast<uint64_t>(static_cast<uint32_t>(v[2])) << 32) |
+            static_cast<uint32_t>(v[3]);
+      break;
+  }
+}
+
+}  // namespace
+
 VecAntiJoinOp::VecAntiJoinOp(VecOpPtr child, AntiJoinRef ref)
     : child_(std::move(child)), ref_(std::move(ref)) {
   CompileAntiJoinKeys(ref_, &const_checks_, &dup_checks_, &key_build_cols_,
                       &key_probe_cols_);
+  wide_ = key_build_cols_.size() > 2;
 }
 
-uint64_t VecAntiJoinOp::PackProbeKey(const ColumnChunk& chunk,
-                                     uint32_t row) const {
-  if (key_probe_cols_.size() == 1) {
-    return static_cast<uint64_t>(chunk.col(key_probe_cols_[0])[row]);
+void VecAntiJoinOp::PackProbeKey(const ColumnChunk& chunk, uint32_t row,
+                                 uint64_t* lo, uint64_t* hi) const {
+  int64_t v[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < key_probe_cols_.size(); ++i) {
+    v[i] = chunk.col(key_probe_cols_[i])[row];
   }
-  return (static_cast<uint64_t>(
-              static_cast<uint32_t>(chunk.col(key_probe_cols_[0])[row]))
-          << 32) |
-         static_cast<uint32_t>(chunk.col(key_probe_cols_[1])[row]);
+  Pack128(v, key_probe_cols_.size(), lo, hi);
 }
 
-bool VecAntiJoinOp::Contains(uint64_t key) const {
+void VecAntiJoinOp::PackBuildKey(const IdTable& build, size_t row,
+                                 uint64_t* lo, uint64_t* hi) const {
+  int64_t v[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < key_build_cols_.size(); ++i) {
+    v[i] = build.col(key_build_cols_[i])[row];
+  }
+  Pack128(v, key_build_cols_.size(), lo, hi);
+}
+
+uint64_t VecAntiJoinOp::HashSlot(uint64_t lo, uint64_t hi) const {
+  // The narrow (<= 2 column) path hashes the single word exactly as it
+  // always did; the wide path folds the second word in first.
+  return wide_ ? HashKey(lo ^ SplitMix64(hi)) : HashKey(lo);
+}
+
+bool VecAntiJoinOp::Contains(uint64_t lo, uint64_t hi) const {
   if (build_keys_ == 0) return false;
-  size_t slot = HashKey(key) & slot_mask_;
+  size_t slot = HashSlot(lo, hi) & slot_mask_;
   while (slot_used_[slot] != 0) {
-    if (slot_key_[slot] == key) return true;
+    if (slot_key_[slot] == lo && (!wide_ || slot_key_hi_[slot] == hi)) {
+      return true;
+    }
     slot = (slot + 1) & slot_mask_;
   }
   return false;
@@ -391,6 +440,7 @@ Status VecAntiJoinOp::Open() {
   const IdTable& build = *ref_.build;
   const size_t cap = NextPow2(build.num_rows() * 2);
   slot_key_.assign(cap, 0);
+  if (wide_) slot_key_hi_.assign(cap, 0);
   slot_used_.assign(cap, 0);
   slot_mask_ = cap - 1;
   for (size_t r = 0; r < build.num_rows(); ++r) {
@@ -403,22 +453,17 @@ Status VecAntiJoinOp::Open() {
       match_all_ = true;
       break;
     }
-    uint64_t key;
-    if (key_build_cols_.size() == 1) {
-      key = static_cast<uint64_t>(build.col(key_build_cols_[0])[r]);
-    } else {
-      key = (static_cast<uint64_t>(
-                 static_cast<uint32_t>(build.col(key_build_cols_[0])[r]))
-             << 32) |
-            static_cast<uint32_t>(build.col(key_build_cols_[1])[r]);
-    }
-    size_t slot = HashKey(key) & slot_mask_;
-    while (slot_used_[slot] != 0 && slot_key_[slot] != key) {
+    uint64_t lo, hi;
+    PackBuildKey(build, r, &lo, &hi);
+    size_t slot = HashSlot(lo, hi) & slot_mask_;
+    while (slot_used_[slot] != 0 &&
+           !(slot_key_[slot] == lo && (!wide_ || slot_key_hi_[slot] == hi))) {
       slot = (slot + 1) & slot_mask_;
     }
     if (slot_used_[slot] == 0) {
       slot_used_[slot] = 1;
-      slot_key_[slot] = key;
+      slot_key_[slot] = lo;
+      if (wide_) slot_key_hi_[slot] = hi;
       ++build_keys_;
     }
   }
@@ -449,7 +494,9 @@ Result<bool> VecAntiJoinOp::NextChunk(ColumnChunk* out) {
     }
     sel_.clear();
     for (uint32_t r = 0; r < scratch_.num_rows; ++r) {
-      if (!Contains(PackProbeKey(scratch_, r))) sel_.push_back(r);
+      uint64_t lo, hi;
+      PackProbeKey(scratch_, r, &lo, &hi);
+      if (!Contains(lo, hi)) sel_.push_back(r);
     }
     if (sel_.empty()) continue;
     out->Reset(scratch_.num_cols());
@@ -469,6 +516,7 @@ Result<bool> VecAntiJoinOp::NextChunk(ColumnChunk* out) {
 void VecAntiJoinOp::Close() {
   child_->Close();
   slot_key_.clear();
+  slot_key_hi_.clear();
   slot_used_.clear();
   build_keys_ = 0;
 }

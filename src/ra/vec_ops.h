@@ -274,12 +274,15 @@ class VecCrossJoinOp final : public VecOp {
 };
 
 /// Batch hash anti-join against an evidence side table — the vectorized
-/// twin of AntiJoinOp, restricted to <= 2 distinct probe columns so the
-/// build keys pack into one uint64 indexed by the same open-addressing
-/// layout as VecHashJoinOp (key set only: no chains, a slot is just
-/// occupied or not). Child rows whose packed probe key is present are
-/// dropped; surviving rows keep their order, so the plan stays
-/// bit-compatible with the Volcano translation.
+/// twin of AntiJoinOp, restricted to <= 4 distinct probe columns. Narrow
+/// build sides guarantee 31-bit values, so one or two key columns pack
+/// into a single uint64 (the original fast path, untouched); three or
+/// four pack into a 128-bit key held as two words in parallel slot
+/// arrays. Both layouts index the same open-addressing set as
+/// VecHashJoinOp (key set only: no chains, a slot is just occupied or
+/// not). Child rows whose packed probe key is present are dropped;
+/// surviving rows keep their order, so the plan stays bit-compatible
+/// with the Volcano translation.
 class VecAntiJoinOp final : public VecOp {
  public:
   VecAntiJoinOp(VecOpPtr child, AntiJoinRef ref);
@@ -299,8 +302,12 @@ class VecAntiJoinOp final : public VecOp {
   }
 
  private:
-  uint64_t PackProbeKey(const ColumnChunk& chunk, uint32_t row) const;
-  bool Contains(uint64_t key) const;
+  void PackProbeKey(const ColumnChunk& chunk, uint32_t row, uint64_t* lo,
+                    uint64_t* hi) const;
+  void PackBuildKey(const IdTable& build, size_t row, uint64_t* lo,
+                    uint64_t* hi) const;
+  uint64_t HashSlot(uint64_t lo, uint64_t hi) const;
+  bool Contains(uint64_t lo, uint64_t hi) const;
 
   VecOpPtr child_;
   AntiJoinRef ref_;
@@ -308,8 +315,13 @@ class VecAntiJoinOp final : public VecOp {
   std::vector<std::pair<int, int>> dup_checks_;
   std::vector<int> key_build_cols_;
   std::vector<int> key_probe_cols_;
+  /// More than two key columns: keys are 128-bit, slot_key_hi_ holds the
+  /// second word. One or two columns keep the original single-word path
+  /// (slot_key_hi_ stays empty).
+  bool wide_ = false;
 
   std::vector<uint64_t> slot_key_;
+  std::vector<uint64_t> slot_key_hi_;
   std::vector<uint8_t> slot_used_;
   uint64_t slot_mask_ = 0;
   size_t build_keys_ = 0;

@@ -255,6 +255,7 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
   TUFFY_ASSIGN_OR_RETURN(GroundEdits edits, grounder_.ApplyDelta(delta));
   ++stats_.deltas_applied;
   DeltaApplyResult result;
+  result.seq = stats_.deltas_applied;
   result.edits = std::move(edits);
   if (result.edits.no_op) {
     // Cached result, verbatim: no component scan, no arena touch.

@@ -63,6 +63,11 @@ Status ValidateSessionOptions(const SessionOptions& options);
 /// Outcome of one InferenceSession::ApplyDelta call.
 struct DeltaApplyResult {
   GroundEdits edits;
+  /// Session-wide delta sequence number: stats().deltas_applied after
+  /// this delta, so it is strictly increasing in application order.
+  /// The network front end echoes it to clients — a pipelining client
+  /// can verify the server applied its deltas in send order.
+  uint64_t seq = 0;
   size_t components_total = 0;
   size_t components_dirty = 0;
   uint64_t flips = 0;

@@ -90,13 +90,16 @@ RowsInt MaterializeVec(VecOp* root) {
 
 /// Plans a one-table query with `ref` attached and checks that (a) both
 /// executors agree row for row, and (b) the surviving set is exactly the
-/// brute-force anti-join semantics.
-void ExpectAntiJoinAgrees(const Table& probe, AntiJoinRef ref) {
+/// brute-force anti-join semantics. `num_cols` is the probe table's
+/// column count (all columns become outputs).
+void ExpectAntiJoinAgrees(const Table& probe, AntiJoinRef ref,
+                          size_t num_cols = 2) {
   auto make_query = [&] {
     ConjunctiveQuery q;
     q.tables.push_back(TableRef{&probe, nullptr, "t", 1.0});
-    q.outputs.push_back(OutputCol{0, 0, "a"});
-    q.outputs.push_back(OutputCol{0, 1, "b"});
+    for (size_t c = 0; c < num_cols; ++c) {
+      q.outputs.push_back(OutputCol{0, static_cast<int>(c), "x"});
+    }
     q.anti_joins.push_back(ref);
     return q;
   };
@@ -111,7 +114,8 @@ void ExpectAntiJoinAgrees(const Table& probe, AntiJoinRef ref) {
   // Brute force: drop a probe row iff some build row matches every term.
   RowsInt expect;
   for (const Row& r : probe.rows()) {
-    std::vector<int64_t> vals{r[0].int64(), r[1].int64()};
+    std::vector<int64_t> vals;
+    for (size_t c = 0; c < num_cols; ++c) vals.push_back(r[c].int64());
     bool matched = false;
     for (size_t b = 0; b < ref.build->num_rows() && !matched; ++b) {
       bool all = true;
@@ -186,33 +190,100 @@ TEST(AntiJoinOpTest, GroundLiteralMatchAllPrunesEverything) {
   ExpectAntiJoinAgrees(probe, miss);
 }
 
-TEST(AntiJoinOpTest, WideKeyFallsBackToVolcano) {
-  Table probe("w", Schema({{"a", ColumnType::kInt64},
-                           {"b", ColumnType::kInt64},
-                           {"c", ColumnType::kInt64}}));
-  for (int i = 0; i < 30; ++i) {
-    probe.Append({Datum(int64_t{i % 3}), Datum(int64_t{i % 4}),
-                  Datum(int64_t{i % 5})});
+/// An N-column probe table with values in [0, mod).
+Table MakeWideProbe(int num_cols, int num_rows, int mod, uint64_t seed) {
+  std::vector<Column> cols;
+  for (int c = 0; c < num_cols; ++c) {
+    cols.push_back(Column{std::string(1, static_cast<char>('a' + c)),
+                          ColumnType::kInt64});
   }
-  probe.Analyze();
-  IdTable build = MakeBuildTable(3, {{0, 1, 2}});
-  ConjunctiveQuery q;
-  q.tables.push_back(TableRef{&probe, nullptr, "w", 1.0});
-  for (int c = 0; c < 3; ++c) q.outputs.push_back(OutputCol{0, c, "x"});
+  Table t("w", Schema(cols));
+  Rng rng(seed);
+  for (int i = 0; i < num_rows; ++i) {
+    Row row;
+    for (int c = 0; c < num_cols; ++c) {
+      row.push_back(Datum(static_cast<int64_t>(rng.Uniform(mod))));
+    }
+    t.Append(row);
+  }
+  t.Analyze();
+  return t;
+}
+
+TEST(AntiJoinOpTest, TripleKeyPacksInto128Bits) {
+  Table probe = MakeWideProbe(3, 500, 4, 7);
+  RowsInt rows;
+  for (int a = 0; a < 4; ++a) rows.push_back({a, (a + 1) % 4, (a + 2) % 4});
+  IdTable build = MakeBuildTable(3, rows);
   AntiJoinRef ref;
   ref.build = &build;
   for (int c = 0; c < 3; ++c) ref.terms.push_back(AntiJoinTerm{c, 0});
+  ref.label = "triple";
+  ExpectAntiJoinAgrees(probe, ref, 3);
+}
+
+TEST(AntiJoinOpTest, QuadKeyPacksInto128Bits) {
+  Table probe = MakeWideProbe(4, 600, 3, 8);
+  RowsInt rows;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) rows.push_back({a, b, (a + b) % 3, a});
+  }
+  IdTable build = MakeBuildTable(4, rows);
+  AntiJoinRef ref;
+  ref.build = &build;
+  for (int c = 0; c < 4; ++c) ref.terms.push_back(AntiJoinTerm{c, 0});
+  ref.label = "quad";
+  ExpectAntiJoinAgrees(probe, ref, 4);
+}
+
+TEST(AntiJoinOpTest, QuadKeyWithConstantAndWideValues) {
+  // Four probe columns plus a constant term, with values near the top of
+  // the narrow range: the 32-bit halves must not collide or truncate.
+  const int64_t big = (int64_t{1} << 31) - 3;
+  Table probe = MakeWideProbe(4, 64, 2, 9);
+  // Rewrite column c so some rows carry `big`-scale values.
+  Table shifted("w", Schema({{"a", ColumnType::kInt64},
+                             {"b", ColumnType::kInt64},
+                             {"c", ColumnType::kInt64},
+                             {"d", ColumnType::kInt64}}));
+  for (const Row& r : probe.rows()) {
+    shifted.Append({Datum(r[0].int64() == 0 ? int64_t{0} : big),
+                    Datum(r[1].int64()), Datum(r[2].int64() + big - 1),
+                    Datum(r[3].int64())});
+  }
+  shifted.Analyze();
+  IdTable build = MakeBuildTable(5, {{1, big, 0, big - 1, 1},
+                                     {1, 0, 1, big, 0}});
+  AntiJoinRef ref;
+  ref.build = &build;
+  ref.terms.push_back(AntiJoinTerm{-1, 1});  // constant column
+  for (int c = 0; c < 4; ++c) ref.terms.push_back(AntiJoinTerm{c, 0});
+  ref.label = "quad_const";
+  ExpectAntiJoinAgrees(shifted, ref, 4);
+}
+
+TEST(AntiJoinOpTest, FiveKeyFallsBackToVolcano) {
+  Table probe = MakeWideProbe(5, 30, 3, 10);
+  RowsInt rows = {{0, 1, 2, 0, 1}};
+  IdTable build = MakeBuildTable(5, rows);
+  ConjunctiveQuery q;
+  q.tables.push_back(TableRef{&probe, nullptr, "w", 1.0});
+  for (int c = 0; c < 5; ++c) q.outputs.push_back(OutputCol{0, c, "x"});
+  AntiJoinRef ref;
+  ref.build = &build;
+  for (int c = 0; c < 5; ++c) ref.terms.push_back(AntiJoinTerm{c, 0});
   ref.label = "wide";
   q.anti_joins.push_back(std::move(ref));
   auto plan = Optimizer(OptimizerOptions{}).Plan(std::move(q));
   ASSERT_TRUE(plan.ok());
-  // Three distinct probe columns exceed the packed-key layout: the whole
-  // query stays on the Volcano operators so both translations would
-  // prune identically.
+  // Five distinct probe columns exceed even the 128-bit packed-key
+  // layout: the whole query stays on the Volcano operators so both
+  // translations would prune identically.
   EXPECT_FALSE(plan.value().vectorized());
-  RowsInt rows = MaterializeVolcano(plan.value().root.get());
-  for (const auto& r : rows) {
-    EXPECT_FALSE(r[0] == 0 && r[1] == 1 && r[2] == 2);
+  RowsInt rows_out = MaterializeVolcano(plan.value().root.get());
+  for (const auto& r : rows_out) {
+    EXPECT_FALSE(r[0] == 0 && r[1] == 1 && r[2] == 2 && r[3] == 0 &&
+                 r[4] == 1);
   }
 }
 

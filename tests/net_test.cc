@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/snapshot.h"
+#include "mln/parser.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "util/histogram.h"
+
+namespace tuffy {
+namespace {
+
+std::string MakeTempDir(const std::string& tag) {
+  std::string templ = ::testing::TempDir() + "net_" + tag + "_XXXXXX";
+  EXPECT_NE(::mkdtemp(templ.data()), nullptr);
+  return templ;
+}
+
+MlnProgram LinkProgram() {
+  auto r = ParseProgram(
+      "*link(node, node)\n"
+      "label(node, cls)\n"
+      "2 link(x, y), label(x, c) => label(y, c)\n");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  MlnProgram program = r.TakeValue();
+  program.symbols().Intern("A", "cls");
+  program.symbols().Intern("B", "cls");
+  for (int i = 0; i < 6; ++i) {
+    program.symbols().Intern("n" + std::to_string(i), "node");
+  }
+  return program;
+}
+
+GroundAtom Atom(const MlnProgram& program, const std::string& pred,
+                const std::vector<std::string>& args) {
+  GroundAtom atom;
+  auto pid = program.FindPredicate(pred);
+  EXPECT_TRUE(pid.ok());
+  atom.pred = pid.value();
+  for (const std::string& a : args) {
+    ConstantId c = program.symbols().Find(a);
+    EXPECT_GE(c, 0) << "unknown constant " << a;
+    atom.args.push_back(c);
+  }
+  return atom;
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions opts = ServerOptions{}) {
+    program_ = LinkProgram();
+    evidence_.Add(Atom(program_, "link", {"n0", "n1"}), true);
+    evidence_.Add(Atom(program_, "link", {"n2", "n3"}), true);
+    evidence_.Add(Atom(program_, "label", {"n0", "A"}), true);
+    evidence_.Add(Atom(program_, "label", {"n2", "B"}), true);
+    if (opts.session.total_flips == SessionOptions{}.total_flips) {
+      opts.session.total_flips = 20000;
+      opts.session.seed = 11;
+    }
+    server_ = std::make_unique<Server>(program_, evidence_, opts);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client MakeClient() {
+    Client client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    return client;
+  }
+
+  EvidenceDelta ToggleDelta(int i) {
+    EvidenceDelta delta;
+    if (i % 2 == 0) {
+      delta.Assert(Atom(program_, "link", {"n1", "n2"}), true);
+    } else {
+      delta.Retract(Atom(program_, "link", {"n1", "n2"}));
+    }
+    return delta;
+  }
+
+  MlnProgram program_;
+  EvidenceDb evidence_;
+  std::unique_ptr<Server> server_;
+};
+
+// ---------------------------------------------------------------- codec
+
+TEST(NetProtocolTest, DeltaRequestRoundTrips) {
+  MlnProgram program = LinkProgram();
+  NetRequest req;
+  req.type = MsgType::kApplyDelta;
+  req.request_id = 0x1122334455667788ull;
+  req.session = "sess-a";
+  req.delta.Assert(Atom(program, "link", {"n0", "n1"}), true);
+  req.delta.Assert(Atom(program, "label", {"n2", "B"}), false);
+  req.delta.Retract(Atom(program, "link", {"n2", "n3"}));
+
+  auto decoded = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const NetRequest& out = decoded.value();
+  EXPECT_EQ(out.type, req.type);
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.session, req.session);
+  ASSERT_EQ(out.delta.assertions.size(), 2u);
+  EXPECT_EQ(out.delta.assertions[0].first, req.delta.assertions[0].first);
+  EXPECT_TRUE(out.delta.assertions[0].second);
+  EXPECT_FALSE(out.delta.assertions[1].second);
+  ASSERT_EQ(out.delta.retractions.size(), 1u);
+  EXPECT_EQ(out.delta.retractions[0], req.delta.retractions[0]);
+}
+
+TEST(NetProtocolTest, OpenAndQueryRequestsRoundTrip) {
+  NetRequest open;
+  open.type = MsgType::kOpenSession;
+  open.request_id = 5;
+  open.session = "s";
+  open.program_fp = 0xdeadbeefcafef00dull;
+  auto open_out = DecodeRequest(EncodeRequest(open));
+  ASSERT_TRUE(open_out.ok());
+  EXPECT_EQ(open_out.value().program_fp, open.program_fp);
+
+  NetRequest query;
+  query.type = MsgType::kQueryMarginals;
+  query.request_id = 6;
+  query.session = "s";
+  query.predicate = "label";
+  auto query_out = DecodeRequest(EncodeRequest(query));
+  ASSERT_TRUE(query_out.ok());
+  EXPECT_EQ(query_out.value().predicate, "label");
+}
+
+TEST(NetProtocolTest, DeltaReplyRoundTrips) {
+  NetResponse resp;
+  resp.type = MsgType::kDeltaReply;
+  resp.request_id = 42;
+  resp.seq = 7;
+  resp.no_op = true;
+  resp.components_dirty = 2;
+  resp.components_total = 9;
+  resp.flips = 1234;
+  resp.map_cost = 3.25;
+
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const NetResponse& out = decoded.value();
+  EXPECT_EQ(out.type, resp.type);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_TRUE(out.no_op);
+  EXPECT_EQ(out.components_dirty, 2u);
+  EXPECT_EQ(out.components_total, 9u);
+  EXPECT_EQ(out.flips, 1234u);
+  EXPECT_EQ(out.map_cost, 3.25);
+}
+
+TEST(NetProtocolTest, MarginalsAndStatsRepliesRoundTrip) {
+  MlnProgram program = LinkProgram();
+  NetResponse marg;
+  marg.type = MsgType::kMarginalsReply;
+  marg.request_id = 43;
+  marg.marginals.emplace_back(Atom(program, "label", {"n1", "B"}), 0.75);
+  auto marg_out = DecodeResponse(EncodeResponse(marg));
+  ASSERT_TRUE(marg_out.ok());
+  ASSERT_EQ(marg_out.value().marginals.size(), 1u);
+  EXPECT_EQ(marg_out.value().marginals[0].first, marg.marginals[0].first);
+  EXPECT_EQ(marg_out.value().marginals[0].second, 0.75);
+
+  NetResponse stats;
+  stats.type = MsgType::kStatsReply;
+  stats.request_id = 44;
+  stats.stats.emplace_back("flips", 123.0);
+  auto stats_out = DecodeResponse(EncodeResponse(stats));
+  ASSERT_TRUE(stats_out.ok());
+  ASSERT_EQ(stats_out.value().stats.size(), 1u);
+  EXPECT_EQ(stats_out.value().stats[0].first, "flips");
+  EXPECT_EQ(stats_out.value().stats[0].second, 123.0);
+}
+
+TEST(NetProtocolTest, FrameDecodeHandlesPartialCorruptAndOversized) {
+  const std::string frame = EncodeFrame("hello frame");
+  std::string payload;
+  size_t consumed = 0;
+
+  // Every strict prefix wants more bytes.
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_EQ(TryDecodeFrame(frame.data(), n, kDefaultMaxFrameBytes,
+                             &payload, &consumed),
+              FrameDecode::kNeedMore);
+  }
+  ASSERT_EQ(TryDecodeFrame(frame.data(), frame.size(), kDefaultMaxFrameBytes,
+                           &payload, &consumed),
+            FrameDecode::kFrame);
+  EXPECT_EQ(payload, "hello frame");
+  EXPECT_EQ(consumed, frame.size());
+
+  // Flip one payload byte: crc must catch it.
+  std::string corrupt = frame;
+  corrupt[kFrameHeaderBytes] ^= 0x40;
+  EXPECT_EQ(TryDecodeFrame(corrupt.data(), corrupt.size(),
+                           kDefaultMaxFrameBytes, &payload, &consumed),
+            FrameDecode::kBadCrc);
+
+  // A length past the cap is rejected from the header alone, before any
+  // payload arrives.
+  EXPECT_EQ(TryDecodeFrame(frame.data(), frame.size(), /*max_payload=*/4,
+                           &payload, &consumed),
+            FrameDecode::kTooLarge);
+}
+
+TEST(NetProtocolTest, ForgedCountsFailDecodeInsteadOfAllocating) {
+  NetRequest req;
+  req.type = MsgType::kApplyDelta;
+  req.request_id = 9;
+  req.session = "s";
+  std::string payload = EncodeRequest(req);
+  // The assertion count lives right after tag + id + session; forge a
+  // huge value into whatever u32 follows the session string and the
+  // decode must fail cleanly rather than trust it.
+  const size_t count_off = 1 + 8 + 4 + req.session.size();
+  ASSERT_LE(count_off + 4, payload.size());
+  const uint32_t forged = 0x7fffffff;
+  std::memcpy(&payload[count_off], &forged, sizeof(forged));
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+TEST(NetProtocolTest, PeekRequestIdReadsIdFromAnyPayload) {
+  NetRequest req;
+  req.type = MsgType::kStats;
+  req.request_id = 0xabcdef;
+  EXPECT_EQ(PeekRequestId(EncodeRequest(req)), 0xabcdefull);
+  EXPECT_EQ(PeekRequestId("short"), 0u);
+}
+
+TEST(HistogramTest, PercentilesLandInTheRightBucketRange) {
+  LatencyHistogram h;
+  for (int i = 0; i < 900; ++i) h.Record(1e-3);   // 1 ms
+  for (int i = 0; i < 100; ++i) h.Record(100e-3);  // 100 ms
+  EXPECT_EQ(h.count(), 1000u);
+  // p50 sits in the 1ms bucket (512..1024 us), p99 in the 100ms one.
+  EXPECT_GE(h.Percentile(0.50), 0.5e-3);
+  EXPECT_LE(h.Percentile(0.50), 2e-3);
+  EXPECT_GE(h.Percentile(0.99), 64e-3);
+  EXPECT_LE(h.Percentile(0.99), 200e-3);
+
+  LatencyHistogram other;
+  other.Record(1e-3);
+  other.Merge(h);
+  EXPECT_EQ(other.count(), 1001u);
+}
+
+// --------------------------------------------------------------- server
+
+TEST_F(NetTest, OpenDeltaQueryCloseRoundTrip) {
+  StartServer();
+  Client client = MakeClient();
+
+  auto open = client.OpenSession("s1", ProgramFingerprint(program_));
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_EQ(open.value().type, MsgType::kOpenReply) << open.value().message;
+  EXPECT_FALSE(open.value().attached);
+  EXPECT_GT(open.value().num_atoms, 0u);
+
+  auto delta = client.ApplyDelta("s1", ToggleDelta(0));
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta.value().type, MsgType::kDeltaReply)
+      << delta.value().message;
+  EXPECT_EQ(delta.value().seq, 1u);
+  EXPECT_FALSE(delta.value().no_op);
+
+  auto map = client.QueryMap("s1", "label");
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map.value().type, MsgType::kMapReply) << map.value().message;
+  EXPECT_EQ(map.value().map_cost, delta.value().map_cost);
+
+  auto stats = client.Stats("s1");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().type, MsgType::kStatsReply);
+  bool saw_deltas = false;
+  for (const auto& [key, value] : stats.value().stats) {
+    if (key == "deltas_applied") {
+      saw_deltas = true;
+      EXPECT_EQ(value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_deltas);
+
+  auto closed = client.CloseSession("s1");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed.value().type, MsgType::kCloseReply);
+
+  // Gone now.
+  auto map2 = client.QueryMap("s1");
+  ASSERT_TRUE(map2.ok());
+  EXPECT_EQ(map2.value().type, MsgType::kError);
+  EXPECT_EQ(map2.value().error, WireError::kNotFound);
+}
+
+TEST_F(NetTest, ProgramFingerprintMismatchIsRejected) {
+  StartServer();
+  Client client = MakeClient();
+  auto open = client.OpenSession("s1", /*program_fp=*/12345);
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open.value().type, MsgType::kError);
+  EXPECT_EQ(open.value().error, WireError::kInvalidArgument);
+  EXPECT_FALSE(open.value().retryable);
+}
+
+TEST_F(NetTest, PipelinedDeltasApplyInSendOrder) {
+  StartServer();
+  Client client = MakeClient();
+  ASSERT_TRUE(client.OpenSession("s1").ok());
+
+  constexpr int kDeltas = 10;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kDeltas; ++i) {
+    NetRequest req;
+    req.type = MsgType::kApplyDelta;
+    req.session = "s1";
+    req.delta = ToggleDelta(i);
+    auto id = client.Send(std::move(req));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (int i = 0; i < kDeltas; ++i) {
+    auto resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp.value().type, MsgType::kDeltaReply)
+        << resp.value().message;
+    // Replies come back in send order...
+    EXPECT_EQ(resp.value().request_id, ids[static_cast<size_t>(i)]);
+    // ...because the lane applied them in send order.
+    EXPECT_EQ(resp.value().seq, static_cast<uint64_t>(i + 1));
+  }
+}
+
+TEST_F(NetTest, SessionSurvivesMidRequestDisconnectAndReattaches) {
+  StartServer();
+  double cost_after_delta = 0.0;
+  {
+    Client client = MakeClient();
+    ASSERT_TRUE(client.OpenSession("s1").ok());
+    auto applied = client.ApplyDelta("s1", ToggleDelta(0));
+    ASSERT_TRUE(applied.ok());
+    cost_after_delta = applied.value().map_cost;
+    // Fire a second delta and vanish without reading the reply.
+    NetRequest req;
+    req.type = MsgType::kApplyDelta;
+    req.session = "s1";
+    req.delta = ToggleDelta(1);
+    ASSERT_TRUE(client.Send(std::move(req)).ok());
+  }  // destructor closes the socket mid-request
+
+  Client again = MakeClient();
+  auto open = again.OpenSession("s1");
+  ASSERT_TRUE(open.ok());
+  ASSERT_EQ(open.value().type, MsgType::kOpenReply) << open.value().message;
+  EXPECT_TRUE(open.value().attached);
+
+  // The abandoned delta still applied (lane order: delta, then this
+  // open, then the next delta), so seq reflects both earlier deltas.
+  auto applied = again.ApplyDelta("s1", ToggleDelta(0));
+  ASSERT_TRUE(applied.ok());
+  ASSERT_EQ(applied.value().type, MsgType::kDeltaReply);
+  EXPECT_EQ(applied.value().seq, 3u);
+  EXPECT_EQ(applied.value().map_cost, cost_after_delta);
+}
+
+TEST_F(NetTest, CorruptCrcClosesConnectionButServerSurvives) {
+  StartServer();
+  Client client = MakeClient();
+  ASSERT_TRUE(client.OpenSession("s1").ok());
+
+  std::string frame = EncodeFrame(EncodeRequest(NetRequest{}));
+  frame[kFrameHeaderBytes] ^= 0x01;
+  ASSERT_EQ(::send(client.fd(), frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  auto resp = client.Receive();
+  EXPECT_FALSE(resp.ok());  // server hung up on the poisoned stream
+
+  // Server and session are fine; only the connection died.
+  Client again = MakeClient();
+  auto open = again.OpenSession("s1");
+  ASSERT_TRUE(open.ok());
+  EXPECT_TRUE(open.value().attached);
+  EXPECT_GE(server_->metrics().protocol_errors, 1u);
+}
+
+TEST_F(NetTest, OversizedFrameIsRejectedAtTheHeader) {
+  ServerOptions opts;
+  opts.max_frame_bytes = 1024;
+  StartServer(opts);
+  Client client = MakeClient();
+
+  // Header announcing 1 MiB; no payload ever sent.
+  std::string header(kFrameHeaderBytes, '\0');
+  const uint32_t fake_len = 1u << 20;
+  std::memcpy(&header[4], &fake_len, sizeof(fake_len));
+  ASSERT_EQ(::send(client.fd(), header.data(), header.size(), 0),
+            static_cast<ssize_t>(header.size()));
+  auto resp = client.Receive();
+  EXPECT_FALSE(resp.ok());
+  EXPECT_GE(server_->metrics().protocol_errors, 1u);
+}
+
+TEST_F(NetTest, TruncatedFrameThenDisconnectLeavesServerHealthy) {
+  StartServer();
+  {
+    Client client = MakeClient();
+    const std::string frame = EncodeFrame(EncodeRequest(NetRequest{}));
+    // Half a frame, then the destructor hangs up.
+    ASSERT_EQ(::send(client.fd(), frame.data(), frame.size() / 2, 0),
+              static_cast<ssize_t>(frame.size() / 2));
+  }
+  Client again = MakeClient();
+  auto open = again.OpenSession("s1");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open.value().type, MsgType::kOpenReply);
+  // A partial frame is just bytes in flight, not a protocol error.
+  EXPECT_EQ(server_->metrics().protocol_errors, 0u);
+}
+
+TEST_F(NetTest, UnknownTagGetsErrorReplyAndConnectionLives) {
+  StartServer();
+  Client client = MakeClient();
+
+  // tag 0x63 does not exist; id must still be echoed back.
+  std::string payload;
+  payload.push_back(static_cast<char>(0x63));
+  const uint64_t id = 777;
+  payload.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  const std::string frame = EncodeFrame(payload);
+  ASSERT_EQ(::send(client.fd(), frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+
+  auto resp = client.Receive();
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.value().type, MsgType::kError);
+  EXPECT_EQ(resp.value().error, WireError::kUnknownMessage);
+  EXPECT_EQ(resp.value().request_id, 777u);
+
+  // Same connection keeps working.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().type, MsgType::kStatsReply);
+}
+
+TEST_F(NetTest, FullQueueShedsWithRetryableOverload) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue = 1;
+  opts.session.total_flips = 200000;  // make each delta take a while
+  opts.session.seed = 11;
+  StartServer(opts);
+  Client client = MakeClient();
+  ASSERT_TRUE(client.OpenSession("s1").ok());
+
+  // One burst write: the first delta occupies the queue's single slot;
+  // the rest decode while it runs and must shed immediately.
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    NetRequest req;
+    req.type = MsgType::kApplyDelta;
+    req.session = "s1";
+    req.delta = ToggleDelta(i);
+    ASSERT_TRUE(client.Send(std::move(req)).ok());
+  }
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto resp = client.Receive();
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    if (resp.value().type == MsgType::kDeltaReply) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.value().type, MsgType::kError);
+      EXPECT_EQ(resp.value().error, WireError::kOverloaded);
+      EXPECT_TRUE(resp.value().retryable);
+      ++overloaded;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(overloaded, 1);
+  EXPECT_GE(server_->metrics().overloaded, 1u);
+
+  // Shedding is transient: once drained, deltas apply again.
+  auto after = client.ApplyDelta("s1", ToggleDelta(0));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().type, MsgType::kDeltaReply);
+}
+
+TEST_F(NetTest, MarginalsOverTheWire) {
+  ServerOptions opts;
+  opts.session.total_flips = 20000;
+  opts.session.seed = 11;
+  opts.session.track_marginals = true;
+  StartServer(opts);
+  Client client = MakeClient();
+  ASSERT_TRUE(client.OpenSession("s1").ok());
+
+  auto m = client.QueryMarginals("s1", "label");
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m.value().type, MsgType::kMarginalsReply) << m.value().message;
+  ASSERT_GT(m.value().marginals.size(), 0u);
+  for (const auto& [atom, p] : m.value().marginals) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_F(NetTest, RecoverOverTheWire) {
+  ServerOptions opts;
+  opts.durability_root = MakeTempDir("recover");
+  opts.session.total_flips = 20000;
+  opts.session.seed = 11;
+  StartServer(opts);
+  Client client = MakeClient();
+  ASSERT_TRUE(client.OpenSession("s1").ok());
+  auto applied = client.ApplyDelta("s1", ToggleDelta(0));
+  ASSERT_TRUE(applied.ok());
+  const double cost = applied.value().map_cost;
+
+  // Drop the in-memory session (its WAL stays), then recover it.
+  ASSERT_TRUE(client.CloseSession("s1").ok());
+  auto recovered = client.Recover("s1");
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered.value().type, MsgType::kRecoverReply)
+      << recovered.value().message;
+  EXPECT_NEAR(recovered.value().map_cost, cost, 1e-9);
+}
+
+TEST_F(NetTest, ServerWideStatsAndMetricsReport) {
+  StartServer();
+  Client client = MakeClient();
+  ASSERT_TRUE(client.OpenSession("s1").ok());
+  ASSERT_TRUE(client.ApplyDelta("s1", ToggleDelta(0)).ok());
+
+  auto stats = client.Stats();  // empty session = server-wide
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().type, MsgType::kStatsReply);
+  double deltas = -1, conns = -1;
+  for (const auto& [key, value] : stats.value().stats) {
+    if (key == "deltas_applied") deltas = value;
+    if (key == "connections_open") conns = value;
+  }
+  EXPECT_EQ(deltas, 1.0);
+  EXPECT_EQ(conns, 1.0);
+
+  const std::string report = server_->MetricsReport();
+  EXPECT_NE(report.find("deltas: 1 applied"), std::string::npos) << report;
+  EXPECT_NE(report.find("connections:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tuffy
