@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "datagen/datasets.h"
 #include "exec/tuffy_engine.h"
 #include "util/mem_tracker.h"
@@ -157,15 +158,19 @@ inline void PrintTrace(const std::string& series,
 
 /// Emits one machine-readable result line so the perf trajectory can be
 /// tracked across PRs (grep for ^BENCH_JSON and parse the rest as JSON).
+/// The common shape shared by the search benches; rows with extra fields
+/// build a BenchJson (bench/bench_json.h) directly.
 inline void PrintJsonLine(const char* bench, const std::string& dataset,
                           const char* system, double flips_per_sec,
                           double seconds, uint64_t flips, double cost) {
-  std::printf(
-      "BENCH_JSON {\"bench\":\"%s\",\"dataset\":\"%s\",\"system\":\"%s\","
-      "\"flips_per_sec\":%.1f,\"seconds\":%.4f,\"flips\":%llu,"
-      "\"cost\":%.4f}\n",
-      bench, dataset.c_str(), system, flips_per_sec, seconds,
-      static_cast<unsigned long long>(flips), cost);
+  BenchJson row(bench);
+  row.Str("dataset", dataset)
+      .Str("system", system)
+      .Num("flips_per_sec", flips_per_sec, 1)
+      .Num("seconds", seconds)
+      .Int("flips", flips)
+      .Num("cost", cost)
+      .Emit();
 }
 
 inline void PrintHeader(const char* title) {

@@ -29,14 +29,16 @@ Dataset LearnScaleRc() {
 
 void PrintLearnJson(const char* system, const LearnResult& lr,
                     double counts_per_sec) {
-  std::printf(
-      "BENCH_JSON {\"bench\":\"learning\",\"dataset\":\"RC\","
-      "\"system\":\"%s\",\"epochs\":%d,\"seconds\":%.4f,"
-      "\"epochs_per_sec\":%.2f,\"counts_per_sec\":%.1f,"
-      "\"ground_clauses\":%zu}\n",
-      system, lr.epochs, lr.seconds,
-      lr.seconds > 0 ? lr.epochs / lr.seconds : 0.0, counts_per_sec,
-      lr.num_ground_clauses);
+  BenchJson row("learning");
+  row.Str("dataset", "RC")
+      .Str("system", system)
+      .Int("epochs", static_cast<uint64_t>(lr.epochs))
+      .Num("seconds", lr.seconds)
+      .Num("epochs_per_sec", lr.seconds > 0 ? lr.epochs / lr.seconds : 0.0,
+           2)
+      .Num("counts_per_sec", counts_per_sec, 1)
+      .Int("ground_clauses", lr.num_ground_clauses)
+      .Emit();
 }
 
 void RunLearner(const Dataset& ds, LearnAlgorithm algo, const char* system) {

@@ -25,8 +25,8 @@
 #include "bench/bench_common.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "serve/session_manager.h"
-#include "util/histogram.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -101,20 +101,24 @@ struct RunResult {
   double seconds = 0.0;
   double final_cost = 0.0;
   bool cost_consistent = true;
-  LatencyHistogram latency;
+  HistogramSnapshot latency;
 };
 
 void EmitRow(const char* system, int clients, const RunResult& r,
-             double fresh_cost) {
+             double fresh_cost, const std::vector<MetricSample>& base) {
   const double total = static_cast<double>(clients) * kDeltasPerClient;
-  std::printf(
-      "BENCH_JSON {\"bench\":\"net_serving\",\"system\":\"%s\","
-      "\"clients\":%d,\"deltas_per_sec\":%.1f,\"p50_ms\":%.3f,"
-      "\"p99_ms\":%.3f,\"total_deltas\":%d,\"seconds\":%.4f,"
-      "\"final_cost\":%.4f,\"fresh_cost\":%.4f}\n",
-      system, clients, total / r.seconds,
-      r.latency.Percentile(0.50) * 1e3, r.latency.Percentile(0.99) * 1e3,
-      static_cast<int>(total), r.seconds, r.final_cost, fresh_cost);
+  BenchJson row("net_serving");
+  row.Str("system", system)
+      .Int("clients", static_cast<uint64_t>(clients))
+      .Num("deltas_per_sec", total / r.seconds, 1)
+      .Num("p50_ms", r.latency.Percentile(0.50) * 1e3, 3)
+      .Num("p99_ms", r.latency.Percentile(0.99) * 1e3, 3)
+      .Int("total_deltas", static_cast<uint64_t>(total))
+      .Num("seconds", r.seconds)
+      .Num("final_cost", r.final_cost)
+      .Num("fresh_cost", fresh_cost)
+      .Metrics(base)
+      .Emit();
 }
 
 /// Drives `clients` concurrent sessions over the wire. Sessions are
@@ -148,12 +152,13 @@ RunResult RunNet(const Dataset& ds,
   }
 
   RunResult result;
+  // Histogram records are lock-free, so every client thread shares one.
+  Histogram latency;
   std::mutex mu;
   Timer timer;
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      LatencyHistogram local;
       double cost = 0.0;
       bool ok = true;
       const std::string session = "bench-" + std::to_string(c);
@@ -170,11 +175,10 @@ RunResult RunNet(const Dataset& ds,
           ok = false;
           break;
         }
-        local.Record(t.ElapsedSeconds());
+        latency.RecordAlways(t.ElapsedSeconds());
         cost = r.value().map_cost;
       }
       std::lock_guard<std::mutex> lock(mu);
-      result.latency.Merge(local);
       if (!ok) {
         result.cost_consistent = false;
       } else if (result.final_cost == 0.0) {
@@ -186,6 +190,7 @@ RunResult RunNet(const Dataset& ds,
   }
   for (std::thread& t : threads) t.join();
   result.seconds = timer.ElapsedSeconds();
+  result.latency = latency.Snapshot();
 
   ServerMetrics m = server.metrics();
   std::printf("  net %2d clients: server p50 %.3f ms, p99 %.3f ms, "
@@ -215,12 +220,12 @@ RunResult RunInProcess(const Dataset& ds,
   }
 
   RunResult result;
+  Histogram latency;
   std::mutex mu;
   Timer timer;
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      LatencyHistogram local;
       double cost = 0.0;
       bool ok = true;
       const std::string session = "bench-" + std::to_string(c);
@@ -231,11 +236,10 @@ RunResult RunInProcess(const Dataset& ds,
           ok = false;
           break;
         }
-        local.Record(t.ElapsedSeconds());
+        latency.RecordAlways(t.ElapsedSeconds());
         cost = r.value().map_cost;
       }
       std::lock_guard<std::mutex> lock(mu);
-      result.latency.Merge(local);
       if (!ok) {
         result.cost_consistent = false;
       } else if (result.final_cost == 0.0) {
@@ -247,6 +251,7 @@ RunResult RunInProcess(const Dataset& ds,
   }
   for (std::thread& t : threads) t.join();
   result.seconds = timer.ElapsedSeconds();
+  result.latency = latency.Snapshot();
   return result;
 }
 
@@ -276,10 +281,12 @@ int main() {
 
   bool all_match = true;
   for (int clients : kClientCounts) {
+    std::vector<MetricSample> net_base = MetricsBaseline();
     RunResult net = RunNet(ds, deltas, clients);
+    EmitRow("net", clients, net, fresh_cost, net_base);
+    std::vector<MetricSample> inproc_base = MetricsBaseline();
     RunResult inproc = RunInProcess(ds, deltas, clients);
-    EmitRow("net", clients, net, fresh_cost);
-    EmitRow("inproc", clients, inproc, fresh_cost);
+    EmitRow("inproc", clients, inproc, fresh_cost, inproc_base);
     for (const RunResult* r : {&net, &inproc}) {
       if (!r->cost_consistent ||
           std::fabs(r->final_cost - fresh_cost) > 1e-6) {

@@ -56,16 +56,23 @@
 //   -serve PORT    expose sessions over TCP (src/net/): start the
 //                  poll-based server on PORT (0 = ephemeral, the chosen
 //                  port is printed), block until SIGINT, then dump the
-//                  serving metrics report to stderr. Session knobs
-//                  (-flips, -seed, -marginal, -wal_dir, -snapshot_every,
-//                  -no_fsync, -threads, -budget) apply to every served
-//                  session.
+//                  serving metrics report plus the Prometheus-style
+//                  registry text to stderr. SIGUSR1 dumps the registry
+//                  text without stopping (a poor man's scrape; see
+//                  docs/OBSERVABILITY.md). Fatal signals dump the
+//                  flight recorder — to stderr, and to
+//                  <wal_dir>/flight_recorder.txt when durable. Session
+//                  knobs (-flips, -seed, -marginal, -wal_dir,
+//                  -snapshot_every, -no_fsync, -threads, -budget) apply
+//                  to every served session.
 //   -connect HOST:PORT
 //                  drive a remote -serve process instead of an
 //                  in-process session: same REPL commands as -session,
-//                  sent over the binary wire protocol. The local program
-//                  (-i/-gen, for atom names and the fingerprint check)
-//                  must match the server's.
+//                  sent over the binary wire protocol, plus `metrics`
+//                  (server-wide registry text) and `trace` (recent
+//                  delta span trees for this session). The local
+//                  program (-i/-gen, for atom names and the fingerprint
+//                  check) must match the server's.
 //
 // Examples:
 //   ./build/examples/tuffy_cli -i prog.mln -e facts.db -q cat
@@ -90,6 +97,8 @@
 #include "mln/io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 using namespace tuffy;  // NOLINT: example brevity
@@ -591,13 +600,23 @@ int RunSession(const CliArgs& args, const MlnProgram& program,
 // ------------------------------------------------------ -serve/-connect
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_dump_metrics{false};
 
 void HandleShutdownSignal(int) { g_shutdown.store(true); }
+void HandleDumpSignal(int) { g_dump_metrics.store(true); }
 
 /// Serves the loaded program + evidence over TCP until SIGINT/SIGTERM,
 /// then dumps the metrics report to stderr (the CI smoke greps it).
+/// SIGUSR1 dumps the registry text mid-flight; the handlers only set
+/// flags, the dump itself runs on this thread (RenderText allocates and
+/// locks, so it must stay out of signal context).
 int RunServe(const CliArgs& args, const MlnProgram& program,
              const EvidenceDb& evidence) {
+  InstallFlightRecorderCrashHandlers();
+  if (!args.engine.wal_dir.empty()) {
+    FlightRecorder::Global().SetDumpPath(
+        (args.engine.wal_dir + "/flight_recorder.txt").c_str());
+  }
   ServerOptions opts;
   opts.port = args.serve_port;
   opts.num_workers = args.engine.num_threads > 1 ? args.engine.num_threads : 2;
@@ -621,10 +640,16 @@ int RunServe(const CliArgs& args, const MlnProgram& program,
                (unsigned long long)ProgramFingerprint(program));
   std::signal(SIGINT, HandleShutdownSignal);
   std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
   while (!g_shutdown.load()) {
+    if (g_dump_metrics.exchange(false)) {
+      std::fputs(MetricsRegistry::Global().RenderText().c_str(), stderr);
+      std::fflush(stderr);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::fputs(server.MetricsReport().c_str(), stderr);
+  std::fputs(MetricsRegistry::Global().RenderText().c_str(), stderr);
   server.Stop();
   return 0;
 }
@@ -760,12 +785,26 @@ int RunConnect(const CliArgs& args, const MlnProgram& program) {
           std::fprintf(stderr, "%s = %g\n", key.c_str(), value);
         }
       }
+    } else if (cmd == "metrics") {
+      auto r = call("metrics", client.Metrics());
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kMetricsReply) {
+        std::fputs(r.value().message.c_str(), stdout);
+        std::fflush(stdout);
+      }
+    } else if (cmd == "trace") {
+      auto r = call("trace", client.Trace(session));
+      if (!r.ok()) return 1;
+      if (r.value().type == MsgType::kTraceReply) {
+        std::fputs(r.value().message.c_str(), stderr);
+      }
     } else if (cmd == "quit" || cmd == "exit") {
       break;
     } else {
       std::fprintf(stderr,
                    "commands: assert A [false] | retract A | apply | cost "
-                   "| query P | marginals P | recover | stats | quit\n");
+                   "| query P | marginals P | recover | stats | metrics "
+                   "| trace | quit\n");
     }
     std::fprintf(stderr, "> ");
   }

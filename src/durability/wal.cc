@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/fault_points.h"
 #include "util/string_util.h"
@@ -100,6 +101,12 @@ Status WalWriter::Append(const std::string& payload) {
       WriteFully(fd_, frame.data() + frame.size() - 1, 1));
   offset_ += frame.size();
   ++records_;
+  static Counter* appends =
+      MetricsRegistry::Global().GetCounter("wal.append.count");
+  static Counter* bytes =
+      MetricsRegistry::Global().GetCounter("wal.append.bytes");
+  appends->Add(1);
+  bytes->Add(frame.size());
   return Status::OK();
 }
 
@@ -111,6 +118,9 @@ Status WalWriter::Sync() {
     return Status::IOError(StrFormat("wal fsync failed: %s",
                                      std::strerror(errno)));
   }
+  static Counter* fsyncs =
+      MetricsRegistry::Global().GetCounter("wal.fsync.count");
+  fsyncs->Add(1);
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "storage/evidence_side_tables.h"
 #include "util/logging.h"
 #include "util/mem_tracker.h"
@@ -14,6 +15,17 @@ namespace {
 /// Flush granularity of the batched MemTracker charge.
 constexpr size_t kChargeFlushBytes = size_t{1} << 20;
 constexpr AtomId kNoAtom = static_cast<AtomId>(-1);
+
+/// Mirrors a finished grounding run's stats into the registry. Called
+/// once per Finalize, not per row — the per-row paths stay untouched.
+void StampGroundingMetrics(const GroundingStats& stats) {
+  static Counter* candidates =
+      MetricsRegistry::Global().GetCounter("ground.candidates");
+  static Counter* pruned =
+      MetricsRegistry::Global().GetCounter("ground.pruned.antijoin");
+  candidates->Add(stats.candidates);
+  pruned->Add(stats.pruned_by_antijoin);
+}
 }  // namespace
 
 GroundingContext::GroundingContext(const MlnProgram& program,
@@ -742,6 +754,7 @@ Result<GroundingResult> GroundingContext::Finalize() {
     charged_bytes_ = 0;
     pending_charge_ = 0;
     result_.stats.seconds += timer.ElapsedSeconds();
+    StampGroundingMetrics(result_.stats);
     return std::move(result_);
   }
 
@@ -775,6 +788,7 @@ Result<GroundingResult> GroundingContext::Finalize() {
   charged_bytes_ = 0;
   pending_charge_ = 0;
   result_.stats.seconds += timer.ElapsedSeconds();
+  StampGroundingMetrics(result_.stats);
   return std::move(result_);
 }
 

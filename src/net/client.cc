@@ -175,4 +175,17 @@ Result<NetResponse> Client::Stats(const std::string& session) {
   return Call(std::move(req));
 }
 
+Result<NetResponse> Client::Metrics() {
+  NetRequest req;
+  req.type = MsgType::kMetrics;
+  return Call(std::move(req));
+}
+
+Result<NetResponse> Client::Trace(const std::string& session) {
+  NetRequest req;
+  req.type = MsgType::kTrace;
+  req.session = session;
+  return Call(std::move(req));
+}
+
 }  // namespace tuffy

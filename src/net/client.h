@@ -80,6 +80,12 @@ class Client {
   Result<NetResponse> Recover(const std::string& session);
   /// Session counters, or server-wide metrics when `session` is empty.
   Result<NetResponse> Stats(const std::string& session = "");
+  /// Prometheus-style text of the server's metrics registry
+  /// (resp.message). Answered inline by the event loop, so it works
+  /// even when the job queue is saturated.
+  Result<NetResponse> Metrics();
+  /// Rendered span trees of the session's recent deltas (resp.message).
+  Result<NetResponse> Trace(const std::string& session);
 
  private:
   int fd_ = -1;

@@ -144,6 +144,8 @@ std::string EncodeRequest(const NetRequest& req) {
     case MsgType::kCloseSession:
     case MsgType::kRecover:
     case MsgType::kStats:
+    case MsgType::kMetrics:
+    case MsgType::kTrace:
       PutString(&w, req.session);
       break;
     default:
@@ -184,6 +186,8 @@ Result<NetRequest> DecodeRequest(const std::string& payload) {
     case MsgType::kCloseSession:
     case MsgType::kRecover:
     case MsgType::kStats:
+    case MsgType::kMetrics:
+    case MsgType::kTrace:
       req.session = GetString(&r);
       break;
     default:
@@ -251,6 +255,10 @@ std::string EncodeResponse(const NetResponse& resp) {
         PutString(&w, key);
         w.F64(value);
       }
+      break;
+    case MsgType::kMetricsReply:
+    case MsgType::kTraceReply:
+      PutString(&w, resp.message);
       break;
     default:
       break;
@@ -322,6 +330,10 @@ Result<NetResponse> DecodeResponse(const std::string& payload) {
       }
       break;
     }
+    case MsgType::kMetricsReply:
+    case MsgType::kTraceReply:
+      resp.message = GetString(&r);
+      break;
     default:
       return Status::InvalidArgument(
           "unknown response tag " +

@@ -43,6 +43,8 @@ enum class MsgType : uint8_t {
   kCloseSession = 5,
   kRecover = 6,  // rebuild a crashed durable session from its WAL dir
   kStats = 7,    // per-session (name set) or server-wide (name empty)
+  kMetrics = 8,  // Prometheus-style text of the server's registry
+  kTrace = 9,    // rendered recent delta traces of a session
 
   // Responses.
   kOpenReply = 64,
@@ -53,6 +55,8 @@ enum class MsgType : uint8_t {
   kRecoverReply = 69,
   kStatsReply = 70,
   kError = 71,
+  kMetricsReply = 72,
+  kTraceReply = 73,
 };
 
 /// Error taxonomy a client can act on. kOverloaded and
@@ -82,7 +86,9 @@ WireError WireErrorFromStatus(const Status& status);
 struct NetRequest {
   MsgType type = MsgType::kStats;
   uint64_t request_id = 0;
-  /// Session name; empty only for server-wide kStats.
+  /// Session name; empty only for server-wide kStats and for kMetrics
+  /// (which is always server-wide). kTrace requires a name — traces
+  /// live in per-session rings.
   std::string session;
   /// kOpenSession: expected ProgramFingerprint, 0 = don't check.
   uint64_t program_fp = 0;
@@ -97,7 +103,8 @@ struct NetResponse {
   MsgType type = MsgType::kError;
   uint64_t request_id = 0;
 
-  // kError.
+  // kError. `message` doubles as the text body of kMetricsReply
+  // (Prometheus exposition) and kTraceReply (rendered span trees).
   WireError error = WireError::kNone;
   bool retryable = false;
   std::string message;

@@ -15,6 +15,8 @@
 
 #include "durability/snapshot.h"
 #include "exec/tuffy_engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace tuffy {
@@ -109,6 +111,15 @@ Status Server::Start() {
   workers_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(options_.num_workers > 0 ? options_.num_workers
                                                    : 1));
+
+  // Registry histograms for wire latency and lane queue wait. The
+  // baseline snapshot makes metrics() per-server: sequential servers in
+  // one process (the tests) each see only their own samples.
+  wire_latency_ = MetricsRegistry::Global().GetHistogram(
+      "net.delta.wire.seconds");
+  lane_wait_ = MetricsRegistry::Global().GetHistogram(
+      "net.lane.queue.wait.seconds");
+  wire_latency_base_ = wire_latency_->Snapshot();
 
   stop_ = false;
   started_ = true;
@@ -318,6 +329,9 @@ void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     ++counters_.requests;
   }
+  static Counter* request_count =
+      MetricsRegistry::Global().GetCounter("serve.request.count");
+  request_count->Add(1);
   auto decoded = DecodeRequest(payload);
   if (!decoded.ok()) {
     SendError(conn_id, PeekRequestId(payload), WireError::kUnknownMessage,
@@ -330,6 +344,18 @@ void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
   // and observable even while the job queue is saturated.
   if (req.type == MsgType::kStats && req.session.empty()) {
     NetResponse resp = ServerStatsResponse(req.request_id);
+    SendToConnection(conn_id, EncodeFrame(EncodeResponse(resp)));
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.responses;
+    return;
+  }
+  // kMetrics is likewise answered inline (and ignores any session
+  // name): a scrape must observe a server whose job queue is saturated.
+  if (req.type == MsgType::kMetrics) {
+    NetResponse resp;
+    resp.type = MsgType::kMetricsReply;
+    resp.request_id = req.request_id;
+    resp.message = MetricsRegistry::Global().RenderText();
     SendToConnection(conn_id, EncodeFrame(EncodeResponse(resp)));
     std::lock_guard<std::mutex> lock(metrics_mu_);
     ++counters_.responses;
@@ -348,6 +374,9 @@ void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
       std::lock_guard<std::mutex> lock(metrics_mu_);
       ++counters_.overloaded;
     }
+    static Counter* overload_count =
+        MetricsRegistry::Global().GetCounter("serve.overload.count");
+    overload_count->Add(1);
     SendError(conn_id, req.request_id, WireError::kOverloaded,
               "job queue full");
     return;
@@ -365,6 +394,9 @@ void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
       counters_.queue_peak = jobs_pending_;
     }
   }
+  static Gauge* queue_gauge =
+      MetricsRegistry::Global().GetGauge("net.queue.depth");
+  queue_gauge->Set(static_cast<int64_t>(jobs_pending_));
   Lane& lane = lanes_[job.request.session];
   if (lane.running) {
     // The session already has a job in flight: FIFO behind it. This is
@@ -373,13 +405,29 @@ void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
     return;
   }
   lane.running = true;
+  SubmitJob(std::move(job));
+}
+
+void Server::SubmitJob(Job job) {
   workers_->Submit([this, job = std::move(job)]() {
-    NetResponse resp = Execute(job.request);
+    const bool is_delta = job.request.type == MsgType::kApplyDelta;
+    TraceBuilder trace(job.request.session);
+    if (is_delta) {
+      // The queue wait happened before this worker existed; stamp it
+      // with explicit bounds. enqueued_at and TraceNowNs share the
+      // steady clock.
+      const uint64_t enqueued_ns =
+          static_cast<uint64_t>(job.enqueued_at * 1e9);
+      const uint64_t now_ns = TraceNowNs();
+      trace.AddSpan("net.lane.wait", enqueued_ns, now_ns);
+      lane_wait_->Record(static_cast<double>(now_ns - enqueued_ns) * 1e-9);
+    }
+    NetResponse resp = Execute(job.request, is_delta ? &trace : nullptr);
     resp.request_id = job.request.request_id;
     Completion done;
     done.conn_id = job.conn_id;
     done.lane = job.request.session;
-    done.is_delta = job.request.type == MsgType::kApplyDelta;
+    done.is_delta = is_delta;
     done.is_error = resp.type == MsgType::kError;
     done.latency_seconds = MonotonicSeconds() - job.enqueued_at;
     done.frame = EncodeFrame(EncodeResponse(resp));
@@ -388,8 +436,10 @@ void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
       if (done.is_error) ++counters_.errors_sent;
       if (done.is_delta && !done.is_error) {
         ++counters_.deltas_applied;
-        delta_latency_.Record(done.latency_seconds);
       }
+    }
+    if (done.is_delta && !done.is_error) {
+      wire_latency_->Record(done.latency_seconds);
     }
     {
       std::lock_guard<std::mutex> lock(completion_mu_);
@@ -409,30 +459,7 @@ void Server::PumpLane(const std::string& lane_name) {
   Job job = std::move(it->second.waiting.front());
   it->second.waiting.pop_front();
   it->second.running = true;
-  workers_->Submit([this, job = std::move(job)]() {
-    NetResponse resp = Execute(job.request);
-    resp.request_id = job.request.request_id;
-    Completion done;
-    done.conn_id = job.conn_id;
-    done.lane = job.request.session;
-    done.is_delta = job.request.type == MsgType::kApplyDelta;
-    done.is_error = resp.type == MsgType::kError;
-    done.latency_seconds = MonotonicSeconds() - job.enqueued_at;
-    done.frame = EncodeFrame(EncodeResponse(resp));
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      if (done.is_error) ++counters_.errors_sent;
-      if (done.is_delta && !done.is_error) {
-        ++counters_.deltas_applied;
-        delta_latency_.Record(done.latency_seconds);
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(completion_mu_);
-      completions_.push_back(std::move(done));
-    }
-    Wake();
-  });
+  SubmitJob(std::move(job));
 }
 
 void Server::DrainCompletions() {
@@ -441,6 +468,8 @@ void Server::DrainCompletions() {
     std::lock_guard<std::mutex> lock(completion_mu_);
     done.swap(completions_);
   }
+  static Gauge* queue_gauge =
+      MetricsRegistry::Global().GetGauge("net.queue.depth");
   for (Completion& c : done) {
     --jobs_pending_;
     {
@@ -448,6 +477,7 @@ void Server::DrainCompletions() {
       counters_.queue_depth = jobs_pending_;
       ++counters_.responses;
     }
+    queue_gauge->Set(static_cast<int64_t>(jobs_pending_));
     auto lane = lanes_.find(c.lane);
     if (lane != lanes_.end()) {
       lane->second.running = false;
@@ -484,12 +514,15 @@ void Server::SendError(uint64_t conn_id, uint64_t request_id, WireError error,
     ++counters_.errors_sent;
     ++counters_.responses;
   }
+  static Counter* error_count =
+      MetricsRegistry::Global().GetCounter("serve.error.count");
+  error_count->Add(1);
   SendToConnection(conn_id, EncodeFrame(EncodeResponse(resp)));
 }
 
 // --------------------------------------------------------- job bodies
 
-NetResponse Server::Execute(const NetRequest& request) {
+NetResponse Server::Execute(const NetRequest& request, TraceBuilder* trace) {
   NetResponse resp;
   resp.request_id = request.request_id;
   auto error_from = [&](const Status& status) {
@@ -535,7 +568,7 @@ NetResponse Server::Execute(const NetRequest& request) {
       break;
     }
     case MsgType::kApplyDelta: {
-      auto r = manager_->ApplyDelta(request.session, request.delta);
+      auto r = manager_->ApplyDelta(request.session, request.delta, trace);
       if (!r.ok()) {
         error_from(r.status());
         break;
@@ -646,12 +679,38 @@ NetResponse Server::Execute(const NetRequest& request) {
       };
       break;
     }
+    case MsgType::kTrace: {
+      // Routed through the session's lane like any session request, so
+      // reading the ring never races an ApplyDelta on this session.
+      auto session = manager_->Get(request.session);
+      if (!session.ok()) {
+        error_from(session.status());
+        break;
+      }
+      resp.type = MsgType::kTraceReply;
+      std::string text;
+      for (const DeltaTrace& t : session.value()->RecentTraces()) {
+        text += t.Render();
+      }
+      if (text.empty()) {
+        text = "no traces recorded for session " + request.session + "\n";
+      }
+      resp.message = std::move(text);
+      break;
+    }
     default: {
       resp.type = MsgType::kError;
       resp.error = WireError::kUnknownMessage;
       resp.message = "unhandled request tag";
       break;
     }
+  }
+  if (request.type == MsgType::kOpenSession ||
+      request.type == MsgType::kCloseSession ||
+      request.type == MsgType::kRecover) {
+    static Gauge* sessions_gauge =
+        MetricsRegistry::Global().GetGauge("net.sessions.open");
+    sessions_gauge->Set(static_cast<int64_t>(manager_->num_sessions()));
   }
   return resp;
 }
@@ -686,9 +745,14 @@ ServerMetrics Server::metrics() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   ServerMetrics m = counters_;
   m.sessions_open = manager_ ? manager_->num_sessions() : 0;
-  m.delta_p50_ms = delta_latency_.Percentile(0.50) * 1e3;
-  m.delta_p99_ms = delta_latency_.Percentile(0.99) * 1e3;
-  m.delta_mean_ms = delta_latency_.mean_seconds() * 1e3;
+  if (wire_latency_ != nullptr) {
+    // Subtract the Start() baseline: only this server's samples.
+    const HistogramSnapshot snap =
+        wire_latency_->Snapshot() - wire_latency_base_;
+    m.delta_p50_ms = snap.Percentile(0.50) * 1e3;
+    m.delta_p99_ms = snap.Percentile(0.99) * 1e3;
+    m.delta_mean_ms = snap.mean_seconds() * 1e3;
+  }
   return m;
 }
 

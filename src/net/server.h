@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "serve/session_manager.h"
-#include "util/histogram.h"
 #include "util/thread_pool.h"
 
 namespace tuffy {
@@ -61,7 +61,9 @@ struct ServerMetrics {
   size_t queue_peak = 0;
   uint64_t sessions_open = 0;
   /// ApplyDelta wire latency (decode to response enqueue, including
-  /// queue wait), from the fixed-bucket histogram.
+  /// queue wait), from the registry's atomic-bucket histogram
+  /// ("net.delta.wire.seconds"), baselined at Start so the numbers are
+  /// per-server even though the registry is process-wide.
   double delta_p50_ms = 0.0;
   double delta_p99_ms = 0.0;
   double delta_mean_ms = 0.0;
@@ -157,8 +159,13 @@ class Server {
   /// Submits the lane's next waiting job to the worker pool.
   void PumpLane(const std::string& lane_name);
   void DrainCompletions();
+  /// Hands `job` to the worker pool (shared by HandlePayload and
+  /// PumpLane). The worker builds the delta trace — lane queue wait
+  /// span, then the session's ApplyDelta spans — and records latency.
+  void SubmitJob(Job job);
   /// Worker-side: executes one request against the session manager.
-  NetResponse Execute(const NetRequest& request);
+  /// `trace` is non-null only for kApplyDelta jobs.
+  NetResponse Execute(const NetRequest& request, TraceBuilder* trace);
   NetResponse ServerStatsResponse(uint64_t request_id);
   void Wake();
 
@@ -188,10 +195,16 @@ class Server {
   std::mutex completion_mu_;
   std::vector<Completion> completions_;
 
-  // Metrics, shared by loop + workers + external readers.
+  // Metrics, shared by loop + workers + external readers. Latency lives
+  // in the registry's lock-free histograms (no more mutate-under-mutex
+  // LatencyHistogram); the registry is process-wide, so Start() captures
+  // a baseline snapshot and metrics() reports the diff — per-server
+  // numbers survive multiple sequential servers in one process (tests).
   mutable std::mutex metrics_mu_;
   ServerMetrics counters_;
-  LatencyHistogram delta_latency_;
+  Histogram* wire_latency_ = nullptr;       // net.delta.wire.seconds
+  Histogram* lane_wait_ = nullptr;          // net.lane.queue.wait.seconds
+  HistogramSnapshot wire_latency_base_;
 };
 
 }  // namespace tuffy

@@ -1,0 +1,131 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tuffy {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(const char* message) {
+  if (!MetricsEnabled()) return;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % kSlots];
+  // Mark the slot as being rewritten so a concurrent Dump skips a
+  // half-written message rather than printing garbage.
+  slot.ns.store(0, std::memory_order_release);
+  std::strncpy(slot.msg, message, kMsgBytes - 1);
+  slot.msg[kMsgBytes - 1] = '\0';
+  slot.ns.store(TraceNowNs(), std::memory_order_release);
+}
+
+void FlightRecorder::Recordf(const char* format, ...) {
+  if (!MetricsEnabled()) return;
+  char buf[kMsgBytes];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  Record(buf);
+}
+
+namespace {
+void WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+}  // namespace
+
+void FlightRecorder::Dump(int fd, bool include_metrics) const {
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  char header[96];
+  int hn = std::snprintf(header, sizeof(header),
+                         "--- flight recorder (%llu events, last %zu) ---\n",
+                         static_cast<unsigned long long>(total),
+                         total < kSlots ? static_cast<size_t>(total) : kSlots);
+  WriteAll(fd, header, static_cast<size_t>(hn));
+  const uint64_t begin = total > kSlots ? total - kSlots : 0;
+  for (uint64_t seq = begin; seq < total; ++seq) {
+    const Slot& slot = slots_[seq % kSlots];
+    const uint64_t ns = slot.ns.load(std::memory_order_acquire);
+    if (ns == 0) continue;  // being rewritten right now
+    char line[kMsgBytes + 48];
+    const int n = std::snprintf(line, sizeof(line), "[%12.6f] %s\n",
+                                static_cast<double>(ns) * 1e-9, slot.msg);
+    WriteAll(fd, line, static_cast<size_t>(n));
+  }
+  if (include_metrics) {
+    // Renders through the registry (locks + allocates); only reachable
+    // from non-signal crash paths such as fault-injection kCrash.
+    const std::string text = MetricsRegistry::Global().RenderText();
+    WriteAll(fd, "--- metrics at crash ---\n", 25);
+    WriteAll(fd, text.data(), text.size());
+  }
+  WriteAll(fd, "--- end flight recorder ---\n", 28);
+}
+
+void FlightRecorder::DumpAll(bool include_metrics) const {
+  Dump(STDERR_FILENO, include_metrics);
+  if (dump_path_[0] != '\0') {
+    const int fd = ::open(dump_path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      Dump(fd, include_metrics);
+      ::close(fd);
+    }
+  }
+}
+
+void FlightRecorder::SetDumpPath(const std::string& path) {
+  std::strncpy(dump_path_, path.c_str(), sizeof(dump_path_) - 1);
+  dump_path_[sizeof(dump_path_) - 1] = '\0';
+}
+
+namespace {
+
+void CrashSignalHandler(int sig) {
+  // Restore default disposition first so a second fault during the dump
+  // terminates instead of recursing.
+  ::signal(sig, SIG_DFL);
+  char line[64];
+  const int n = std::snprintf(line, sizeof(line),
+                              "fatal signal %d — dumping flight recorder\n",
+                              sig);
+  WriteAll(STDERR_FILENO, line, static_cast<size_t>(n));
+  // No registry snapshot from a signal handler: RenderText locks and
+  // allocates. The event ring dump below only touches our own memory.
+  FlightRecorder::Global().DumpAll(/*include_metrics=*/false);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void InstallFlightRecorderCrashHandlers() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT, SIGILL}) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = CrashSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace tuffy

@@ -1,0 +1,74 @@
+#ifndef TUFFY_OBS_FLIGHT_RECORDER_H_
+#define TUFFY_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tuffy {
+
+/// Fixed-size in-memory ring of recent observability events (finished
+/// spans, applied deltas, notable metric changes). Cheap enough to leave
+/// on in production serving: Record formats into a preallocated slot
+/// claimed with one atomic increment — no locks, no allocation after
+/// construction.
+///
+/// On a crash — a fatal signal, or the fault-injection kCrash path — the
+/// ring is dumped oldest-first to stderr (and optionally to a file,
+/// typically in the session's wal_dir) so the last moments before death
+/// are visible post-mortem. The dump uses only write(2) on the ring's
+/// own memory, so it is safe from the fault-point path and best-effort
+/// safe from a signal handler.
+class FlightRecorder {
+ public:
+  static constexpr size_t kSlots = 256;
+  static constexpr size_t kMsgBytes = 120;
+
+  static FlightRecorder& Global();
+
+  /// Appends a message, truncating to kMsgBytes-1. Timestamped with
+  /// steady-clock ns. Thread-safe, lock-free.
+  void Record(const char* message);
+  void Recordf(const char* format, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  /// Writes the ring oldest-first to `fd` using raw write(2). When
+  /// `include_metrics` is true also appends a registry snapshot —
+  /// that path allocates and locks, so pass false from signal handlers.
+  void Dump(int fd, bool include_metrics) const;
+
+  /// Dumps to stderr and, if a dump path was configured, to that file
+  /// too (created/truncated).
+  void DumpAll(bool include_metrics) const;
+
+  /// Sets the optional crash-dump file (e.g. "<wal_dir>/flight.log").
+  /// Empty string disables the file dump. Not thread-safe with a
+  /// concurrent crash dump; call during setup.
+  void SetDumpPath(const std::string& path);
+
+  size_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    std::atomic<uint64_t> ns{0};
+    char msg[kMsgBytes] = {};
+  };
+
+  Slot slots_[kSlots];
+  std::atomic<uint64_t> next_{0};
+  char dump_path_[256] = {};
+};
+
+/// Installs handlers for fatal signals (SIGSEGV, SIGBUS, SIGFPE,
+/// SIGABRT, SIGILL) that dump the flight recorder to stderr (and the
+/// configured dump file) before re-raising with default disposition.
+/// Idempotent.
+void InstallFlightRecorderCrashHandlers();
+
+}  // namespace tuffy
+
+#endif  // TUFFY_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tuffy {
+
+std::string DeltaTrace::Render() const {
+  // Depth via parent chain; spans are appended in begin order, so a
+  // parent always precedes its children and one forward pass suffices.
+  std::vector<int> depth(spans.size(), 0);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent >= 0) depth[i] = depth[spans[i].parent] + 1;
+  }
+  std::ostringstream out;
+  if (!session.empty()) {
+    out << "delta trace session=" << session << " seq=" << sequence << '\n';
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (int d = 0; d < depth[i]; ++d) out << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", spans[i].seconds() * 1e3);
+    out << spans[i].name << "  " << buf << " ms\n";
+  }
+  return out.str();
+}
+
+int TraceBuilder::BeginSpan(const std::string& name) {
+  Span span;
+  span.name = name;
+  span.start_ns = TraceNowNs();
+  span.parent = open_.empty() ? -1 : open_.back();
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(index);
+  return index;
+}
+
+void TraceBuilder::EndSpan(int index) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  spans_[index].end_ns = TraceNowNs();
+  // Pop back to (and including) this span; tolerates a caller that
+  // forgot to end an inner span.
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    if (top == index) break;
+    if (spans_[top].end_ns == 0) spans_[top].end_ns = spans_[index].end_ns;
+  }
+}
+
+int TraceBuilder::AddSpan(const std::string& name, uint64_t start_ns,
+                          uint64_t end_ns) {
+  return AddChildSpan(name, start_ns, end_ns,
+                      open_.empty() ? -1 : open_.back());
+}
+
+int TraceBuilder::AddChildSpan(const std::string& name, uint64_t start_ns,
+                               uint64_t end_ns, int parent) {
+  Span span;
+  span.name = name;
+  span.start_ns = start_ns;
+  span.end_ns = std::max(start_ns, end_ns);
+  span.parent = parent;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+DeltaTrace TraceBuilder::Finish(uint64_t sequence) {
+  // Close any spans left open so the rendered tree never shows a
+  // zero-end span.
+  const uint64_t now = TraceNowNs();
+  for (int index : open_) {
+    if (spans_[index].end_ns == 0) spans_[index].end_ns = now;
+  }
+  open_.clear();
+  DeltaTrace trace;
+  trace.sequence = sequence;
+  trace.session = session_;
+  trace.spans = std::move(spans_);
+  spans_.clear();
+  return trace;
+}
+
+void TraceRing::Push(DeltaTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<DeltaTrace> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<DeltaTrace>(ring_.begin(), ring_.end());
+}
+
+}  // namespace tuffy

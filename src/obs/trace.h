@@ -1,0 +1,135 @@
+#ifndef TUFFY_OBS_TRACE_H_
+#define TUFFY_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tuffy {
+
+/// Steady-clock nanoseconds, the time base for all spans. Matches the
+/// steady_clock used by util/timer.h and the net server's
+/// MonotonicSeconds so cross-layer timestamps compare directly.
+inline uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One timed section of a delta's lifecycle. Spans form a tree via
+/// parent (index into the owning trace's span vector, -1 for roots).
+struct Span {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  int32_t parent = -1;
+
+  double seconds() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+/// A finished trace: the spans of one delta, from network enqueue to
+/// reply (or just the session part when applied in-process).
+struct DeltaTrace {
+  uint64_t sequence = 0;   // session epoch or server-assigned id
+  std::string session;
+  std::vector<Span> spans;
+
+  double total_seconds() const {
+    return spans.empty() ? 0.0 : spans.front().seconds();
+  }
+
+  /// Render the span tree as indented text, one span per line:
+  ///   apply_delta                         12.345 ms
+  ///     wal.append                         0.210 ms
+  ///     ground.delta                       1.002 ms
+  /// Used by the slow-delta log and the kTrace wire reply.
+  std::string Render() const;
+};
+
+/// Collects spans for one delta. Callers open spans with BeginSpan and
+/// close them with EndSpan; AddSpan records an already-timed section
+/// (used when the timing was captured in a plain array by pool workers
+/// and converted after the join, or when the start predates the builder,
+/// e.g. the net lane queue wait). A null TraceBuilder* everywhere means
+/// tracing is off and every hook is a no-op branch — that, plus the fact
+/// that the builder only reads clocks, is why trace on/off is
+/// bit-identical for inference.
+///
+/// Not thread-safe: one builder belongs to the single thread applying
+/// the delta. Pool workers never touch it.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(std::string session_name = "")
+      : session_(std::move(session_name)) {}
+
+  /// Opens a span as a child of the innermost open span; returns its
+  /// index for EndSpan.
+  int BeginSpan(const std::string& name);
+  void EndSpan(int index);
+
+  /// Records a closed span with explicit bounds under the innermost open
+  /// span (or as a root).
+  int AddSpan(const std::string& name, uint64_t start_ns, uint64_t end_ns);
+
+  /// Like AddSpan but with an explicit parent index — for spans whose
+  /// parent is itself an already-closed AddSpan (e.g. a per-component
+  /// marginal refresh under its component's span).
+  int AddChildSpan(const std::string& name, uint64_t start_ns,
+                   uint64_t end_ns, int parent);
+
+  /// Moves the collected spans into a DeltaTrace.
+  DeltaTrace Finish(uint64_t sequence);
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+ private:
+  std::string session_;
+  std::vector<Span> spans_;
+  std::vector<int> open_;  // stack of open span indices
+};
+
+/// RAII guard: BeginSpan on construction (when the builder is non-null),
+/// EndSpan on destruction. The natural way to bracket a scope:
+///   { ScopedSpan s(trace, "wal.append"); ... }
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceBuilder* builder, const char* name) : builder_(builder) {
+    if (builder_ != nullptr) index_ = builder_->BeginSpan(name);
+  }
+  ~ScopedSpan() {
+    if (builder_ != nullptr) builder_->EndSpan(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceBuilder* builder_;
+  int index_ = -1;
+};
+
+/// Bounded ring of the most recent finished traces for one session.
+/// Push/snapshot are mutex-guarded: pushes come from whichever thread
+/// applied the delta, reads from the kTrace wire path.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 16) : capacity_(capacity) {}
+
+  void Push(DeltaTrace trace);
+  std::vector<DeltaTrace> Snapshot() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<DeltaTrace> ring_;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_OBS_TRACE_H_

@@ -11,6 +11,9 @@
 #include "durability/snapshot.h"
 #include "infer/mcsat.h"
 #include "infer/walksat.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -157,7 +160,8 @@ InferenceSession::InferenceSession(const MlnProgram& program,
                                    SessionOptions options)
     : program_(program),
       options_(options),
-      grounder_(program, options.grounding, options.optimizer) {}
+      grounder_(program, options.grounding, options.optimizer),
+      traces_(std::max<uint32_t>(1, options.trace_ring)) {}
 
 Status InferenceSession::Open(const EvidenceDb& initial_evidence,
                               ThreadPool* shared_pool) {
@@ -228,13 +232,16 @@ Status InferenceSession::Open(const EvidenceDb& initial_evidence,
 }
 
 Result<DeltaApplyResult> InferenceSession::ApplyDelta(
-    const EvidenceDelta& delta) {
+    const EvidenceDelta& delta, TraceBuilder* trace) {
   if (!open_) return Status::Internal("session not open");
   if (durable_failed_) {
     return Status::Internal(
         "durable logging failed on an earlier delta; recover the session "
         "from its wal_dir");
   }
+  const int apply_span =
+      trace != nullptr ? trace->BeginSpan("apply_delta") : -1;
+  Timer delta_timer;
 
   // Log first, apply second (during recovery replay the record being
   // applied is already durable, so logging is suppressed). A record that
@@ -243,8 +250,15 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
   if (wal_ != nullptr && !replaying_) {
     BinaryWriter rec;
     EncodeDeltaRecord(delta, epoch_, &rec);
-    Status logged = wal_->Append(rec.Take());
-    if (logged.ok() && options_.wal_fsync) logged = wal_->Sync();
+    Status logged;
+    {
+      ScopedSpan span(trace, "wal.append");
+      logged = wal_->Append(rec.Take());
+    }
+    if (logged.ok() && options_.wal_fsync) {
+      ScopedSpan span(trace, "wal.fsync");
+      logged = wal_->Sync();
+    }
     if (!logged.ok()) {
       durable_failed_ = true;
       return logged;
@@ -252,7 +266,22 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
     ++wal_records_;
   }
 
-  TUFFY_ASSIGN_OR_RETURN(GroundEdits edits, grounder_.ApplyDelta(delta));
+  GroundEdits edits;
+  {
+    ScopedSpan span(trace, "ground.delta");
+    TUFFY_ASSIGN_OR_RETURN(edits, grounder_.ApplyDelta(delta));
+  }
+  static Counter* delta_count =
+      MetricsRegistry::Global().GetCounter("serve.delta.count");
+  static Counter* ground_count =
+      MetricsRegistry::Global().GetCounter("ground.delta.count");
+  static Counter* maintenance_rows =
+      MetricsRegistry::Global().GetCounter("ground.maintenance.rows");
+  static Histogram* delta_seconds =
+      MetricsRegistry::Global().GetHistogram("serve.delta.seconds");
+  delta_count->Add(1);
+  ground_count->Add(1);
+  maintenance_rows->Add(edits.maintenance_rows);
   ++stats_.deltas_applied;
   DeltaApplyResult result;
   result.seq = stats_.deltas_applied;
@@ -262,6 +291,9 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
     ++stats_.no_op_deltas;
     result.components_total = comps_.num_components();
     result.map_cost = map_cost();
+    FinishDeltaTrace(trace, apply_span, delta_timer.ElapsedSeconds(),
+                     &result);
+    delta_seconds->Record(delta_timer.ElapsedSeconds());
     return result;
   }
   ++epoch_;
@@ -294,7 +326,7 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
   comp_cost_ = std::move(next_cost);
   comp_flips_.assign(comps_.num_components(), 0);
 
-  SearchComponents(dirty, /*cold=*/false, &result);
+  SearchComponents(dirty, /*cold=*/false, &result, trace);
   arena_dirty_ = true;
   result.map_cost = map_cost();
 
@@ -308,6 +340,7 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
     // cadence contract ("replay at most snapshot_every records") is part
     // of durability.
     if (!replaying_) {
+      ScopedSpan span(trace, "snapshot.write");
       Status snap = WriteSnapshot();
       if (!snap.ok()) {
         durable_failed_ = true;
@@ -316,7 +349,28 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
     }
     deltas_since_snapshot_ = 0;
   }
+  delta_seconds->Record(delta_timer.ElapsedSeconds());
+  FinishDeltaTrace(trace, apply_span, delta_timer.ElapsedSeconds(), &result);
   return result;
+}
+
+void InferenceSession::FinishDeltaTrace(TraceBuilder* trace, int apply_span,
+                                        double seconds,
+                                        const DeltaApplyResult* result) {
+  FlightRecorder::Global().Recordf(
+      "delta seq=%llu dirty=%zu/%zu flips=%llu %.3fms",
+      static_cast<unsigned long long>(result->seq), result->components_dirty,
+      result->components_total, static_cast<unsigned long long>(result->flips),
+      seconds * 1e3);
+  if (trace == nullptr) return;
+  trace->EndSpan(apply_span);
+  DeltaTrace finished = trace->Finish(result->seq);
+  if (options_.slow_delta_seconds > 0.0 &&
+      seconds >= options_.slow_delta_seconds) {
+    TUFFY_LOG(Warning) << "slow delta (" << seconds * 1e3 << " ms):\n"
+                       << finished.Render();
+  }
+  traces_.Push(std::move(finished));
 }
 
 Status InferenceSession::WriteSnapshot() {
@@ -564,7 +618,8 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
 }
 
 void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
-                                        bool cold, DeltaApplyResult* result) {
+                                        bool cold, DeltaApplyResult* result,
+                                        TraceBuilder* trace) {
   Timer timer;
   result->components_total = comps_.num_components();
   result->components_dirty = dirty.size();
@@ -575,8 +630,14 @@ void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
   const uint64_t search_base = DeriveSeed(options_.seed, 2 * epoch_);
   const uint64_t mcsat_base = DeriveSeed(options_.seed, 2 * epoch_ + 1);
 
+  const int search_span = trace != nullptr ? trace->BeginSpan("search") : -1;
+  // Workers stamp their component's slot; slots become child spans after
+  // the join. Indices are disjoint per worker, so no synchronization.
+  std::vector<ComponentTiming> timings(trace != nullptr ? dirty.size() : 0);
+
   TaskGroup group(pool_);
-  for (size_t c : dirty) {
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    const size_t c = dirty[i];
     uint64_t budget = std::max<uint64_t>(
         1, options_.total_flips * comps_.atoms[c].size() / total_atoms);
     // Keyed by the component's smallest atom id — stable across thread
@@ -585,21 +646,47 @@ void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
     const uint64_t comp_key = comps_.atoms[c][0];
     const uint64_t search_seed = DeriveSeed(search_base, comp_key);
     const uint64_t mcsat_seed = DeriveSeed(mcsat_base, comp_key);
-    group.Submit([this, c, budget, cold, search_seed, mcsat_seed] {
-      SearchOneComponent(c, budget, cold, search_seed, mcsat_seed);
+    ComponentTiming* timing = timings.empty() ? nullptr : &timings[i];
+    group.Submit([this, c, budget, cold, search_seed, mcsat_seed, timing] {
+      SearchOneComponent(c, budget, cold, search_seed, mcsat_seed, timing);
     });
   }
   group.Wait();
+
+  if (trace != nullptr) {
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      const ComponentTiming& t = timings[i];
+      const int comp_span = trace->AddSpan(
+          StrFormat("search.component[%llu]",
+                    (unsigned long long)comps_.atoms[dirty[i]][0]),
+          t.start_ns, t.end_ns);
+      if (t.mcsat_end_ns > t.mcsat_start_ns) {
+        // Explicit parent: the component span is already closed, so the
+        // innermost-open-span default would mis-parent this one.
+        trace->AddChildSpan("mcsat.refresh", t.mcsat_start_ns,
+                            t.mcsat_end_ns, comp_span);
+      }
+    }
+    trace->EndSpan(search_span);
+  }
 
   for (size_t c : dirty) result->flips += comp_flips_[c];
   stats_.components_researched += dirty.size();
   stats_.flips += result->flips;
   result->search_seconds = timer.ElapsedSeconds();
+
+  static Counter* researched =
+      MetricsRegistry::Global().GetCounter("search.component.count");
+  static Counter* flips = MetricsRegistry::Global().GetCounter("search.flips");
+  researched->Add(dirty.size());
+  flips->Add(result->flips);
 }
 
 void InferenceSession::SearchOneComponent(size_t comp, uint64_t budget,
                                           bool cold, uint64_t search_seed,
-                                          uint64_t mcsat_seed) {
+                                          uint64_t mcsat_seed,
+                                          ComponentTiming* timing) {
+  if (timing != nullptr) timing->start_ns = TraceNowNs();
   const std::vector<AtomId>& comp_atoms = comps_.atoms[comp];
   if (comps_.clauses[comp].empty()) {
     // Clause-less singleton: nothing to search. The atom is either
@@ -616,6 +703,7 @@ void InferenceSession::SearchOneComponent(size_t comp, uint64_t budget,
             t == Truth::kTrue ? 1.0 : (t == Truth::kFalse ? 0.0 : 0.5);
       }
     }
+    if (timing != nullptr) timing->end_ns = TraceNowNs();
     return;
   }
 
@@ -648,6 +736,7 @@ void InferenceSession::SearchOneComponent(size_t comp, uint64_t budget,
   }
 
   if (options_.track_marginals) {
+    if (timing != nullptr) timing->mcsat_start_ns = TraceNowNs();
     McSatOptions mopts;
     mopts.num_samples = options_.mcsat_samples;
     mopts.burn_in = options_.mcsat_burn_in;
@@ -656,7 +745,9 @@ void InferenceSession::SearchOneComponent(size_t comp, uint64_t budget,
     for (size_t i = 0; i < comp_atoms.size(); ++i) {
       marginals_[comp_atoms[i]] = mr.marginals[i];
     }
+    if (timing != nullptr) timing->mcsat_end_ns = TraceNowNs();
   }
+  if (timing != nullptr) timing->end_ns = TraceNowNs();
 }
 
 double InferenceSession::map_cost() const {

@@ -9,6 +9,7 @@
 #include "durability/wal.h"
 #include "infer/problem.h"
 #include "mrf/components.h"
+#include "obs/trace.h"
 #include "serve/delta_grounder.h"
 #include "util/thread_pool.h"
 
@@ -55,6 +56,17 @@ struct SessionOptions {
   /// log trails the session by the OS write-back window — crash recovery
   /// then restores a recent-but-stale prefix of the delta stream.
   bool wal_fsync = true;
+
+  // ---- Observability (docs/OBSERVABILITY.md). Deliberately excluded
+  // from OptionsFingerprint: tracing only reads clocks, so a session
+  // recovered (or twinned) under different observability knobs is still
+  // bit-identical.
+
+  /// Finished delta traces retained per session for the kTrace query.
+  uint32_t trace_ring = 16;
+  /// A delta slower than this logs its rendered span tree at Warning;
+  /// 0 disables the slow-delta log.
+  double slow_delta_seconds = 0.0;
 };
 
 /// Rejects out-of-range session knobs with an explanatory Status.
@@ -149,8 +161,16 @@ class InferenceSession {
   /// Applies one evidence delta end to end: delta grounding, dirty
   /// component re-search, marginal refresh. An effectively-empty delta
   /// returns the cached result without touching the clause set, the
-  /// arena, or any component.
-  Result<DeltaApplyResult> ApplyDelta(const EvidenceDelta& delta);
+  /// arena, or any component. `trace`, if non-null, collects the delta's
+  /// lifecycle spans (WAL append/fsync, grounding, per-component
+  /// search); the finished trace lands in this session's trace ring and,
+  /// above options.slow_delta_seconds, in the log. Tracing never affects
+  /// results — it only reads clocks.
+  Result<DeltaApplyResult> ApplyDelta(const EvidenceDelta& delta,
+                                      TraceBuilder* trace = nullptr);
+
+  /// Recent delta traces, newest last (bounded by options.trace_ring).
+  std::vector<DeltaTrace> RecentTraces() const { return traces_.Snapshot(); }
 
   /// Current MAP cost: sum of per-component best costs plus the
   /// evidence-determined fixed cost. Maintained incrementally.
@@ -183,14 +203,33 @@ class InferenceSession {
   size_t EstimateBytes() const;
 
  private:
+  /// Per-component wall-clock bounds captured by pool workers. Each
+  /// worker writes only its own element (disjoint indices), so the
+  /// arrays need no synchronization beyond the TaskGroup join; they are
+  /// turned into spans after Wait(), on the applying thread.
+  struct ComponentTiming {
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+    uint64_t mcsat_start_ns = 0;
+    uint64_t mcsat_end_ns = 0;
+  };
+
   /// Searches the given components (and refreshes their marginals),
   /// writing per-component cost/flip slots and the global truth slices.
   /// `cold` selects the initial-assignment policy; warm runs start from
   /// the previous MAP truth.
   void SearchComponents(const std::vector<size_t>& dirty, bool cold,
-                        DeltaApplyResult* result);
+                        DeltaApplyResult* result,
+                        TraceBuilder* trace = nullptr);
   void SearchOneComponent(size_t comp, uint64_t budget, bool cold,
-                          uint64_t search_seed, uint64_t mcsat_seed);
+                          uint64_t search_seed, uint64_t mcsat_seed,
+                          ComponentTiming* timing);
+
+  /// Closes the root span, pushes the finished trace into the ring,
+  /// logs it if the delta breached slow_delta_seconds, and stamps the
+  /// flight recorder. No-op trace handling when `trace` is null.
+  void FinishDeltaTrace(TraceBuilder* trace, int apply_span, double seconds,
+                        const DeltaApplyResult* result);
 
   /// Serializes the full session state and writes it as snapshot
   /// `wal_records_` (atomically; see durability/snapshot.h).
@@ -227,6 +266,10 @@ class InferenceSession {
   uint64_t epoch_ = 0;
   bool open_ = false;
   SessionStats stats_;
+
+  /// Recent finished delta traces (kTrace wire query); capacity fixed at
+  /// construction from options.trace_ring.
+  TraceRing traces_;
 
   // ---- Durability state (all inert for a volatile session).
   std::unique_ptr<WalWriter> wal_;

@@ -129,7 +129,8 @@ Result<InferenceSession*> SessionManager::Get(const std::string& name) const {
 }
 
 Result<DeltaApplyResult> SessionManager::ApplyDelta(
-    const std::string& name, const EvidenceDelta& delta) {
+    const std::string& name, const EvidenceDelta& delta,
+    TraceBuilder* trace) {
   InferenceSession* session = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -144,7 +145,7 @@ Result<DeltaApplyResult> SessionManager::ApplyDelta(
   // concurrently on the shared pool. Concurrent deltas to the *same*
   // session are the caller's race, exactly as with any storage engine
   // handle; Close, however, is safe — it drains the pin.
-  Result<DeltaApplyResult> result = session->ApplyDelta(delta);
+  Result<DeltaApplyResult> result = session->ApplyDelta(delta, trace);
   // Re-measuring walks the whole resident model (EstimateBytes is
   // O(clauses + atoms)), so do it while still pinned but *before*
   // re-taking the manager lock, and skip it when the delta verifiably

@@ -89,9 +89,11 @@ class SessionManager {
   Result<InferenceSession*> Get(const std::string& name) const;
 
   /// Applies a delta to the named session and re-measures its resident
-  /// charge.
+  /// charge. `trace`, if non-null, collects the delta's lifecycle spans
+  /// (see InferenceSession::ApplyDelta).
   Result<DeltaApplyResult> ApplyDelta(const std::string& name,
-                                      const EvidenceDelta& delta);
+                                      const EvidenceDelta& delta,
+                                      TraceBuilder* trace = nullptr);
 
   /// Closes the session, releasing its memory charge. Blocks until
   /// in-flight ApplyDelta calls on the session drain (they hold a pin,

@@ -1,9 +1,31 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
 #include "util/mem_tracker.h"
 #include "util/string_util.h"
 
 namespace tuffy {
+
+namespace {
+// Registry mirrors of BufferPoolStats, aggregated across all pools in
+// the process. The per-pool struct stays authoritative for the benches;
+// the registry gives the serving scrape one global view.
+Counter* PoolHits() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.bufferpool.hits");
+  return c;
+}
+Counter* PoolMisses() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.bufferpool.misses");
+  return c;
+}
+Counter* PoolEvictions() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("storage.bufferpool.evictions");
+  return c;
+}
+}  // namespace
 
 BufferPool::BufferPool(size_t num_frames, DiskManager* disk) : disk_(disk) {
   frames_.reserve(num_frames);
@@ -45,6 +67,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
     lru_pos_.erase(idx);
     lru_.erase(it);
     ++stats_.evictions;
+    PoolEvictions()->Add(1);
     page->Reset();
     return idx;
   }
@@ -57,12 +80,14 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    PoolHits()->Add(1);
     Page* page = frames_[it->second].get();
     page->Pin();
     TouchLru(it->second);
     return page;
   }
   ++stats_.misses;
+  PoolMisses()->Add(1);
   TUFFY_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Page* page = frames_[idx].get();
   Status read = disk_->ReadPage(page_id, page->data());

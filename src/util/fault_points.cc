@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
+
 namespace tuffy {
 
 FaultPoints& FaultPoints::Global() {
@@ -67,6 +69,11 @@ FaultAction FaultPoints::Hit(const char* point) {
     armed_.erase(it);  // one-shot
   }
   if (fired == FaultAction::kCrash) {
+    // Last words before the injected crash: the flight recorder dump is
+    // the same one a real fatal signal would produce, so the recovery
+    // harness exercises the post-mortem path too.
+    FlightRecorder::Global().Recordf("fault point fired: %s (crash)", point);
+    FlightRecorder::Global().DumpAll(/*include_metrics=*/true);
     // No destructors, no stream flushes: the closest an in-process
     // harness gets to pulling the power cord.
     std::_Exit(kFaultCrashExitCode);

@@ -1,6 +1,18 @@
 #include "util/thread_pool.h"
 
+#include "obs/metrics.h"
+
 namespace tuffy {
+
+namespace {
+// One process-wide depth gauge across all pools: serving uses a single
+// pool, and a global view is what the scrape wants anyway.
+Gauge* QueueDepth() {
+  static Gauge* g =
+      MetricsRegistry::Global().GetGauge("threadpool.queue.depth");
+  return g;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -23,6 +35,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    QueueDepth()->Set(static_cast<int64_t>(queue_.size()));
   }
   cv_task_.notify_one();
 }
@@ -44,6 +57,7 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepth()->Set(static_cast<int64_t>(queue_.size()));
       ++in_flight_;
     }
     task();

@@ -14,7 +14,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
-#include "util/histogram.h"
+#include "obs/metrics.h"
 
 namespace tuffy {
 namespace {
@@ -240,9 +240,9 @@ TEST(NetProtocolTest, PeekRequestIdReadsIdFromAnyPayload) {
 }
 
 TEST(HistogramTest, PercentilesLandInTheRightBucketRange) {
-  LatencyHistogram h;
-  for (int i = 0; i < 900; ++i) h.Record(1e-3);   // 1 ms
-  for (int i = 0; i < 100; ++i) h.Record(100e-3);  // 100 ms
+  Histogram h;
+  for (int i = 0; i < 900; ++i) h.RecordAlways(1e-3);   // 1 ms
+  for (int i = 0; i < 100; ++i) h.RecordAlways(100e-3);  // 100 ms
   EXPECT_EQ(h.count(), 1000u);
   // p50 sits in the 1ms bucket (512..1024 us), p99 in the 100ms one.
   EXPECT_GE(h.Percentile(0.50), 0.5e-3);
@@ -250,10 +250,44 @@ TEST(HistogramTest, PercentilesLandInTheRightBucketRange) {
   EXPECT_GE(h.Percentile(0.99), 64e-3);
   EXPECT_LE(h.Percentile(0.99), 200e-3);
 
-  LatencyHistogram other;
-  other.Record(1e-3);
-  other.Merge(h);
-  EXPECT_EQ(other.count(), 1001u);
+  // Snapshots subtract, which is how the server baselines the
+  // process-global registry histogram at Start().
+  HistogramSnapshot before = h.Snapshot();
+  h.RecordAlways(1e-3);
+  HistogramSnapshot diff = h.Snapshot() - before;
+  EXPECT_EQ(diff.count, 1u);
+}
+
+TEST(NetProtocolTest, MetricsAndTraceMessagesRoundTrip) {
+  NetRequest metrics;
+  metrics.type = MsgType::kMetrics;
+  metrics.request_id = 9;
+  auto metrics_out = DecodeRequest(EncodeRequest(metrics));
+  ASSERT_TRUE(metrics_out.ok());
+  EXPECT_EQ(metrics_out.value().type, MsgType::kMetrics);
+
+  NetRequest trace;
+  trace.type = MsgType::kTrace;
+  trace.request_id = 10;
+  trace.session = "s1";
+  auto trace_out = DecodeRequest(EncodeRequest(trace));
+  ASSERT_TRUE(trace_out.ok());
+  EXPECT_EQ(trace_out.value().session, "s1");
+
+  NetResponse reply;
+  reply.type = MsgType::kMetricsReply;
+  reply.request_id = 9;
+  reply.message = "serve.delta.count 3\n";
+  auto reply_out = DecodeResponse(EncodeResponse(reply));
+  ASSERT_TRUE(reply_out.ok());
+  EXPECT_EQ(reply_out.value().message, reply.message);
+
+  reply.type = MsgType::kTraceReply;
+  reply.message = "apply_delta 1.2 ms\n";
+  auto trace_reply_out = DecodeResponse(EncodeResponse(reply));
+  ASSERT_TRUE(trace_reply_out.ok());
+  EXPECT_EQ(trace_reply_out.value().type, MsgType::kTraceReply);
+  EXPECT_EQ(trace_reply_out.value().message, reply.message);
 }
 
 // --------------------------------------------------------------- server
@@ -301,6 +335,47 @@ TEST_F(NetTest, OpenDeltaQueryCloseRoundTrip) {
   ASSERT_TRUE(map2.ok());
   EXPECT_EQ(map2.value().type, MsgType::kError);
   EXPECT_EQ(map2.value().error, WireError::kNotFound);
+}
+
+TEST_F(NetTest, MetricsAndTraceOverTheWire) {
+  StartServer();
+  Client client = MakeClient();
+  ASSERT_TRUE(client.OpenSession("s1").ok());
+  auto delta = client.ApplyDelta("s1", ToggleDelta(0));
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta.value().type, MsgType::kDeltaReply);
+
+  // kMetrics is server-wide: Prometheus-style registry text with the
+  // serving catalog present and the delta visible in the series the CI
+  // smoke greps.
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(metrics.value().type, MsgType::kMetricsReply);
+  const std::string& text = metrics.value().message;
+  for (const char* name :
+       {"serve.delta.count", "wal.append.count", "ground.delta.count",
+        "search.component.count", "net.lane.queue.wait.seconds",
+        "serve.delta.seconds", "net.delta.wire.seconds"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+
+  // kTrace returns the session's recent span trees: the delta above
+  // must show its lifecycle, including the lane queue wait stamped by
+  // the server worker.
+  auto trace = client.Trace("s1");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace.value().type, MsgType::kTraceReply);
+  const std::string& spans = trace.value().message;
+  EXPECT_NE(spans.find("apply_delta"), std::string::npos) << spans;
+  EXPECT_NE(spans.find("net.lane.wait"), std::string::npos) << spans;
+  EXPECT_NE(spans.find("ground.delta"), std::string::npos) << spans;
+
+  // Tracing an unknown session is a wire error, not a crash.
+  auto missing = client.Trace("nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().type, MsgType::kError);
+  EXPECT_EQ(missing.value().error, WireError::kNotFound);
 }
 
 TEST_F(NetTest, ProgramFingerprintMismatchIsRejected) {
