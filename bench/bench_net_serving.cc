@@ -6,14 +6,19 @@
 // which is also checked against one from-scratch engine run over the
 // accumulated evidence (the wire must not change inference).
 //
+// A final "replicated" row runs the stream against a durable primary
+// with a hot standby tailing its WAL: each delta must reach the
+// follower and drain repl.lag.records back to 0 before the next one.
+//
 // BENCH_JSON schema (one line per system × client count):
-//   {"bench":"net_serving","system":"net"|"inproc","clients":N,
+//   {"bench":"net_serving","system":"net"|"inproc"|"replicated","clients":N,
 //    "deltas_per_sec":...,"p50_ms":...,"p99_ms":...,
 //    "total_deltas":...,"seconds":...,"final_cost":...,
 //    "fresh_cost":...}
 // p50/p99 are client-observed per-delta latencies (for the net rows
 // that includes framing, loopback, queueing, and the reply).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +31,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "serve/follower_manager.h"
 #include "serve/session_manager.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -162,15 +168,20 @@ RunResult RunNet(const Dataset& ds,
       double cost = 0.0;
       bool ok = true;
       const std::string session = "bench-" + std::to_string(c);
+      // 64 clients can shed for a while; give retries a deep budget so
+      // the run measures throughput, not a retry-exhaustion failure.
+      RetryPolicy rp;
+      rp.max_attempts = 64;
       for (const EvidenceDelta& delta : deltas) {
+        NetRequest req;
+        req.type = MsgType::kApplyDelta;
+        req.session = session;
+        req.delta = delta;
         Timer t;
-        auto r = conns[c].ApplyDelta(session, delta);
-        // Overload shedding is retryable by contract; the bench retries
-        // so every delta lands and ordering per session still holds.
-        while (r.ok() && r.value().type == MsgType::kError &&
-               r.value().retryable) {
-          r = conns[c].ApplyDelta(session, delta);
-        }
+        // Overload shedding is retryable by contract; CallWithRetry's
+        // jittered backoff lands every delta (a retryable refusal never
+        // touched session state, so per-session ordering still holds).
+        auto r = conns[c].CallWithRetry(req, rp);
         if (!r.ok() || r.value().type != MsgType::kDeltaReply) {
           ok = false;
           break;
@@ -255,6 +266,127 @@ RunResult RunInProcess(const Dataset& ds,
   return result;
 }
 
+/// Replication lesion: a durable single-session primary with one
+/// in-process hot standby tailing its WAL over loopback. One client
+/// streams the delta sequence through the wire (CallWithRetry); after
+/// every delta the bench waits for the follower to reach that position
+/// and for the repl.lag.records gauge to drain back to 0 — the
+/// "replication keeps up with the write rate" check from the issue.
+/// The follower's replicated state must land on the same MAP cost as
+/// the primary's reply (and the caller checks both against fresh_cost).
+RunResult RunReplication(const Dataset& ds,
+                         const std::vector<EvidenceDelta>& deltas) {
+  std::string proot = "/tmp/bench_net_repl_p_XXXXXX";
+  std::string froot = "/tmp/bench_net_repl_f_XXXXXX";
+  if (::mkdtemp(proot.data()) == nullptr ||
+      ::mkdtemp(froot.data()) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+
+  ServerOptions opts;
+  opts.session = BenchSessionOptions();
+  opts.num_workers = 2;
+  opts.durability_root = proot;
+  opts.wal_fsync = false;  // lag drain is the subject, not fsync latency
+  opts.repl_heartbeat_seconds = 0.05;
+  Server server(ds.program, ds.evidence, opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "repl server start: %s\n",
+                 started.ToString().c_str());
+    std::exit(1);
+  }
+
+  const std::string session = "bench-repl";
+  Client client;
+  if (!client.Connect("127.0.0.1", server.port()).ok()) {
+    std::fprintf(stderr, "repl connect failed\n");
+    std::exit(1);
+  }
+  auto open = client.OpenSession(session);
+  if (!open.ok() || open.value().type != MsgType::kOpenReply) {
+    std::fprintf(stderr, "repl open failed\n");
+    std::exit(1);
+  }
+
+  FollowerOptions fopts;
+  fopts.primary_host = "127.0.0.1";
+  fopts.primary_port = server.port();
+  fopts.session = session;
+  fopts.session_options = BenchSessionOptions();
+  fopts.session_options.wal_dir = froot + "/" + session;
+  fopts.session_options.wal_fsync = false;
+  FollowerManager follower(ds.program, fopts);
+  Status fstart = follower.Start();
+  if (!fstart.ok()) {
+    std::fprintf(stderr, "follower start: %s\n", fstart.ToString().c_str());
+    std::exit(1);
+  }
+
+  Gauge* lag = MetricsRegistry::Global().GetGauge("repl.lag.records");
+  auto await = [&](const char* what, auto pred) {
+    Timer t;
+    while (!pred()) {
+      if (t.ElapsedSeconds() > 30.0) {
+        std::fprintf(stderr, "FAIL: replication never %s (position %llu, "
+                     "lag %lld)\n",
+                     what, (unsigned long long)follower.position(),
+                     (long long)lag->Value());
+        std::exit(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+
+  RunResult result;
+  Histogram latency;
+  Timer timer;
+  double primary_cost = 0.0;
+  uint64_t seq = 0;
+  for (const EvidenceDelta& delta : deltas) {
+    NetRequest req;
+    req.type = MsgType::kApplyDelta;
+    req.session = session;
+    req.delta = delta;
+    Timer t;
+    auto r = client.CallWithRetry(req);
+    if (!r.ok() || r.value().type != MsgType::kDeltaReply) {
+      std::fprintf(stderr, "repl delta failed\n");
+      std::exit(1);
+    }
+    primary_cost = r.value().map_cost;
+    ++seq;
+    // The follower must catch up to this delta, and the primary's lag
+    // gauge must drain to 0 (it refreshes on pump and on ack).
+    await("caught up", [&] { return follower.position() >= seq; });
+    await("drained its lag", [&] { return lag->Value() == 0; });
+    latency.RecordAlways(t.ElapsedSeconds());
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.latency = latency.Snapshot();
+
+  double follower_cost = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(follower.replica()->mu());
+    InferenceSession* s = follower.replica()->session();
+    if (s != nullptr) follower_cost = s->map_cost();
+  }
+  result.final_cost = follower_cost;
+  result.cost_consistent = std::fabs(follower_cost - primary_cost) <= 1e-6;
+  if (!result.cost_consistent) {
+    std::fprintf(stderr,
+                 "FAIL: follower cost %.6f != primary cost %.6f\n",
+                 follower_cost, primary_cost);
+  }
+  std::printf("  replicated: follower matched the primary after each of "
+              "%llu deltas (lag drained to 0 every time)\n",
+              (unsigned long long)seq);
+  follower.Stop();
+  server.Stop();
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -300,6 +432,18 @@ int main() {
     std::printf("  %2d clients: wire throughput is %.2fx in-process\n",
                 clients, ratio);
   }
+
+  // Replication lesion: the same stream against a durable primary with a
+  // hot standby attached — every delta must replicate, the lag gauge
+  // must drain to 0, and the follower must land on the fresh MAP cost.
+  std::vector<MetricSample> repl_base = MetricsBaseline();
+  RunResult repl = RunReplication(ds, deltas);
+  EmitRow("replicated", 1, repl, fresh_cost, repl_base);
+  if (!repl.cost_consistent ||
+      std::fabs(repl.final_cost - fresh_cost) > 1e-6) {
+    all_match = false;
+  }
+
   if (!all_match) {
     std::fprintf(stderr,
                  "FAIL: a session's final MAP cost diverged from the "

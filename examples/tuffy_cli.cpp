@@ -73,6 +73,24 @@
 //                  delta span trees for this session). The local
 //                  program (-i/-gen, for atom names and the fingerprint
 //                  check) must match the server's.
+//   -follow HOST:PORT
+//                  run as a hot standby of the durable primary at
+//                  HOST:PORT (docs/DURABILITY.md, "Replication &
+//                  failover"): subscribe to its session "cli", apply
+//                  its shipped WAL records into a local replica rooted
+//                  at -wal_dir (required), print "replicated to N"
+//                  progress on stderr, and reconnect with backoff when
+//                  the primary goes quiet. The REPL serves read-only
+//                  queries (cost/query/marginals/status) plus `promote`
+//                  — operator failover that seals the local WAL and
+//                  makes apply work locally. Combine with -serve PORT
+//                  to also front the replica over TCP (deltas are
+//                  refused with a retryable not-primary error until
+//                  promotion).
+//   -crash_at SPEC arm a fault point before running, e.g.
+//                  'wal.append.mid_record=crash@2' (see
+//                  util/fault_points.h). The process _Exit()s with
+//                  code 43 when a crash fault fires.
 //
 // Examples:
 //   ./build/examples/tuffy_cli -i prog.mln -e facts.db -q cat
@@ -99,6 +117,8 @@
 #include "net/server.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "serve/follower_manager.h"
+#include "util/fault_points.h"
 #include "util/string_util.h"
 
 using namespace tuffy;  // NOLINT: example brevity
@@ -118,6 +138,8 @@ struct CliArgs {
   bool serve = false;
   uint16_t serve_port = 0;
   std::string connect;  // "host:port"; empty = no -connect
+  std::string follow;   // "host:port"; empty = no -follow
+  std::string crash_at;  // fault-point spec to arm at startup
   EngineOptions engine;
   LearnOptions learnwt;
 };
@@ -130,7 +152,8 @@ int Usage(const char* argv0) {
                "[-algo vp|dn] [-epochs N] [-lr X] [-flips N] [-threads N] "
                "[-budget BYTES] [-mode component|memory|partition|disk] "
                "[-topdown] [-seed N] [-wal_dir DIR] [-snapshot_every N] "
-               "[-no_fsync] [-serve PORT] [-connect HOST:PORT]\n",
+               "[-no_fsync] [-serve PORT] [-connect HOST:PORT] "
+               "[-follow HOST:PORT] [-crash_at SPEC]\n",
                argv0);
   return 2;
 }
@@ -285,6 +308,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->connect = v;
+    } else if (a == "-follow") {
+      const char* v = next();
+      if (!v) return false;
+      args->follow = v;
+    } else if (a == "-crash_at") {
+      const char* v = next();
+      if (!v) return false;
+      args->crash_at = v;
     } else if (a == "-topdown") {
       args->engine.grounding_mode = GroundingMode::kTopDown;
     } else if (a == "-seed") {
@@ -304,10 +335,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     }
     return true;
   }
-  if (args->serve || !args->connect.empty()) {
+  if (args->serve || !args->connect.empty() || !args->follow.empty()) {
     // The wire modes need the program (atom names, fingerprint check);
     // -serve also needs evidence for the sessions' base state, while a
-    // -connect client never touches evidence locally.
+    // -connect client or -follow replica never touches evidence locally
+    // (a follower's base state arrives as a shipped snapshot).
+    if (!args->follow.empty()) {
+      return !args->program_file.empty() && !args->engine.wal_dir.empty();
+    }
     return !args->program_file.empty() &&
            (!args->serve || !args->evidence_file.empty());
   }
@@ -730,7 +765,14 @@ int RunConnect(const CliArgs& args, const MlnProgram& program) {
     } else if (cmd == "assert" || cmd == "retract") {
       StageEdit(program, cmd, rest, &staged);
     } else if (cmd == "apply") {
-      auto r = call("apply", client.ApplyDelta(session, staged));
+      // Retryable refusals (overload shedding, a not-yet-promoted
+      // replica) are retried with backoff instead of bouncing back to
+      // the user.
+      NetRequest req;
+      req.type = MsgType::kApplyDelta;
+      req.session = session;
+      req.delta = staged;
+      auto r = call("apply", client.CallWithRetry(req));
       if (!r.ok()) return 1;
       if (r.value().type == MsgType::kDeltaReply) {
         staged = EvidenceDelta{};
@@ -812,6 +854,205 @@ int RunConnect(const CliArgs& args, const MlnProgram& program) {
   return 0;
 }
 
+// --------------------------------------------------------------- -follow
+
+/// Hot standby: stream the primary's WAL into a local replica, print
+/// replication progress, and serve a read-only REPL with an operator
+/// `promote` command. With -serve PORT, the replica is also fronted over
+/// TCP (queries served, deltas refused with kNotPrimary until promoted).
+int RunFollow(const CliArgs& args, const MlnProgram& program,
+              const EvidenceDb& evidence) {
+  if (args.engine.wal_dir.empty()) {
+    std::fprintf(stderr, "-follow needs -wal_dir for the local copy\n");
+    return 2;
+  }
+  size_t colon = args.follow.rfind(':');
+  if (colon == std::string::npos || colon + 1 == args.follow.size()) {
+    std::fprintf(stderr, "-follow expects HOST:PORT, got '%s'\n",
+                 args.follow.c_str());
+    return 2;
+  }
+  InstallFlightRecorderCrashHandlers();
+  FlightRecorder::Global().SetDumpPath(
+      (args.engine.wal_dir + "/flight_recorder.txt").c_str());
+
+  FollowerOptions fopts;
+  fopts.primary_host = args.follow.substr(0, colon);
+  fopts.primary_port = static_cast<uint16_t>(
+      std::strtoul(args.follow.c_str() + colon + 1, nullptr, 10));
+  fopts.session = "cli";
+  fopts.session_options.total_flips = args.engine.total_flips;
+  fopts.session_options.seed = args.engine.seed;
+  fopts.session_options.track_marginals = args.marginal;
+  fopts.session_options.num_threads = args.engine.num_threads;
+  fopts.session_options.wal_dir = args.engine.wal_dir;
+  fopts.session_options.snapshot_every = args.engine.snapshot_every;
+  fopts.session_options.wal_fsync = args.engine.wal_fsync;
+
+  FollowerManager follower(program, fopts);
+  Status started = follower.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "follow failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "following %s from position %llu\n",
+               args.follow.c_str(),
+               (unsigned long long)follower.position());
+
+  // Optional TCP front end over the replica.
+  std::unique_ptr<Server> front;
+  if (args.serve) {
+    ServerOptions sopts;
+    sopts.port = args.serve_port;
+    sopts.replica = follower.replica();
+    sopts.replica_session = fopts.session;
+    front = std::make_unique<Server>(program, evidence, sopts);
+    Status fs = front->Start();
+    if (!fs.ok()) {
+      std::fprintf(stderr, "replica serve failed: %s\n",
+                   fs.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on %s:%u\n", sopts.host.c_str(), front->port());
+    std::fflush(stdout);
+  }
+
+  // Progress monitor: one stderr line per replicated position, the
+  // "replicated to N" lines scripts (and the CI failover smoke) wait on.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor([&]() {
+    uint64_t reported = follower.position();
+    while (!monitor_stop.load(std::memory_order_acquire)) {
+      const FollowerState st = follower.state();
+      const uint64_t pos = follower.position();
+      if (pos != reported &&
+          (st == FollowerState::kStreaming ||
+           st == FollowerState::kBootstrapping)) {
+        double cost = 0.0;
+        {
+          std::lock_guard<std::mutex> lock(follower.replica()->mu());
+          InferenceSession* s = follower.replica()->session();
+          if (s != nullptr) cost = s->map_cost();
+        }
+        std::fprintf(stderr, "replicated to %llu (cost %.4f)\n",
+                     (unsigned long long)pos, cost);
+        std::fflush(stderr);
+        reported = pos;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  EvidenceDelta staged;
+  std::string line;
+  int rc = 0;
+  ReplicaSession* replica = follower.replica();
+  while (std::getline(std::cin, line)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    size_t sp = line.find(' ');
+    std::string cmd = line.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+
+    if (cmd.empty()) {
+    } else if (cmd == "status") {
+      std::fprintf(stderr,
+                   "state %s, position %llu, primary committed %llu, "
+                   "reconnects %llu%s\n",
+                   FollowerStateName(follower.state()),
+                   (unsigned long long)follower.position(),
+                   (unsigned long long)follower.primary_committed(),
+                   (unsigned long long)follower.reconnects(),
+                   replica->promoted() ? ", promoted" : "");
+    } else if (cmd == "cost") {
+      std::lock_guard<std::mutex> lock(replica->mu());
+      InferenceSession* s = replica->session();
+      if (s == nullptr) {
+        std::fprintf(stderr, "no replicated state yet\n");
+      } else {
+        std::fprintf(stderr, "map cost: %.4f\n", s->map_cost());
+      }
+    } else if (cmd == "query") {
+      std::lock_guard<std::mutex> lock(replica->mu());
+      InferenceSession* s = replica->session();
+      if (s == nullptr) {
+        std::fprintf(stderr, "no replicated state yet\n");
+      } else {
+        auto atoms = ExtractTrueAtoms(program, s->atoms(), s->truth(), rest);
+        if (!atoms.ok()) {
+          std::fprintf(stderr, "%s\n", atoms.status().ToString().c_str());
+        } else {
+          for (const GroundAtom& atom : atoms.value()) {
+            AtomId id;
+            if (s->atoms().Find(atom, &id)) {
+              std::printf("%s\n", s->atoms().AtomName(program, id).c_str());
+            }
+          }
+          std::fflush(stdout);
+        }
+      }
+    } else if (cmd == "marginals") {
+      std::lock_guard<std::mutex> lock(replica->mu());
+      InferenceSession* s = replica->session();
+      if (s == nullptr || s->marginals().empty()) {
+        std::fprintf(stderr, "no marginals (follow with -marginal and a "
+                             "marginal-tracking primary)\n");
+      } else {
+        auto pid = program.FindPredicate(rest);
+        if (!pid.ok()) {
+          std::fprintf(stderr, "unknown predicate %s\n", rest.c_str());
+        } else {
+          for (AtomId a = 0; a < s->atoms().num_atoms(); ++a) {
+            if (s->atoms().atom(a).pred != pid.value()) continue;
+            std::printf("%.4f\t%s\n", s->marginals()[a],
+                        s->atoms().AtomName(program, a).c_str());
+          }
+          std::fflush(stdout);
+        }
+      }
+    } else if (cmd == "assert" || cmd == "retract") {
+      StageEdit(program, cmd, rest, &staged);
+    } else if (cmd == "apply") {
+      auto r = replica->ApplyDelta(staged);
+      if (!r.ok()) {
+        // Pre-promotion this is the not-primary refusal: the staged
+        // delta survives, ready to re-apply after `promote`.
+        std::fprintf(stderr, "delta refused: %s\n",
+                     r.status().ToString().c_str());
+      } else {
+        staged = EvidenceDelta{};
+        std::fprintf(stderr, "applied: cost %.4f at position %llu\n",
+                     r.value().map_cost,
+                     (unsigned long long)follower.position());
+      }
+    } else if (cmd == "promote") {
+      auto promoted = follower.Promote();
+      if (!promoted.ok()) {
+        std::fprintf(stderr, "promote failed: %s\n",
+                     promoted.status().ToString().c_str());
+      } else {
+        std::fprintf(stderr, "promoted at %llu\n",
+                     (unsigned long long)promoted.value());
+        std::fflush(stderr);
+      }
+    } else if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else {
+      std::fprintf(stderr,
+                   "commands: status | cost | query P | marginals P | "
+                   "assert A [false] | retract A | apply | promote | "
+                   "quit\n");
+    }
+    std::fprintf(stderr, "> ");
+  }
+  monitor_stop.store(true, std::memory_order_release);
+  monitor.join();
+  if (front != nullptr) front->Stop();
+  follower.Stop();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -846,6 +1087,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!args.crash_at.empty()) {
+    Status armed = ArmFaultFromSpec(args.crash_at);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "-crash_at: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
+
+  if (!args.follow.empty()) return RunFollow(args, program, evidence);
   if (args.serve) return RunServe(args, program, evidence);
   if (!args.connect.empty()) return RunConnect(args, program);
   if (args.learn) return RunLearn(args, program, evidence);

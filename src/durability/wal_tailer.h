@@ -1,0 +1,70 @@
+#ifndef TUFFY_DURABILITY_WAL_TAILER_H_
+#define TUFFY_DURABILITY_WAL_TAILER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tuffy {
+
+/// Incremental reader over a live WAL that a WalWriter in the same (or
+/// another) process is still appending to. Unlike ScanWal — which slurps
+/// the whole file once during recovery — a tailer keeps its byte offset
+/// between calls and reads only what appeared since, which is what the
+/// replication source needs to ship the committed suffix record by
+/// record.
+///
+/// An incomplete frame at the end of the file is not an error: the
+/// writer may be mid-append, so the tailer stops cleanly before it and
+/// re-reads from the same offset on the next call. A frame whose bytes
+/// are all present but whose CRC fails IS an error (Corruption) — the
+/// writer lays down header and payload front to back, so a settled
+/// frame can only mismatch if the log is genuinely damaged.
+class WalTailer {
+ public:
+  /// Opens `path` read-only at offset 0. NotFound if it does not exist.
+  static Result<std::unique_ptr<WalTailer>> Open(const std::string& path);
+
+  ~WalTailer();
+  WalTailer(const WalTailer&) = delete;
+  WalTailer& operator=(const WalTailer&) = delete;
+
+  /// Reads up to `max_records` settled records from the current offset,
+  /// appending each payload to `*out`. Returns the number read — fewer
+  /// (possibly zero) when the file currently ends, which is the normal
+  /// caught-up case, not an error.
+  Result<uint64_t> ReadRecords(uint64_t max_records,
+                               std::vector<std::string>* out);
+
+  /// Like ReadRecords but discards the payloads — used to skip the
+  /// prefix a subscriber already holds.
+  Result<uint64_t> SkipRecords(uint64_t max_records);
+
+  /// Byte offset of the next unread frame.
+  uint64_t offset() const { return offset_; }
+
+  /// File records consumed (read or skipped) since Open.
+  uint64_t records_consumed() const { return records_; }
+
+ private:
+  WalTailer(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  /// Reads one settled record at offset_ into *payload (nullptr to
+  /// discard). Returns true and advances offset_ if a full frame was
+  /// present; false (without error) at a clean or in-progress end.
+  Result<bool> ReadOne(std::string* payload);
+
+  int fd_;
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint64_t records_ = 0;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_DURABILITY_WAL_TAILER_H_

@@ -4,12 +4,17 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace tuffy {
@@ -58,9 +63,14 @@ void Client::Disconnect() {
 }
 
 Result<uint64_t> Client::Send(NetRequest request) {
-  if (fd_ < 0) return Status::InvalidArgument("not connected");
   if (request.request_id == 0) request.request_id = next_request_id_++;
-  const std::string frame = EncodeFrame(EncodeRequest(request));
+  TUFFY_RETURN_IF_ERROR(SendPayload(EncodeRequest(request)));
+  return request.request_id;
+}
+
+Status Client::SendPayload(const std::string& payload) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  const std::string frame = EncodeFrame(payload);
   size_t sent = 0;
   while (sent < frame.size()) {
     ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
@@ -72,7 +82,7 @@ Result<uint64_t> Client::Send(NetRequest request) {
     if (errno == EINTR) continue;
     return Status::IOError(std::string("send: ") + std::strerror(errno));
   }
-  return request.request_id;
+  return Status::OK();
 }
 
 Result<NetResponse> Client::Receive() {
@@ -106,6 +116,42 @@ Result<NetResponse> Client::Receive() {
   }
 }
 
+Result<std::string> Client::ReceiveFrame(int timeout_ms) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  char buf[65536];
+  while (true) {
+    std::string payload;
+    size_t consumed = 0;
+    FrameDecode fd = TryDecodeFrame(in_.data(), in_.size(),
+                                    max_frame_bytes_, &payload, &consumed);
+    if (fd == FrameDecode::kFrame) {
+      in_.erase(0, consumed);
+      return payload;
+    }
+    if (fd == FrameDecode::kBadCrc) {
+      return Status::Corruption("frame failed crc check");
+    }
+    if (fd == FrameDecode::kTooLarge) {
+      return Status::Corruption("frame exceeds size limit");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) return Status::NotFound("no frame within the timeout");
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("peer closed the connection");
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
 Result<NetResponse> Client::Call(NetRequest request) {
   TUFFY_ASSIGN_OR_RETURN(uint64_t id, Send(std::move(request)));
   TUFFY_ASSIGN_OR_RETURN(NetResponse resp, Receive());
@@ -116,6 +162,36 @@ Result<NetResponse> Client::Call(NetRequest request) {
         (unsigned long long)resp.request_id, (unsigned long long)id));
   }
   return resp;
+}
+
+Result<NetResponse> Client::CallWithRetry(const NetRequest& request,
+                                          const RetryPolicy& policy) {
+  static Counter* retries =
+      MetricsRegistry::Global().GetCounter("net.client.retry.count");
+  double sleep = policy.base_seconds;
+  Result<NetResponse> last = Status::Internal("CallWithRetry: zero attempts");
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      retries->Add(1);
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
+      // Decorrelated jitter: next wait is uniform in [base, 3 * this
+      // one], capped — growth is exponential in expectation without
+      // synchronizing concurrent retriers.
+      const double hi = std::min(policy.max_seconds, sleep * 3.0);
+      sleep = policy.base_seconds +
+              retry_rng_.NextDouble() *
+                  std::max(0.0, hi - policy.base_seconds);
+    }
+    NetRequest copy = request;
+    copy.request_id = 0;  // fresh id per attempt
+    last = Call(std::move(copy));
+    if (!last.ok()) return last;  // transport trouble: not retryable here
+    if (last.value().type != MsgType::kError || !last.value().retryable) {
+      return last;
+    }
+  }
+  return last;
 }
 
 Result<NetResponse> Client::OpenSession(const std::string& session,

@@ -7,8 +7,20 @@
 
 #include "net/protocol.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace tuffy {
+
+/// Backoff schedule for Client::CallWithRetry. Sleeps follow the
+/// decorrelated-jitter rule: each wait is uniform in
+/// [base_seconds, 3 * previous wait], capped at max_seconds — retries
+/// from many clients spread out instead of thundering in lockstep.
+struct RetryPolicy {
+  /// Total attempts, the first included. 1 = no retry.
+  int max_attempts = 6;
+  double base_seconds = 0.01;
+  double max_seconds = 1.0;
+};
 
 /// Blocking client for the net/server.h wire protocol. One TCP
 /// connection; not thread-safe — give each thread its own Client.
@@ -65,6 +77,27 @@ class Client {
   /// Send + Receive, checking the reply answers this request.
   Result<NetResponse> Call(NetRequest request);
 
+  /// Call, retrying (with the policy's backoff) every reply whose wire
+  /// error is marked retryable — kOverloaded, kResourceExhausted, and
+  /// kNotPrimary, all refused before touching session state, so a
+  /// resend is always safe. Transport errors are NOT retried: this
+  /// client has no reconnect logic, and a died connection may have
+  /// applied the request. Retries count under net.client.retry.count.
+  /// Returns the last reply when attempts run out.
+  Result<NetResponse> CallWithRetry(const NetRequest& request,
+                                    const RetryPolicy& policy = RetryPolicy{});
+
+  /// Frames and sends an already-encoded payload (the replication
+  /// handshake and acks, whose codecs live in repl/repl_protocol.h).
+  Status SendPayload(const std::string& payload);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) for one complete frame and
+  /// returns its verified payload undecoded — the follower's pull point
+  /// for replication pushes, which are not NetResponses. NotFound means
+  /// the timeout elapsed with no frame (the heartbeat-miss signal);
+  /// IOError / Corruption mean the connection is unusable.
+  Result<std::string> ReceiveFrame(int timeout_ms);
+
   // ---- convenience wrappers (synchronous) ----
   /// `program_fp`: pass ProgramFingerprint(program) so the server can
   /// reject a mismatched program (0 skips the check).
@@ -92,6 +125,11 @@ class Client {
   std::string in_;
   uint64_t next_request_id_ = 1;
   size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  /// Jitter source for CallWithRetry; the fixed seed keeps a single
+  /// client's schedule reproducible while distinct sleep draws still
+  /// decorrelate concurrent clients (each draw depends on the previous
+  /// sleep, which depends on server timing).
+  Rng retry_rng_{0x7265747279ull};  // "retry"
 };
 
 }  // namespace tuffy

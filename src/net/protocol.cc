@@ -18,12 +18,14 @@ const char* WireErrorName(WireError e) {
     case WireError::kCorruption: return "Corruption";
     case WireError::kUnknownMessage: return "UnknownMessage";
     case WireError::kInternal: return "Internal";
+    case WireError::kNotPrimary: return "NotPrimary";
   }
   return "Internal";
 }
 
 bool WireErrorRetryable(WireError e) {
-  return e == WireError::kOverloaded || e == WireError::kResourceExhausted;
+  return e == WireError::kOverloaded ||
+         e == WireError::kResourceExhausted || e == WireError::kNotPrimary;
 }
 
 WireError WireErrorFromStatus(const Status& status) {
@@ -36,6 +38,7 @@ WireError WireErrorFromStatus(const Status& status) {
     case StatusCode::kParseError: return WireError::kInvalidArgument;
     case StatusCode::kResourceExhausted: return WireError::kResourceExhausted;
     case StatusCode::kCorruption: return WireError::kCorruption;
+    case StatusCode::kUnavailable: return WireError::kNotPrimary;
     default: return WireError::kInternal;
   }
 }

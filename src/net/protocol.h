@@ -45,6 +45,10 @@ enum class MsgType : uint8_t {
   kStats = 7,    // per-session (name set) or server-wide (name empty)
   kMetrics = 8,  // Prometheus-style text of the server's registry
   kTrace = 9,    // rendered recent delta traces of a session
+  // Replication (src/repl/repl_protocol.h carries the bodies; the
+  // server handles these inline on the event loop, not via workers).
+  kSubscribe = 10,  // follower joins the stream at its last position
+  kReplAck = 11,    // follower's applied position; one-way, no response
 
   // Responses.
   kOpenReply = 64,
@@ -57,6 +61,13 @@ enum class MsgType : uint8_t {
   kError = 71,
   kMetricsReply = 72,
   kTraceReply = 73,
+  // Replication pushes (primary -> follower, unsolicited after
+  // kSubscribe is accepted).
+  kSnapshotChunk = 74,   // one slice of a bootstrap snapshot payload
+  kWalRecords = 75,      // a batch of committed WAL records (empty =
+                         // heartbeat carrying the committed position)
+  kSubscribeReply = 76,  // handshake outcome: committed position,
+                         // whether a snapshot ships first
 };
 
 /// Error taxonomy a client can act on. kOverloaded and
@@ -73,6 +84,10 @@ enum class WireError : uint8_t {
   kCorruption = 6,
   kUnknownMessage = 7,  // unrecognized tag or malformed body
   kInternal = 8,
+  /// This endpoint is a replica: deltas must go to the primary, whose
+  /// host:port rides in the error message. Retryable — after a
+  /// promotion the same endpoint accepts the identical request.
+  kNotPrimary = 9,
 };
 
 const char* WireErrorName(WireError e);

@@ -17,6 +17,10 @@
 #include "exec/tuffy_engine.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "repl/repl_protocol.h"
+#include "repl/repl_source.h"
+#include "serve/replica_session.h"
+#include "util/fault_points.h"
 #include "util/string_util.h"
 
 namespace tuffy {
@@ -191,6 +195,17 @@ void Server::Loop() {
 
     if (pfds[0].revents & POLLIN) AcceptReady();
 
+    const double now = MonotonicSeconds();
+    if (!subs_.empty() &&
+        now - last_heartbeat_tick_ >= options_.repl_heartbeat_seconds) {
+      last_heartbeat_tick_ = now;
+      for (const auto& [id, src] : subs_) {
+        (void)src;
+        PumpSubscription(id, /*heartbeat=*/true);
+      }
+    }
+    SweepConnections(now);
+
     std::vector<uint64_t> to_close;
     for (size_t i = 2; i < pfds.size(); ++i) {
       const uint64_t id = conn_of_pfd[i];
@@ -237,6 +252,7 @@ void Server::AcceptReady() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Connection conn;
     conn.fd = fd;
+    conn.last_activity = MonotonicSeconds();
     conns_.emplace(next_conn_id_++, std::move(conn));
     std::lock_guard<std::mutex> lock(metrics_mu_);
     ++counters_.connections_accepted;
@@ -251,6 +267,7 @@ bool Server::ReadReady(uint64_t conn_id, Connection* conn) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn->in.append(buf, static_cast<size_t>(n));
+      conn->last_activity = MonotonicSeconds();
       std::lock_guard<std::mutex> lock(metrics_mu_);
       counters_.bytes_in += static_cast<uint64_t>(n);
       continue;
@@ -290,6 +307,13 @@ bool Server::ReadReady(uint64_t conn_id, Connection* conn) {
     return false;
   }
   conn->in.erase(0, off);
+  // Read-deadline bookkeeping: an incomplete frame left in the buffer
+  // starts (or continues) the half-open clock; an empty buffer clears it.
+  if (conn->in.empty()) {
+    conn->partial_since = 0.0;
+  } else if (conn->partial_since == 0.0) {
+    conn->partial_since = MonotonicSeconds();
+  }
   return alive;
 }
 
@@ -315,6 +339,7 @@ void Server::CloseConnection(uint64_t conn_id) {
   if (it == conns_.end()) return;
   ::close(it->second.fd);
   conns_.erase(it);
+  subs_.erase(conn_id);  // a subscriber's stream dies with its socket
   // Jobs in flight for this connection keep running; their responses
   // are dropped at completion drain. The session itself lives on in
   // the manager — that is the re-attach guarantee.
@@ -332,6 +357,19 @@ void Server::HandlePayload(uint64_t conn_id, const std::string& payload) {
   static Counter* request_count =
       MetricsRegistry::Global().GetCounter("serve.request.count");
   request_count->Add(1);
+  // Replication frames are handled inline on the loop thread: the
+  // handshake only stages files the durability layer already published,
+  // and acks just advance a counter — neither needs a worker.
+  const uint8_t tag =
+      payload.empty() ? 0 : static_cast<uint8_t>(payload[0]);
+  if (tag == static_cast<uint8_t>(MsgType::kSubscribe)) {
+    HandleSubscribe(conn_id, payload);
+    return;
+  }
+  if (tag == static_cast<uint8_t>(MsgType::kReplAck)) {
+    HandleReplAck(conn_id, payload);
+    return;
+  }
   auto decoded = DecodeRequest(payload);
   if (!decoded.ok()) {
     SendError(conn_id, PeekRequestId(payload), WireError::kUnknownMessage,
@@ -484,6 +522,16 @@ void Server::DrainCompletions() {
       PumpLane(c.lane);
     }
     SendToConnection(c.conn_id, c.frame);
+    // A committed delta is the stream-advance event: ship it to every
+    // subscriber of that session right away (heartbeats only cover the
+    // idle case).
+    if (c.is_delta && !c.is_error && !subs_.empty()) {
+      std::vector<uint64_t> to_pump;
+      for (const auto& [id, src] : subs_) {
+        if (src->session() == c.lane) to_pump.push_back(id);
+      }
+      for (uint64_t id : to_pump) PumpSubscription(id, /*heartbeat=*/false);
+    }
   }
 }
 
@@ -491,6 +539,17 @@ void Server::SendToConnection(uint64_t conn_id, const std::string& frame) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;  // client left; drop the response
   Connection& conn = it->second;
+  conn.last_activity = MonotonicSeconds();
+  if (FaultPoints::Global().Hit("net.send.partial") != FaultAction::kNone) {
+    // Flush half the frame, then kill the socket: the peer sees a torn
+    // frame exactly as if the server died mid-send. shutdown() instead
+    // of close keeps the fd valid for the pointers ReadReady may still
+    // hold; the poll loop reaps it next round.
+    conn.out.append(frame.data(), frame.size() / 2);
+    (void)WriteReady(&conn);
+    ::shutdown(conn.fd, SHUT_RDWR);
+    return;
+  }
   const bool was_empty = conn.out.empty();
   conn.out.append(frame);
   // Eager flush: skip one poll round trip when the socket has room. A
@@ -520,9 +579,184 @@ void Server::SendError(uint64_t conn_id, uint64_t request_id, WireError error,
   SendToConnection(conn_id, EncodeFrame(EncodeResponse(resp)));
 }
 
+// --------------------------------------------- replication shipping
+
+void Server::HandleSubscribe(uint64_t conn_id, const std::string& payload) {
+  auto decoded = DecodeReplSubscribe(payload);
+  if (!decoded.ok()) {
+    SendError(conn_id, PeekRequestId(payload), WireError::kUnknownMessage,
+              decoded.status().ToString());
+    return;
+  }
+  const ReplSubscribe& sub = decoded.value();
+  if (options_.replica != nullptr) {
+    SendError(conn_id, sub.request_id, WireError::kInvalidArgument,
+              "replicas do not ship the stream onward; subscribe at the "
+              "primary " + options_.replica->primary_addr());
+    return;
+  }
+  if (options_.durability_root.empty()) {
+    SendError(conn_id, sub.request_id, WireError::kInvalidArgument,
+              "replication needs a durable primary (start the server with "
+              "a durability root)");
+    return;
+  }
+  auto session = manager_->Get(sub.session);
+  if (!session.ok()) {
+    // Typically NotFound: the session has not been opened yet. The
+    // follower backs off and re-subscribes.
+    SendError(conn_id, sub.request_id,
+              WireErrorFromStatus(session.status()),
+              session.status().ToString());
+    return;
+  }
+  const uint64_t committed = session.value()->wal_base() +
+                             session.value()->committed_records();
+  auto source = ReplSource::Create(
+      sub.session, options_.durability_root + "/" + sub.session,
+      sub.position, sub.has_state, committed);
+  if (!source.ok()) {
+    SendError(conn_id, sub.request_id,
+              WireErrorFromStatus(source.status()),
+              source.status().ToString());
+    return;
+  }
+
+  ReplSubscribeReply reply;
+  reply.request_id = sub.request_id;
+  reply.committed = committed;
+  reply.snapshot = source.value()->ships_snapshot();
+  reply.snapshot_position = source.value()->snapshot_position();
+  reply.snapshot_bytes = source.value()->snapshot_bytes();
+
+  auto conn = conns_.find(conn_id);
+  if (conn == conns_.end()) return;
+  conn->second.subscriber = true;
+  subs_[conn_id] = source.TakeValue();
+
+  static Counter* subscribes =
+      MetricsRegistry::Global().GetCounter("repl.subscribe.count");
+  subscribes->Add(1);
+  FlightRecorder::Global().Recordf(
+      "replication subscriber for '%s' at position %llu (committed %llu%s)",
+      sub.session.c_str(), (unsigned long long)sub.position,
+      (unsigned long long)committed,
+      reply.snapshot ? ", shipping snapshot" : "");
+
+  SendToConnection(conn_id, EncodeFrame(EncodeReplSubscribeReply(reply)));
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++counters_.responses;
+  }
+  PumpSubscription(conn_id, /*heartbeat=*/false);
+}
+
+void Server::HandleReplAck(uint64_t conn_id, const std::string& payload) {
+  auto decoded = DecodeReplAck(payload);
+  auto it = subs_.find(conn_id);
+  if (!decoded.ok() || it == subs_.end()) return;  // stray ack: ignore
+  it->second->RecordAck(decoded.value().position);
+  static Counter* acks =
+      MetricsRegistry::Global().GetCounter("repl.acks.received");
+  acks->Add(1);
+  auto session = manager_->Get(it->second->session());
+  if (session.ok()) {
+    UpdateLagGauges(*it->second,
+                    session.value()->wal_base() +
+                        session.value()->committed_records(),
+                    MonotonicSeconds());
+  }
+}
+
+void Server::PumpSubscription(uint64_t conn_id, bool heartbeat) {
+  auto it = subs_.find(conn_id);
+  auto conn = conns_.find(conn_id);
+  if (it == subs_.end() || conn == conns_.end()) return;
+  ReplSource& source = *it->second;
+  auto session = manager_->Get(source.session());
+  if (!session.ok()) {
+    // Session closed under the subscription; cut the stream, the
+    // follower will back off and re-subscribe.
+    ::shutdown(conn->second.fd, SHUT_RDWR);
+    return;
+  }
+  const uint64_t committed = session.value()->wal_base() +
+                             session.value()->committed_records();
+  const double now = MonotonicSeconds();
+
+  std::vector<std::string> frames;
+  bool cut = false;
+  auto pumped = source.Pump(committed, now, &frames, &cut);
+  if (!pumped.ok()) {
+    FlightRecorder::Global().Recordf(
+        "replication pump for '%s' failed: %s", source.session().c_str(),
+        pumped.status().ToString().c_str());
+    for (std::string& f : frames) SendToConnection(conn_id, f);
+    ::shutdown(conn->second.fd, SHUT_RDWR);
+    return;
+  }
+  if (frames.empty() && heartbeat && !source.snapshot_pending()) {
+    frames.push_back(source.HeartbeatFrame(committed));
+  }
+  for (std::string& f : frames) SendToConnection(conn_id, f);
+  if (cut) {
+    // repl.ship.mid_record: the torn frame is flushed (eagerly, by
+    // SendToConnection) and the stream dies mid-record.
+    (void)WriteReady(&conn->second);
+    ::shutdown(conn->second.fd, SHUT_RDWR);
+    return;
+  }
+  UpdateLagGauges(source, committed, now);
+}
+
+void Server::UpdateLagGauges(const ReplSource& source, uint64_t committed,
+                             double now) {
+  static Gauge* lag_records =
+      MetricsRegistry::Global().GetGauge("repl.lag.records");
+  static Gauge* lag_seconds =
+      MetricsRegistry::Global().GetGauge("repl.lag.seconds");
+  const uint64_t acked = source.acked();
+  lag_records->Set(committed > acked
+                       ? static_cast<int64_t>(committed - acked)
+                       : 0);
+  // Age of the oldest shipped-but-unacked record, in whole seconds
+  // (gauges are integral — sub-second lag reads 0, which is the healthy
+  // steady state; the records gauge is the fine-grained one).
+  const double since = source.oldest_unacked_since();
+  lag_seconds->Set(since > 0.0 ? static_cast<int64_t>(now - since) : 0);
+}
+
+void Server::SweepConnections(double now) {
+  std::vector<uint64_t> reap;
+  for (const auto& [id, conn] : conns_) {
+    if (conn.subscriber) continue;
+    if (options_.read_deadline_seconds > 0 && conn.partial_since > 0.0 &&
+        now - conn.partial_since > options_.read_deadline_seconds) {
+      reap.push_back(id);
+      continue;
+    }
+    if (options_.idle_timeout_seconds > 0 &&
+        now - conn.last_activity > options_.idle_timeout_seconds) {
+      reap.push_back(id);
+    }
+  }
+  if (reap.empty()) return;
+  static Counter* reaped =
+      MetricsRegistry::Global().GetCounter("net.conn.reaped.count");
+  for (uint64_t id : reap) {
+    reaped->Add(1);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++counters_.connections_reaped;
+    }
+    CloseConnection(id);
+  }
+}
+
 // --------------------------------------------------------- job bodies
 
 NetResponse Server::Execute(const NetRequest& request, TraceBuilder* trace) {
+  if (options_.replica != nullptr) return ExecuteReplica(request, trace);
   NetResponse resp;
   resp.request_id = request.request_id;
   auto error_from = [&](const Status& status) {
@@ -715,6 +949,141 @@ NetResponse Server::Execute(const NetRequest& request, TraceBuilder* trace) {
   return resp;
 }
 
+NetResponse Server::ExecuteReplica(const NetRequest& request,
+                                   TraceBuilder* trace) {
+  (void)trace;  // replica deltas trace inside the session like any other
+  ReplicaSession* replica = options_.replica;
+  NetResponse resp;
+  resp.request_id = request.request_id;
+  auto error_from = [&](const Status& status) {
+    resp.type = MsgType::kError;
+    resp.error = WireErrorFromStatus(status);
+    resp.retryable = WireErrorRetryable(resp.error);
+    resp.message = status.ToString();
+  };
+  if (request.session != options_.replica_session) {
+    error_from(Status::NotFound(StrFormat(
+        "this replica serves only session '%s'",
+        options_.replica_session.c_str())));
+    return resp;
+  }
+
+  switch (request.type) {
+    case MsgType::kApplyDelta: {
+      // ReplicaSession does the not-primary gating: before promotion
+      // this maps to kNotPrimary (retryable, names the primary).
+      auto r = replica->ApplyDelta(request.delta);
+      if (!r.ok()) {
+        error_from(r.status());
+        break;
+      }
+      const DeltaApplyResult& d = r.value();
+      resp.type = MsgType::kDeltaReply;
+      resp.no_op = d.edits.no_op;
+      resp.seq = d.seq;
+      resp.components_dirty = d.components_dirty;
+      resp.components_total = d.components_total;
+      resp.flips = d.flips;
+      resp.map_cost = d.map_cost;
+      break;
+    }
+    case MsgType::kOpenSession: {
+      std::lock_guard<std::mutex> lock(replica->mu());
+      InferenceSession* s = replica->session();
+      if (s == nullptr) {
+        error_from(Status::Unavailable(
+            "replica has no state yet (still bootstrapping)"));
+        break;
+      }
+      resp.type = MsgType::kOpenReply;
+      resp.attached = true;  // the replicated state pre-exists any client
+      resp.num_atoms = s->atoms().num_atoms();
+      resp.num_clauses = s->clauses().size();
+      resp.num_components = s->num_components();
+      resp.map_cost = s->map_cost();
+      break;
+    }
+    case MsgType::kQueryMap: {
+      std::lock_guard<std::mutex> lock(replica->mu());
+      InferenceSession* s = replica->session();
+      if (s == nullptr) {
+        error_from(Status::Unavailable("replica has no state yet"));
+        break;
+      }
+      resp.type = MsgType::kMapReply;
+      resp.map_cost = s->map_cost();
+      if (!request.predicate.empty()) {
+        auto atoms = ExtractTrueAtoms(program_, s->atoms(), s->truth(),
+                                      request.predicate);
+        if (!atoms.ok()) {
+          error_from(atoms.status());
+          break;
+        }
+        resp.atoms = atoms.TakeValue();
+      }
+      break;
+    }
+    case MsgType::kQueryMarginals: {
+      std::lock_guard<std::mutex> lock(replica->mu());
+      InferenceSession* s = replica->session();
+      if (s == nullptr) {
+        error_from(Status::Unavailable("replica has no state yet"));
+        break;
+      }
+      const std::vector<double>& marginals = s->marginals();
+      if (marginals.empty()) {
+        error_from(Status::InvalidArgument(
+            "replica session does not track marginals"));
+        break;
+      }
+      PredicateId pid = kInvalidPredicate;
+      if (!request.predicate.empty()) {
+        auto found = program_.FindPredicate(request.predicate);
+        if (!found.ok()) {
+          error_from(found.status());
+          break;
+        }
+        pid = found.value();
+      }
+      resp.type = MsgType::kMarginalsReply;
+      const AtomStore& atoms = s->atoms();
+      for (AtomId a = 0; a < atoms.num_atoms() && a < marginals.size();
+           ++a) {
+        if (pid != kInvalidPredicate && atoms.atom(a).pred != pid) continue;
+        resp.marginals.emplace_back(atoms.atom(a), marginals[a]);
+      }
+      break;
+    }
+    case MsgType::kStats: {
+      std::lock_guard<std::mutex> lock(replica->mu());
+      InferenceSession* s = replica->session();
+      if (s == nullptr) {
+        error_from(Status::Unavailable("replica has no state yet"));
+        break;
+      }
+      resp.type = MsgType::kStatsReply;
+      resp.stats = {
+          {"deltas_applied", static_cast<double>(s->stats().deltas_applied)},
+          {"flips", static_cast<double>(s->stats().flips)},
+          {"num_atoms", static_cast<double>(s->atoms().num_atoms())},
+          {"num_clauses", static_cast<double>(s->clauses().size())},
+          {"num_components", static_cast<double>(s->num_components())},
+          {"map_cost", s->map_cost()},
+          {"position", static_cast<double>(replica->position())},
+          {"promoted", replica->promoted() ? 1.0 : 0.0},
+      };
+      break;
+    }
+    default: {
+      error_from(Status::InvalidArgument(
+          "request not supported on a replica (queries, deltas, stats "
+          "only)"));
+      break;
+    }
+  }
+  return resp;
+}
+
 NetResponse Server::ServerStatsResponse(uint64_t request_id) {
   NetResponse resp;
   resp.type = MsgType::kStatsReply;
@@ -730,6 +1099,7 @@ NetResponse Server::ServerStatsResponse(uint64_t request_id) {
       {"errors_sent", static_cast<double>(m.errors_sent)},
       {"overloaded", static_cast<double>(m.overloaded)},
       {"protocol_errors", static_cast<double>(m.protocol_errors)},
+      {"connections_reaped", static_cast<double>(m.connections_reaped)},
       {"deltas_applied", static_cast<double>(m.deltas_applied)},
       {"queue_depth", static_cast<double>(m.queue_depth)},
       {"queue_peak", static_cast<double>(m.queue_peak)},
@@ -760,9 +1130,10 @@ std::string Server::MetricsReport() const {
   ServerMetrics m = metrics();
   std::string out = "== net serving metrics ==\n";
   out += StrFormat(
-      "connections: %llu accepted, %llu open\n",
+      "connections: %llu accepted, %llu open, %llu reaped\n",
       (unsigned long long)m.connections_accepted,
-      (unsigned long long)m.connections_open);
+      (unsigned long long)m.connections_open,
+      (unsigned long long)m.connections_reaped);
   out += StrFormat("bytes: %llu in, %llu out\n",
                    (unsigned long long)m.bytes_in,
                    (unsigned long long)m.bytes_out);

@@ -18,6 +18,9 @@
 
 namespace tuffy {
 
+class ReplSource;
+class ReplicaSession;
+
 struct ServerOptions {
   /// Bind address; tests and the bench stay on loopback.
   std::string host = "127.0.0.1";
@@ -43,6 +46,25 @@ struct ServerOptions {
   std::string durability_root;
   uint32_t snapshot_every = 0;
   bool wal_fsync = true;
+  /// Connection hygiene: a non-subscriber connection with no traffic in
+  /// either direction for this long is reaped (0 = never). Replication
+  /// subscribers are exempt — an idle follower is the healthy state.
+  double idle_timeout_seconds = 300.0;
+  /// A half-open peer — one that started a frame and then went silent —
+  /// is reaped once the partial frame is older than this (0 = never).
+  /// Tighter than the idle timeout because a stuck partial frame holds
+  /// buffer memory and can never become a request.
+  double read_deadline_seconds = 10.0;
+  /// Cadence of replication heartbeats (empty kWalRecords frames) to
+  /// caught-up subscribers; also the lag-gauge refresh tick.
+  double repl_heartbeat_seconds = 0.5;
+  /// Replica fronting: when set, the server serves this hot standby
+  /// instead of a SessionManager — queries read the replicated state,
+  /// deltas are refused with kNotPrimary until the replica is promoted,
+  /// and only the session named `replica_session` exists. The pointer
+  /// must outlive the server.
+  ReplicaSession* replica = nullptr;
+  std::string replica_session = "cli";
 };
 
 /// Point-in-time server-wide counters (see Server::metrics).
@@ -56,6 +78,8 @@ struct ServerMetrics {
   uint64_t errors_sent = 0;
   uint64_t overloaded = 0;
   uint64_t protocol_errors = 0;
+  /// Connections closed by hygiene (idle timeout or read deadline).
+  uint64_t connections_reaped = 0;
   uint64_t deltas_applied = 0;
   size_t queue_depth = 0;
   size_t queue_peak = 0;
@@ -118,6 +142,14 @@ class Server {
     int fd = -1;
     std::string in;
     std::string out;
+    /// Monotonic seconds of the last byte in or response queued out;
+    /// feeds the idle-timeout sweep.
+    double last_activity = 0.0;
+    /// When nonzero, `in` has held an incomplete frame since this
+    /// instant; feeds the read-deadline sweep.
+    double partial_since = 0.0;
+    /// Replication subscribers are push-mode and hygiene-exempt.
+    bool subscriber = false;
   };
 
   /// One decoded request bound to the connection that sent it.
@@ -166,8 +198,27 @@ class Server {
   /// Worker-side: executes one request against the session manager.
   /// `trace` is non-null only for kApplyDelta jobs.
   NetResponse Execute(const NetRequest& request, TraceBuilder* trace);
+  /// Worker-side request execution in replica-fronting mode.
+  NetResponse ExecuteReplica(const NetRequest& request, TraceBuilder* trace);
   NetResponse ServerStatsResponse(uint64_t request_id);
   void Wake();
+
+  // ---- replication shipping (event-loop-owned) ----
+  /// kSubscribe handshake: builds the ReplSource (snapshot staging /
+  /// tailer fast-forward), replies, and pumps the first frames.
+  void HandleSubscribe(uint64_t conn_id, const std::string& payload);
+  void HandleReplAck(uint64_t conn_id, const std::string& payload);
+  /// Ships pending snapshot chunks + committed WAL records to one
+  /// subscriber; with `heartbeat`, a caught-up subscriber still gets an
+  /// empty frame carrying the committed position. Never erases the
+  /// connection — a fatal stream problem shuts the socket down and lets
+  /// the poll loop reap it.
+  void PumpSubscription(uint64_t conn_id, bool heartbeat);
+  /// Publishes repl.lag.records / repl.lag.seconds for a subscription.
+  void UpdateLagGauges(const ReplSource& source, uint64_t committed,
+                       double now);
+  /// Idle-timeout and read-deadline reaping.
+  void SweepConnections(double now);
 
   const MlnProgram& program_;
   const EvidenceDb& evidence_;
@@ -190,6 +241,9 @@ class Server {
   uint64_t next_conn_id_ = 1;
   std::unordered_map<std::string, Lane> lanes_;
   size_t jobs_pending_ = 0;  // queued + running, vs options_.max_queue
+  /// Live replication subscriptions, keyed by connection.
+  std::unordered_map<uint64_t, std::unique_ptr<ReplSource>> subs_;
+  double last_heartbeat_tick_ = 0.0;
 
   // Completions cross the worker -> loop boundary under this mutex.
   std::mutex completion_mu_;

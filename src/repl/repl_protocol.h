@@ -1,0 +1,93 @@
+#ifndef TUFFY_REPL_REPL_PROTOCOL_H_
+#define TUFFY_REPL_REPL_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/result.h"
+
+namespace tuffy {
+
+/// Message bodies of the replication stream (docs/DURABILITY.md,
+/// "Replication & failover"). They ride the same crc-framed codec as the
+/// request/response protocol and keep its [u8 tag][u64 request id]
+/// payload prefix, but after the kSubscribe handshake the connection
+/// stops being request/response: the primary pushes kSnapshotChunk /
+/// kWalRecords frames unsolicited (request id 0), and the follower's
+/// kReplAck is one-way.
+///
+/// Positions are primary-timeline record counts: "position N" means the
+/// state after applying the primary's first N delta records. A follower
+/// whose local log was bootstrapped from a shipped snapshot reports
+/// wal_base() + wal_records() (see WalHeaderInfo::base_records).
+
+/// Follower -> primary: join the stream for `session`.
+struct ReplSubscribe {
+  uint64_t request_id = 0;
+  std::string session;
+  /// Last applied primary-timeline position; meaningful only with
+  /// has_state. A cold follower (has_state = false) always receives a
+  /// snapshot first.
+  uint64_t position = 0;
+  bool has_state = false;
+};
+
+/// Primary -> follower: handshake outcome. After this, pushes follow.
+struct ReplSubscribeReply {
+  uint64_t request_id = 0;
+  /// Primary's committed position at handshake time.
+  uint64_t committed = 0;
+  /// True when kSnapshotChunk frames precede the WAL records (cold
+  /// follower, or one behind the log's retained prefix).
+  bool snapshot = false;
+  /// Position the shipped snapshot lands the follower on.
+  uint64_t snapshot_position = 0;
+  uint64_t snapshot_bytes = 0;
+};
+
+/// Primary -> follower: one slice of the bootstrap snapshot payload.
+struct ReplSnapshotChunk {
+  /// Byte offset of this slice in the (rebased) snapshot payload; the
+  /// follower requires contiguity and drops the connection otherwise.
+  uint64_t offset = 0;
+  std::string bytes;
+  bool last = false;
+  /// Snapshot position (echoes ReplSubscribeReply::snapshot_position).
+  uint64_t position = 0;
+};
+
+/// Primary -> follower: a batch of committed WAL record payloads,
+/// verbatim. An empty batch is the heartbeat — it still carries the
+/// primary's committed position, so an idle follower can track lag.
+struct ReplWalRecords {
+  /// Primary-timeline position of records[0] (first record = position
+  /// `first`, i.e. the follower must be at first - 1 to apply it).
+  uint64_t first = 0;
+  uint64_t committed = 0;
+  std::vector<std::string> records;
+};
+
+/// Follower -> primary: applied (and locally logged) through `position`.
+struct ReplAck {
+  std::string session;
+  uint64_t position = 0;
+};
+
+std::string EncodeReplSubscribe(const ReplSubscribe& msg);
+std::string EncodeReplSubscribeReply(const ReplSubscribeReply& msg);
+std::string EncodeReplSnapshotChunk(const ReplSnapshotChunk& msg);
+std::string EncodeReplWalRecords(const ReplWalRecords& msg);
+std::string EncodeReplAck(const ReplAck& msg);
+
+Result<ReplSubscribe> DecodeReplSubscribe(const std::string& payload);
+Result<ReplSubscribeReply> DecodeReplSubscribeReply(
+    const std::string& payload);
+Result<ReplSnapshotChunk> DecodeReplSnapshotChunk(const std::string& payload);
+Result<ReplWalRecords> DecodeReplWalRecords(const std::string& payload);
+Result<ReplAck> DecodeReplAck(const std::string& payload);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_REPL_REPL_PROTOCOL_H_

@@ -1,0 +1,158 @@
+#include "repl/repl_source.h"
+
+#include <algorithm>
+
+#include "durability/snapshot.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "repl/repl_protocol.h"
+#include "serve/inference_session.h"
+#include "util/fault_points.h"
+#include "util/string_util.h"
+
+namespace tuffy {
+
+Result<std::unique_ptr<ReplSource>> ReplSource::Create(
+    std::string session, const std::string& wal_dir,
+    uint64_t subscriber_position, bool subscriber_has_state,
+    uint64_t committed, ReplSourceOptions opts) {
+  std::unique_ptr<ReplSource> src(
+      new ReplSource(std::move(session), opts));
+  TUFFY_ASSIGN_OR_RETURN(src->tailer_, WalTailer::Open(wal_dir + "/wal.log"));
+
+  // Record 0 is the header: it carries the log's retained-prefix base.
+  std::vector<std::string> header;
+  TUFFY_ASSIGN_OR_RETURN(uint64_t got, src->tailer_->ReadRecords(1, &header));
+  if (got != 1) {
+    return Status::Corruption("wal at " + wal_dir + " has no header record");
+  }
+  WalHeaderInfo hdr;
+  TUFFY_RETURN_IF_ERROR(ParseWalHeader(header[0], &hdr));
+  src->base_ = hdr.base_records;
+
+  if (subscriber_has_state && subscriber_position > committed) {
+    return Status::InvalidArgument(StrFormat(
+        "subscriber claims position %llu but the primary has committed "
+        "only %llu — refusing a stream that would run history backwards",
+        (unsigned long long)subscriber_position,
+        (unsigned long long)committed));
+  }
+
+  if (!subscriber_has_state || subscriber_position < src->base_) {
+    // Cold (or behind the retained prefix): stage the newest intact
+    // snapshot, falling back to older ones exactly like recovery does.
+    TUFFY_ASSIGN_OR_RETURN(std::vector<SnapshotRef> snaps,
+                           ListSnapshots(wal_dir));
+    uint64_t snap_seq = 0;
+    std::string payload;
+    bool found = false;
+    for (const SnapshotRef& ref : snaps) {
+      Result<std::string> read = ReadSnapshotFile(ref.path);
+      if (read.ok()) {
+        payload = read.TakeValue();
+        snap_seq = ref.seq;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Corruption("no intact snapshot in " + wal_dir +
+                                " to bootstrap a cold follower from");
+    }
+    TUFFY_RETURN_IF_ERROR(RebaseSnapshotPayloadForShipping(&payload));
+    src->snapshot_ = std::move(payload);
+    src->snapshot_pos_ = src->base_ + snap_seq;
+    TUFFY_ASSIGN_OR_RETURN(uint64_t skipped,
+                           src->tailer_->SkipRecords(snap_seq));
+    if (skipped != snap_seq) {
+      return Status::Corruption(StrFormat(
+          "wal in %s holds %llu records but snapshot claims %llu",
+          wal_dir.c_str(), (unsigned long long)skipped,
+          (unsigned long long)snap_seq));
+    }
+    src->next_ = src->snapshot_pos_;
+  } else {
+    const uint64_t skip = subscriber_position - src->base_;
+    TUFFY_ASSIGN_OR_RETURN(uint64_t skipped,
+                           src->tailer_->SkipRecords(skip));
+    if (skipped != skip) {
+      return Status::Corruption(StrFormat(
+          "subscriber position %llu exceeds the %llu records on disk",
+          (unsigned long long)subscriber_position,
+          (unsigned long long)(src->base_ + skipped)));
+    }
+    src->next_ = subscriber_position;
+  }
+  src->acked_ = src->next_;
+  return src;
+}
+
+Result<size_t> ReplSource::Pump(uint64_t committed, double now,
+                                std::vector<std::string>* frames, bool* cut) {
+  *cut = false;
+  size_t appended = 0;
+
+  static Counter* snap_bytes =
+      MetricsRegistry::Global().GetCounter("repl.snapshot.bytes.shipped");
+  static Counter* shipped_records =
+      MetricsRegistry::Global().GetCounter("repl.records.shipped");
+
+  while (snapshot_off_ < snapshot_.size()) {
+    ReplSnapshotChunk chunk;
+    chunk.offset = snapshot_off_;
+    chunk.position = snapshot_pos_;
+    const size_t n =
+        std::min(opts_.snapshot_chunk_bytes, snapshot_.size() - snapshot_off_);
+    chunk.bytes = snapshot_.substr(snapshot_off_, n);
+    snapshot_off_ += n;
+    chunk.last = snapshot_off_ == snapshot_.size();
+    frames->push_back(EncodeFrame(EncodeReplSnapshotChunk(chunk)));
+    snap_bytes->Add(n);
+    ++appended;
+  }
+
+  while (next_ < committed) {
+    const uint64_t want =
+        std::min(opts_.max_batch_records, committed - next_);
+    ReplWalRecords batch;
+    TUFFY_ASSIGN_OR_RETURN(uint64_t got,
+                           tailer_->ReadRecords(want, &batch.records));
+    if (got == 0) break;  // bytes not settled yet; next pump retries
+    batch.first = next_ + 1;
+    batch.committed = committed;
+    std::string frame = EncodeFrame(EncodeReplWalRecords(batch));
+    if (FaultPoints::Global().Hit("repl.ship.mid_record") !=
+        FaultAction::kNone) {
+      // Deliver only half the frame, then have the caller cut the
+      // connection: the follower sees a torn frame mid-record, exactly
+      // like a primary dying mid-send.
+      frame.resize(frame.size() / 2);
+      frames->push_back(std::move(frame));
+      ++appended;
+      *cut = true;
+      return appended;
+    }
+    next_ += got;
+    shipped_records->Add(got);
+    if (next_ > acked_ && oldest_unacked_since_ == 0.0) {
+      oldest_unacked_since_ = now;
+    }
+    frames->push_back(std::move(frame));
+    ++appended;
+  }
+  return appended;
+}
+
+std::string ReplSource::HeartbeatFrame(uint64_t committed) const {
+  ReplWalRecords hb;
+  hb.first = next_ + 1;
+  hb.committed = committed;
+  return EncodeFrame(EncodeReplWalRecords(hb));
+}
+
+void ReplSource::RecordAck(uint64_t position) {
+  acked_ = std::max(acked_, position);
+  if (acked_ >= next_) oldest_unacked_since_ = 0.0;
+}
+
+}  // namespace tuffy

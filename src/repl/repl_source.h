@@ -1,0 +1,97 @@
+#ifndef TUFFY_REPL_REPL_SOURCE_H_
+#define TUFFY_REPL_REPL_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/wal_tailer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tuffy {
+
+struct ReplSourceOptions {
+  /// Bootstrap snapshots ship in slices of this size so one cold
+  /// follower cannot wedge the event loop behind a single giant frame.
+  size_t snapshot_chunk_bytes = 256 * 1024;
+  /// Upper bound on records per kWalRecords frame.
+  uint64_t max_batch_records = 64;
+};
+
+/// Primary-side shipping state of one subscription: a WAL tailer over
+/// the session's log plus the follower's shipped/acked positions. Owned
+/// and driven entirely by the server's event loop (no locking): the
+/// loop calls Pump after each committed delta and on the heartbeat tick,
+/// and feeds acks to RecordAck.
+///
+/// Reading the session's files while the session runs is safe by the
+/// durability layer's own discipline: the tailer stops before any
+/// in-progress append (and is bounded by the committed position anyway),
+/// and snapshots are published by atomic rename, so a concurrent
+/// candidate is either fully there or absent — the same contract
+/// recovery relies on.
+class ReplSource {
+ public:
+  /// Sizes up the subscriber: a cold one (or one behind the log's
+  /// retained prefix, position < header base_records) gets the newest
+  /// intact snapshot staged for shipping; a warm one gets the tailer
+  /// fast-forwarded to its position. `committed` is the session's
+  /// current committed position (primary timeline); a subscriber
+  /// claiming to be ahead of it is refused (split brain).
+  static Result<std::unique_ptr<ReplSource>> Create(
+      std::string session, const std::string& wal_dir,
+      uint64_t subscriber_position, bool subscriber_has_state,
+      uint64_t committed, ReplSourceOptions opts = ReplSourceOptions{});
+
+  /// True while bootstrap snapshot chunks remain to be shipped.
+  bool snapshot_pending() const { return snapshot_off_ < snapshot_.size(); }
+  bool ships_snapshot() const { return !snapshot_.empty(); }
+  uint64_t snapshot_position() const { return snapshot_pos_; }
+  uint64_t snapshot_bytes() const { return snapshot_.size(); }
+
+  /// Appends ready-to-send frames: pending snapshot chunks first, then
+  /// batches of WAL records up to `committed`. `now` feeds the
+  /// unacked-age clock. Sets *cut when an armed repl.ship.mid_record
+  /// fault truncated the last frame — the caller must flush what it got
+  /// and then drop the connection, simulating a stream cut mid-record.
+  /// Returns the number of frames appended.
+  Result<size_t> Pump(uint64_t committed, double now,
+                      std::vector<std::string>* frames, bool* cut);
+
+  /// Framed empty kWalRecords carrying the committed position.
+  std::string HeartbeatFrame(uint64_t committed) const;
+
+  const std::string& session() const { return session_; }
+  /// Primary-timeline position shipped so far (next record is next_ + 1).
+  uint64_t shipped() const { return next_; }
+  uint64_t acked() const { return acked_; }
+  /// 0 when the follower has acked everything shipped; otherwise the
+  /// `now` at which the oldest currently-unacked record was shipped.
+  double oldest_unacked_since() const { return oldest_unacked_since_; }
+  void RecordAck(uint64_t position);
+
+ private:
+  ReplSource(std::string session, ReplSourceOptions opts)
+      : session_(std::move(session)), opts_(opts) {}
+
+  std::string session_;
+  ReplSourceOptions opts_;
+  std::unique_ptr<WalTailer> tailer_;
+  /// Header base_records of the primary's own log (nonzero only when
+  /// the primary is itself a promoted follower).
+  uint64_t base_ = 0;
+  uint64_t next_ = 0;   // primary-timeline position shipped so far
+  uint64_t acked_ = 0;
+  double oldest_unacked_since_ = 0.0;
+
+  /// Staged bootstrap snapshot (rebased payload); drained by Pump.
+  std::string snapshot_;
+  size_t snapshot_off_ = 0;
+  uint64_t snapshot_pos_ = 0;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_REPL_REPL_SOURCE_H_

@@ -1,0 +1,106 @@
+#ifndef TUFFY_SERVE_FOLLOWER_MANAGER_H_
+#define TUFFY_SERVE_FOLLOWER_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/replica_session.h"
+
+namespace tuffy {
+
+struct FollowerOptions {
+  std::string primary_host = "127.0.0.1";
+  uint16_t primary_port = 0;
+  /// Session name on the primary to subscribe to.
+  std::string session = "cli";
+  /// Local replica knobs; wal_dir is required (a follower exists to
+  /// hold a durable copy) and the inference knobs must match the
+  /// primary's — the shipped snapshot's fingerprint check enforces it.
+  SessionOptions session_options;
+  /// No frame (records or heartbeat) for this long means the primary is
+  /// gone: disconnect and reconnect with backoff.
+  double heartbeat_timeout_seconds = 3.0;
+  /// Reconnect backoff (decorrelated jitter between these bounds).
+  double reconnect_base_seconds = 0.05;
+  double reconnect_max_seconds = 2.0;
+};
+
+enum class FollowerState : int {
+  kConnecting = 0,
+  kBootstrapping = 1,
+  kStreaming = 2,
+  kPromoted = 3,
+  kStopped = 4,
+};
+
+const char* FollowerStateName(FollowerState s);
+
+/// Runs the follower side of the replication stream on its own thread:
+/// connect, subscribe at the replica's position, apply snapshot chunks /
+/// WAL records into the owned ReplicaSession, ack each applied batch,
+/// and on heartbeat loss reconnect with exponentially backed-off,
+/// jittered retries — forever, until Stop() or Promote(). The replica
+/// stays queryable throughout (ReplicaSession locks internally).
+class FollowerManager {
+ public:
+  FollowerManager(const MlnProgram& program, FollowerOptions options);
+  ~FollowerManager();
+
+  FollowerManager(const FollowerManager&) = delete;
+  FollowerManager& operator=(const FollowerManager&) = delete;
+
+  /// Recovers local durable state (warm restart) and starts the
+  /// streaming thread. Errors only on a broken local directory — an
+  /// unreachable primary is the thread's problem (it retries).
+  Status Start();
+
+  /// Stops the streaming thread (idempotent). The replica keeps its
+  /// state and stays queryable.
+  void Stop();
+
+  /// Operator failover: stops streaming, seals the local WAL, flips the
+  /// replica writable. Returns the promotion position. Refuses a second
+  /// promotion and a promotion before any state has arrived.
+  Result<uint64_t> Promote();
+
+  ReplicaSession* replica() { return &replica_; }
+  FollowerState state() const {
+    return static_cast<FollowerState>(
+        state_.load(std::memory_order_acquire));
+  }
+  /// Primary-timeline position applied locally.
+  uint64_t position() const { return replica_.position(); }
+  /// Primary's committed position as of the last frame received.
+  uint64_t primary_committed() const {
+    return primary_committed_.load(std::memory_order_acquire);
+  }
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Run();
+  /// One connect + subscribe + stream cycle. Returns when the
+  /// connection died or stop was requested.
+  void RunOnce();
+
+  FollowerOptions options_;
+  ReplicaSession replica_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> state_{static_cast<int>(FollowerState::kStopped)};
+  std::atomic<uint64_t> primary_committed_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  /// Streaming-thread socket, published so Stop()/Promote() can
+  /// shutdown() it to unblock a poll from another thread.
+  std::atomic<int> live_fd_{-1};
+  bool started_ = false;
+};
+
+}  // namespace tuffy
+
+#endif  // TUFFY_SERVE_FOLLOWER_MANAGER_H_

@@ -129,6 +129,44 @@ Status DecodeDeltaRecord(const std::string& payload, EvidenceDelta* delta,
 
 }  // namespace
 
+Status ParseWalHeader(const std::string& payload, WalHeaderInfo* out) {
+  BinaryReader hdr(payload);
+  const uint8_t type = hdr.U8();
+  const uint32_t magic = hdr.U32();
+  out->version = hdr.U32();
+  out->program_fp = hdr.U64();
+  out->options_fp = hdr.U64();
+  out->base_records = 0;
+  if (!hdr.ok() || type != kWalRecordHeader || magic != kWalMagic) {
+    return Status::Corruption("wal header record is malformed");
+  }
+  // base_records joined the header after version 1 shipped; absent means
+  // an original-timeline log (base 0), so old logs stay recoverable.
+  if (!hdr.Exhausted()) {
+    out->base_records = hdr.U64();
+    if (!hdr.ok() || !hdr.Exhausted()) {
+      return Status::Corruption("wal header record has trailing bytes");
+    }
+  }
+  if (out->version != kWalVersion) {
+    return Status::Corruption(
+        StrFormat("wal version %u not supported", out->version));
+  }
+  return Status::OK();
+}
+
+Status RebaseSnapshotPayloadForShipping(std::string* payload) {
+  // Snapshot payload layout (WriteSnapshot): [u64 options_fp]
+  // [u64 program_fp][u64 wal_records]... — the record counter is the
+  // third u64, at byte offset 16.
+  if (payload->size() < 24) {
+    return Status::Corruption("snapshot payload too short to rebase");
+  }
+  const uint64_t zero = 0;
+  std::memcpy(payload->data() + 16, &zero, sizeof(zero));
+  return Status::OK();
+}
+
 Status ValidateSessionOptions(const SessionOptions& options) {
   if (options.p_random < 0.0 || options.p_random > 1.0) {
     return Status::InvalidArgument(
@@ -214,6 +252,7 @@ Status InferenceSession::Open(const EvidenceDb& initial_evidence,
     hdr.U32(kWalVersion);
     hdr.U64(program_fp_);
     hdr.U64(options_fp_);
+    hdr.U64(wal_base_);  // 0: this session originates its own timeline
     TUFFY_RETURN_IF_ERROR(wal_->Append(hdr.Take()));
     TUFFY_RETURN_IF_ERROR(wal_->Sync());
     // Snapshot 0: the cold-start state. Recovery always has a snapshot
@@ -264,6 +303,9 @@ Result<DeltaApplyResult> InferenceSession::ApplyDelta(
       return logged;
     }
     ++wal_records_;
+    // Publish for the replication source: this record is now as durable
+    // as the log's fsync policy makes it, so it may be shipped.
+    committed_.store(wal_records_, std::memory_order_release);
   }
 
   GroundEdits edits;
@@ -477,24 +519,11 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
 
   const uint64_t program_fp = ProgramFingerprint(program);
   const uint64_t options_fp = OptionsFingerprint(options);
-  {
-    BinaryReader hdr(scan.payloads[0]);
-    const uint8_t type = hdr.U8();
-    const uint32_t magic = hdr.U32();
-    const uint32_t version = hdr.U32();
-    const uint64_t logged_program_fp = hdr.U64();
-    const uint64_t logged_options_fp = hdr.U64();
-    if (!hdr.Exhausted() || type != kWalRecordHeader || magic != kWalMagic) {
-      return Status::Corruption("wal header record is malformed");
-    }
-    if (version != kWalVersion) {
-      return Status::Corruption(
-          StrFormat("wal version %u not supported", version));
-    }
-    if (logged_program_fp != program_fp || logged_options_fp != options_fp) {
-      return Status::Corruption(
-          "wal belongs to a different program or session options");
-    }
+  WalHeaderInfo hdr;
+  TUFFY_RETURN_IF_ERROR(ParseWalHeader(scan.payloads[0], &hdr));
+  if (hdr.program_fp != program_fp || hdr.options_fp != options_fp) {
+    return Status::Corruption(
+        "wal belongs to a different program or session options");
   }
   rstats.wal_records_total = scan.payloads.size() - 1;
 
@@ -598,6 +627,9 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
                          WalWriter::OpenAt(wal_path, scan.valid_bytes));
   session->program_fp_ = program_fp;
   session->options_fp_ = options_fp;
+  session->wal_base_ = hdr.base_records;
+  session->committed_.store(session->wal_records_,
+                            std::memory_order_release);
   if (tail_loss_rebase) {
     // Re-anchor the durable timeline at the rebased position: the lost
     // records now live only in the loaded snapshot, so write the
@@ -615,6 +647,90 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Recover(
   }
   if (stats != nullptr) *stats = rstats;
   return session;
+}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::BootstrapFollower(
+    const MlnProgram& program, SessionOptions options,
+    const std::string& snapshot_payload, uint64_t primary_position,
+    ThreadPool* shared_pool) {
+  if (options.wal_dir.empty()) {
+    return Status::InvalidArgument(
+        "BootstrapFollower requires options.wal_dir");
+  }
+  TUFFY_RETURN_IF_ERROR(ValidateSessionOptions(options));
+  TUFFY_RETURN_IF_ERROR(EnsureDir(options.wal_dir));
+  const std::string wal_path = options.wal_dir + "/wal.log";
+  if (::access(wal_path.c_str(), F_OK) == 0) {
+    return Status::AlreadyExists(
+        "durable state already present in " + options.wal_dir +
+        "; Recover it and re-subscribe from its position instead");
+  }
+
+  const uint64_t program_fp = ProgramFingerprint(program);
+  const uint64_t options_fp = OptionsFingerprint(options);
+  auto session = std::make_unique<InferenceSession>(program, options);
+  if (shared_pool != nullptr) {
+    session->pool_ = shared_pool;
+  } else if (options.num_threads > 1) {
+    session->owned_pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    session->pool_ = session->owned_pool_.get();
+  }
+  // Restore before touching the disk: a snapshot from a primary with a
+  // different program or inference options is refused by the fingerprint
+  // checks, leaving the directory empty rather than wedged.
+  TUFFY_RETURN_IF_ERROR(
+      session->RestoreFromSnapshot(snapshot_payload, program_fp, options_fp));
+  if (session->wal_records_ != 0) {
+    return Status::InvalidArgument(
+        "shipped snapshot was not rebased to the follower timeline");
+  }
+  session->wal_base_ = primary_position;
+
+  // Same init-under-temp-name discipline as Open: wal.log's presence is
+  // the commit point, and everything before it is overwritable litter.
+  const std::string init_path = wal_path + ".init";
+  TUFFY_ASSIGN_OR_RETURN(session->wal_, WalWriter::Create(init_path));
+  BinaryWriter hdr;
+  hdr.U8(kWalRecordHeader);
+  hdr.U32(kWalMagic);
+  hdr.U32(kWalVersion);
+  hdr.U64(program_fp);
+  hdr.U64(options_fp);
+  hdr.U64(primary_position);
+  TUFFY_RETURN_IF_ERROR(session->wal_->Append(hdr.Take()));
+  TUFFY_RETURN_IF_ERROR(session->wal_->Sync());
+  // Local snapshot 0 = the shipped state, so a restart recovers without
+  // the primary's help.
+  TUFFY_RETURN_IF_ERROR(session->WriteSnapshot());
+  if (std::rename(init_path.c_str(), wal_path.c_str()) != 0) {
+    return Status::IOError(StrFormat("cannot publish wal %s: %s",
+                                     wal_path.c_str(), std::strerror(errno)));
+  }
+  TUFFY_RETURN_IF_ERROR(SyncDir(options.wal_dir));
+  session->committed_.store(0, std::memory_order_release);
+  return session;
+}
+
+Result<DeltaApplyResult> InferenceSession::ApplyReplicatedRecord(
+    const std::string& payload) {
+  EvidenceDelta delta;
+  uint64_t rec_epoch = 0;
+  TUFFY_RETURN_IF_ERROR(DecodeDeltaRecord(payload, &delta, &rec_epoch));
+  if (rec_epoch != epoch_) {
+    return Status::Corruption(StrFormat(
+        "replicated record logged at epoch %llu, session is at %llu — the "
+        "streams diverged",
+        (unsigned long long)rec_epoch, (unsigned long long)epoch_));
+  }
+  // The normal durable path re-encodes the delta under the same epoch,
+  // producing byte-identical local log records — the follower's WAL is a
+  // suffix-for-suffix copy of the primary's.
+  return ApplyDelta(delta);
+}
+
+Status InferenceSession::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
 }
 
 void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,

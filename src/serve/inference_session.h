@@ -1,6 +1,7 @@
 #ifndef TUFFY_SERVE_INFERENCE_SESSION_H_
 #define TUFFY_SERVE_INFERENCE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -109,6 +110,32 @@ struct RecoveryStats {
   uint64_t truncated_bytes = 0;
 };
 
+/// Decoded WAL header record (record 0 of every durable session log).
+struct WalHeaderInfo {
+  uint32_t version = 0;
+  uint64_t program_fp = 0;
+  uint64_t options_fp = 0;
+  /// Primary-timeline position of this log's first delta record minus
+  /// one: the log retains records (base_records, base_records + count].
+  /// 0 for a session that originated its own timeline; a follower
+  /// bootstrapped from a shipped snapshot at primary position N writes
+  /// N here. This is the retained-prefix accounting the replication
+  /// handshake consults — a subscriber behind base_records needs a
+  /// snapshot, not a WAL suffix.
+  uint64_t base_records = 0;
+};
+
+/// Parses a WAL header record payload (Corruption on malformed bytes or
+/// a bad magic/version). Headers written before base_records existed
+/// parse with base_records = 0.
+Status ParseWalHeader(const std::string& payload, WalHeaderInfo* out);
+
+/// Rewrites the wal_records field of a snapshot payload to 0, for
+/// shipping to a cold follower: the follower's local log starts empty at
+/// exactly this state, so on its local timeline the snapshot has
+/// absorbed zero records. The fingerprints and state bytes are untouched.
+Status RebaseSnapshotPayloadForShipping(std::string* payload);
+
 /// Cumulative session counters.
 struct SessionStats {
   size_t deltas_applied = 0;
@@ -158,6 +185,33 @@ class InferenceSession {
       const MlnProgram& program, SessionOptions options,
       ThreadPool* shared_pool = nullptr, RecoveryStats* stats = nullptr);
 
+  /// Builds a durable session for a cold follower from a primary's
+  /// shipped snapshot (already rebased via
+  /// RebaseSnapshotPayloadForShipping). `primary_position` is the
+  /// primary-timeline record count the snapshot state has absorbed; it
+  /// becomes this session's wal_base(). The local WAL starts empty (its
+  /// header carries the base), a local snapshot-0 re-anchors the state,
+  /// and subsequent ApplyReplicatedRecord calls log locally as records
+  /// 1, 2, ... — so a restart recovers with plain Recover() and resumes
+  /// subscribing at wal_base() + wal_records(). options.wal_dir must not
+  /// already hold durable state.
+  static Result<std::unique_ptr<InferenceSession>> BootstrapFollower(
+      const MlnProgram& program, SessionOptions options,
+      const std::string& snapshot_payload, uint64_t primary_position,
+      ThreadPool* shared_pool = nullptr);
+
+  /// Applies one shipped WAL record payload (a primary's delta record,
+  /// verbatim) through the normal durable ApplyDelta path: the record is
+  /// decoded, its logged epoch checked against this session's, and the
+  /// delta re-applied — which re-encodes byte-identical bytes into the
+  /// local log. Corruption on an epoch mismatch (the streams diverged).
+  /// An InvalidArgument result mirrors the primary's own rejection of
+  /// that delta and still advances the log, exactly like replay.
+  Result<DeltaApplyResult> ApplyReplicatedRecord(const std::string& payload);
+
+  /// fsync barrier on the local WAL, if any — promotion's seal.
+  Status SyncWal();
+
   /// Applies one evidence delta end to end: delta grounding, dirty
   /// component re-search, marginal refresh. An effectively-empty delta
   /// returns the cached result without touching the clause set, the
@@ -201,6 +255,19 @@ class InferenceSession {
   /// Resident footprint for SessionManager admission: grounder state,
   /// truth/marginal vectors, component structure, verification arena.
   size_t EstimateBytes() const;
+
+  /// Primary-timeline position of this log's record 0 (see
+  /// WalHeaderInfo::base_records). Constant after Open/Recover/Bootstrap.
+  uint64_t wal_base() const { return wal_base_; }
+  /// Delta records in the local log (local timeline).
+  uint64_t wal_records() const { return wal_records_; }
+  /// Local records whose bytes have reached the log's durability level
+  /// (post-fsync under wal_fsync, post-append otherwise). Safe to read
+  /// from any thread; the replication source ships only up to here, so a
+  /// follower never applies a record the primary could lose.
+  uint64_t committed_records() const {
+    return committed_.load(std::memory_order_acquire);
+  }
 
  private:
   /// Per-component wall-clock bounds captured by pool workers. Each
@@ -276,6 +343,11 @@ class InferenceSession {
   /// Delta records logged so far; doubles as the snapshot sequence
   /// number ("state after consuming N WAL records").
   uint64_t wal_records_ = 0;
+  /// Mirror of wal_records_ published after each durability barrier, for
+  /// cross-thread readers (committed_records()).
+  std::atomic<uint64_t> committed_{0};
+  /// Primary-timeline offset of the local log (header base_records).
+  uint64_t wal_base_ = 0;
   uint32_t deltas_since_snapshot_ = 0;
   /// Set when a WAL append/sync or snapshot write failed: the durable
   /// log no longer reflects the resident state, so every later delta is

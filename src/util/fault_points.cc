@@ -25,6 +25,10 @@ const std::vector<const char*>& FaultPoints::Registry() {
       "disk.read_page",
       "disk.write_page",
       "disk.sync",
+      // Replication stream (src/repl/, src/net/, src/serve/).
+      "repl.ship.mid_record",  // cut a kWalRecords frame mid-bytes
+      "repl.ack.drop",         // follower applies but never acks
+      "net.send.partial",      // server flushes half a frame, then drops
   };
   return kPoints;
 }

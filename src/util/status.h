@@ -23,6 +23,9 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kNotImplemented,
+  /// The service cannot serve this request here or now (e.g. a replica
+  /// refusing a write); the caller should retry elsewhere or later.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -68,6 +71,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

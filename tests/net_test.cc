@@ -4,9 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "durability/snapshot.h"
@@ -500,6 +502,36 @@ TEST_F(NetTest, TruncatedFrameThenDisconnectLeavesServerHealthy) {
   EXPECT_EQ(open.value().type, MsgType::kOpenReply);
   // A partial frame is just bytes in flight, not a protocol error.
   EXPECT_EQ(server_->metrics().protocol_errors, 0u);
+}
+
+TEST_F(NetTest, IdleAndHalfOpenConnectionsAreReaped) {
+  ServerOptions opts;
+  opts.idle_timeout_seconds = 0.2;
+  opts.read_deadline_seconds = 0.15;
+  StartServer(opts);
+
+  // One connection goes silent after a successful call; one starts a
+  // frame and never finishes it. The sweep must reap both — the idle
+  // one on the idle timeout, the half-open one on the read deadline.
+  Client idle = MakeClient();
+  ASSERT_TRUE(idle.OpenSession("s1").ok());
+  Client half = MakeClient();
+  const std::string frame = EncodeFrame(EncodeRequest(NetRequest{}));
+  ASSERT_EQ(::send(half.fd(), frame.data(), frame.size() / 2, 0),
+            static_cast<ssize_t>(frame.size() / 2));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->metrics().connections_reaped < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server_->metrics().connections_reaped, 2u);
+  EXPECT_EQ(server_->metrics().connections_open, 0u);
+
+  // The reaped socket is dead: the next call fails at transport level.
+  auto r = idle.Stats();
+  EXPECT_FALSE(r.ok());
 }
 
 TEST_F(NetTest, UnknownTagGetsErrorReplyAndConnectionLives) {
