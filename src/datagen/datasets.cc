@@ -275,4 +275,90 @@ std::vector<GroundClause> MakeExample1Mrf(int num_components) {
   return clauses;
 }
 
+// ---------------------------------------------------- tractable fragment
+
+std::vector<GroundClause> MakeTractableMrf(const TractableMrfParams& params,
+                                           size_t* num_atoms_out) {
+  Rng rng(params.seed);
+  std::vector<GroundClause> clauses;
+  size_t base = 0;
+  // Dyadic weights (multiples of 1/8, in [1/8, 2]): FP sums of these are
+  // exact in any order, so the oracle can assert cost equality.
+  auto dyadic = [&rng](bool allow_negative, double negative_prob) {
+    double w = static_cast<double>(rng.UniformInt(1, 16)) / 8.0;
+    if (allow_negative && rng.Bernoulli(negative_prob)) w = -w;
+    return w;
+  };
+  for (int comp = 0; comp < params.num_components; ++comp) {
+    const int k =
+        static_cast<int>(rng.UniformInt(params.min_atoms, params.max_atoms));
+    // Hidden satisfying assignment: every hard clause below is adjusted
+    // to be satisfied by it, so no component is hard-unsatisfiable and
+    // hard-unit propagation can never derive a contradiction.
+    std::vector<uint8_t> hidden(k);
+    for (int j = 0; j < k; ++j) hidden[j] = rng.Bernoulli(0.5) ? 1 : 0;
+    std::vector<int> parent(k, -1);
+
+    auto add_binary = [&](int u, int v) {
+      GroundClause c;
+      bool su = rng.Bernoulli(0.5), sv = rng.Bernoulli(0.5);
+      if (rng.Bernoulli(params.hard_prob)) {
+        // Keep it satisfiable: if the hidden assignment misses both
+        // literals, point the second one at it.
+        if ((hidden[u] != 0) != su && (hidden[v] != 0) != sv) {
+          sv = hidden[v] != 0;
+        }
+        c.hard = true;
+      } else {
+        c.weight = dyadic(true, params.negative_prob);
+      }
+      c.lits = {MakeLit(static_cast<AtomId>(base + u), su),
+                MakeLit(static_cast<AtomId>(base + v), sv)};
+      clauses.push_back(std::move(c));
+    };
+
+    for (int j = 1; j < k; ++j) {
+      parent[j] = static_cast<int>(rng.UniformInt(0, j - 1));
+      add_binary(parent[j], j);
+      if (rng.Bernoulli(params.extra_pair_prob)) add_binary(parent[j], j);
+    }
+    for (int j = 0; j < k; ++j) {
+      if (!rng.Bernoulli(params.unit_prob)) continue;
+      GroundClause c;
+      c.lits = {MakeLit(static_cast<AtomId>(base + j), rng.Bernoulli(0.5))};
+      c.weight = dyadic(true, params.negative_prob);
+      clauses.push_back(std::move(c));
+    }
+    if (k >= 3 && rng.Bernoulli(params.conditioned_prob)) {
+      // Conditioned / TML-style case: a hard unit pins atom 0, and a
+      // 3-literal clause whose atom-0 literal disagrees with the pinned
+      // value shrinks to a binary clause over an existing tree edge.
+      GroundClause unit;
+      unit.lits = {MakeLit(static_cast<AtomId>(base), hidden[0] != 0)};
+      unit.hard = true;
+      clauses.push_back(std::move(unit));
+
+      const int j = static_cast<int>(rng.UniformInt(1, k - 1));
+      const int u = parent[j], v = j;
+      GroundClause wide;
+      bool su = rng.Bernoulli(0.5), sv = rng.Bernoulli(0.5);
+      if (rng.Bernoulli(params.hard_prob)) {
+        if ((hidden[u] != 0) != su && (hidden[v] != 0) != sv) {
+          sv = hidden[v] != 0;
+        }
+        wide.hard = true;
+      } else {
+        wide.weight = dyadic(true, params.negative_prob);
+      }
+      wide.lits = {MakeLit(static_cast<AtomId>(base), hidden[0] == 0),
+                   MakeLit(static_cast<AtomId>(base + u), su),
+                   MakeLit(static_cast<AtomId>(base + v), sv)};
+      clauses.push_back(std::move(wide));
+    }
+    base += static_cast<size_t>(k);
+  }
+  if (num_atoms_out != nullptr) *num_atoms_out = base;
+  return clauses;
+}
+
 }  // namespace tuffy

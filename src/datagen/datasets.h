@@ -83,6 +83,38 @@ Result<Dataset> MakeErDataset(const ErParams& params);
 /// cost N (each negative clause is satisfied).
 std::vector<GroundClause> MakeExample1Mrf(int num_components);
 
+/// Randomized MRF guaranteed inside the tractable fragment of
+/// src/infer/exact (docs/INFERENCE_EXACT.md), for the exact-oracle
+/// harness. Per component: a random spanning tree of binary clauses
+/// (plus optional parallel clauses over existing edges), optional unit
+/// clauses, optional hard binary clauses, and optionally a hard unit
+/// plus a 3-literal clause that hard-unit propagation shrinks to binary
+/// (the conditioned/TML-style case). All weights are dyadic (multiples
+/// of 1/8), so cost sums are FP-exact in any order, and every hard
+/// clause is satisfied by a hidden random assignment — the component is
+/// never hard-unsatisfiable.
+struct TractableMrfParams {
+  int num_components = 10;
+  int min_atoms = 1;
+  int max_atoms = 8;
+  /// Per-atom probability of a soft unit clause.
+  double unit_prob = 0.7;
+  /// Per-tree-edge probability of one extra parallel binary clause.
+  double extra_pair_prob = 0.3;
+  /// Per-binary-clause probability of being hard.
+  double hard_prob = 0.15;
+  /// Per-soft-clause probability of a negative weight.
+  double negative_prob = 0.3;
+  /// Per-component probability of the conditioned case: a hard unit on
+  /// atom 0 plus a 3-literal clause it shrinks to binary.
+  double conditioned_prob = 0.3;
+  uint64_t seed = 7;
+};
+/// `num_atoms_out` receives the total atom count (atoms of clause-less
+/// single-atom components included, which appear in no clause).
+std::vector<GroundClause> MakeTractableMrf(const TractableMrfParams& params,
+                                           size_t* num_atoms_out);
+
 }  // namespace tuffy
 
 #endif  // TUFFY_DATAGEN_DATASETS_H_

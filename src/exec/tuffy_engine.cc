@@ -8,6 +8,7 @@
 #include "ground/top_down_grounder.h"
 #include "infer/component_walksat.h"
 #include "infer/disk_walksat.h"
+#include "infer/exact/exact_solver.h"
 #include "infer/gauss_seidel.h"
 #include "infer/mcsat.h"
 #include "mrf/bin_packing.h"
@@ -198,6 +199,7 @@ Status TuffyEngine::RunSearch(EngineResult* result) {
         copts.hard_weight = options_.hard_weight;
         copts.timeout_seconds = options_.timeout_seconds;
         copts.init_random = options_.init_random;
+        copts.use_exact = options_.exact_fast_path;
         ComponentSearchResult cr = RunComponentWalkSat(
             num_atoms, batch_clauses, batch_components, copts,
             DeriveSeed(options_.seed,
@@ -209,6 +211,7 @@ Status TuffyEngine::RunSearch(EngineResult* result) {
           }
         }
         result->flips += cr.flips;
+        result->exact_components += cr.exact_components;
         double offset = timer.ElapsedSeconds() - cr.seconds;
         for (const TracePoint& tp : cr.trace) {
           result->trace.push_back(
@@ -313,13 +316,52 @@ Result<EngineResult> TuffyEngine::Run() {
     Timer search_timer;
     const size_t n = result.grounding.atoms.num_atoms();
     if (n > 0) {
-      Problem whole = MakeWholeProblem(n, result.grounding.clauses.clauses());
+      const std::vector<GroundClause>& gclauses =
+          result.grounding.clauses.clauses();
       McSatOptions mopts;
       mopts.num_samples = options_.mcsat_samples;
       mopts.burn_in = options_.mcsat_burn_in;
       mopts.hard_weight = options_.hard_weight;
-      McSatResult mr = RunMcSat(whole, mopts, options_.seed);
-      result.marginals = std::move(mr.marginals);
+      // Tractable components get exact marginals; the rest go to MC-SAT.
+      // When nothing is tractable (or the fast path is off) this is the
+      // historical whole-problem MC-SAT, bit for bit.
+      std::vector<uint32_t> rest_clauses;
+      std::vector<AtomId> rest_atoms;
+      bool any_exact = false;
+      if (options_.exact_fast_path) {
+        result.marginals.assign(n, 0.0);
+        ComponentSet comps = DetectComponents(n, gclauses);
+        for (size_t i = 0; i < comps.num_components(); ++i) {
+          SubProblem sub =
+              BuildSubProblem(gclauses, comps.clauses[i], comps.atoms[i]);
+          ExactSolveResult ex = TrySolveExact(sub.problem,
+                                              options_.hard_weight,
+                                              /*want_marginals=*/true);
+          if (ex.solved) {
+            any_exact = true;
+            ++result.exact_components;
+            for (size_t j = 0; j < sub.global_atom.size(); ++j) {
+              result.marginals[sub.global_atom[j]] = ex.marginals[j];
+            }
+          } else {
+            rest_clauses.insert(rest_clauses.end(), comps.clauses[i].begin(),
+                                comps.clauses[i].end());
+            rest_atoms.insert(rest_atoms.end(), comps.atoms[i].begin(),
+                              comps.atoms[i].end());
+          }
+        }
+      }
+      if (!any_exact) {
+        Problem whole = MakeWholeProblem(n, gclauses);
+        McSatResult mr = RunMcSat(whole, mopts, options_.seed);
+        result.marginals = std::move(mr.marginals);
+      } else if (!rest_atoms.empty()) {
+        SubProblem rest = BuildSubProblem(gclauses, rest_clauses, rest_atoms);
+        McSatResult mr = RunMcSat(rest.problem, mopts, options_.seed);
+        for (size_t j = 0; j < rest.global_atom.size(); ++j) {
+          result.marginals[rest.global_atom[j]] = mr.marginals[j];
+        }
+      }
       // The MAP-style fields still get a best-effort thresholded state.
       result.truth.assign(n, 0);
       for (size_t a = 0; a < n; ++a) {
@@ -387,6 +429,7 @@ SessionOptions TranslateSessionOptions(const EngineOptions& options) {
   sopts.num_threads = options.num_threads;
   sopts.init_random = options.init_random;
   sopts.seed = options.seed;
+  sopts.exact_fast_path = options.exact_fast_path;
   sopts.track_marginals = options.task == InferenceTask::kMarginal;
   sopts.mcsat_samples = options.mcsat_samples;
   sopts.mcsat_burn_in = options.mcsat_burn_in;

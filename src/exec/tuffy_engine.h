@@ -59,6 +59,11 @@ struct EngineOptions {
   int num_threads = 1;
   bool init_random = true;
 
+  /// Route tractable components (src/infer/exact) to the exact
+  /// linear-time solver instead of WalkSAT / MC-SAT. Lesion toggle:
+  /// false reproduces pure-sampler behavior everywhere.
+  bool exact_fast_path = true;
+
   /// Memory budget in bytes for search state. Bounds the partition size
   /// (kPartitionAware) and the FFD batch capacity (kComponentAware).
   /// 0 = unlimited.
@@ -108,6 +113,9 @@ struct EngineResult {
   uint64_t flips = 0;
   size_t num_components = 0;
   size_t num_partitions = 0;
+  /// Components answered by the exact solver (kComponentAware search
+  /// and the marginal task; zero when exact_fast_path is off).
+  size_t exact_components = 0;
   /// Best-cost-so-far samples over the search (times relative to search
   /// start).
   std::vector<TracePoint> trace;

@@ -75,4 +75,42 @@ Result<std::vector<double>> ExactMarginals(const Problem& problem,
   return numer;
 }
 
+Result<double> ExactLogZ(const Problem& problem, size_t max_atoms) {
+  if (problem.num_atoms > max_atoms) {
+    return Status::InvalidArgument(
+        StrFormat("%zu atoms exceeds brute-force limit %zu",
+                  problem.num_atoms, max_atoms));
+  }
+  double z = 0.0;
+  std::vector<uint8_t> truth(problem.num_atoms, 0);
+  uint64_t worlds = 1ull << problem.num_atoms;
+  for (uint64_t w = 0; w < worlds; ++w) {
+    bool hard_violated = false;
+    for (size_t i = 0; i < problem.num_atoms; ++i) {
+      truth[i] = (w >> i) & 1 ? 1 : 0;
+    }
+    double cost = 0.0;
+    for (const SearchClause& c : problem.clauses) {
+      bool is_true = false;
+      for (Lit l : c.lits) {
+        if ((truth[LitAtom(l)] != 0) == LitPositive(l)) {
+          is_true = true;
+          break;
+        }
+      }
+      if (c.hard) {
+        if (!is_true) hard_violated = true;
+      } else if (c.weight > 0 && !is_true) {
+        cost += c.weight;
+      } else if (c.weight < 0 && is_true) {
+        cost += -c.weight;
+      }
+    }
+    if (hard_violated) continue;
+    z += std::exp(-cost);
+  }
+  if (z <= 0) return Status::Internal("no world satisfies the hard clauses");
+  return std::log(z);
+}
+
 }  // namespace tuffy

@@ -24,6 +24,11 @@ Result<ExactMapResult> ExactMap(const Problem& problem, double hard_weight,
 Result<std::vector<double>> ExactMarginals(const Problem& problem,
                                            size_t max_atoms = 20);
 
+/// Exact ln Z = ln Σ_I exp(-soft_cost(I)) over worlds satisfying every
+/// hard clause, by exhaustive enumeration. Errors when no world
+/// satisfies the hard clauses (Z = 0).
+Result<double> ExactLogZ(const Problem& problem, size_t max_atoms = 20);
+
 }  // namespace tuffy
 
 #endif  // TUFFY_INFER_BRUTE_FORCE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "infer/exact/exact_solver.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -23,10 +24,30 @@ ComponentSearchResult RunComponentWalkSat(
   std::vector<std::unique_ptr<IncrementalWalkSat>> searchers(k);
   std::vector<uint64_t> budget(k, 0);
 
+  std::vector<uint8_t> exact(k, 0);
+  std::vector<double> exact_cost(k, 0.0);
+
   uint64_t total_atoms = num_atoms > 0 ? num_atoms : 1;
   for (size_t i = 0; i < k; ++i) {
     subs[i] =
         BuildSubProblem(clauses, components.clauses[i], components.atoms[i]);
+    // Tractable components skip WalkSAT entirely: the exact solver is
+    // deterministic, so bit-identity across thread counts is preserved,
+    // and per-component seeds stay keyed by component index either way.
+    if (options.use_exact) {
+      ExactSolveResult ex = TrySolveExact(subs[i].problem,
+                                          options.hard_weight,
+                                          /*want_marginals=*/false);
+      if (ex.solved) {
+        exact[i] = 1;
+        exact_cost[i] = ex.map_cost;
+        for (size_t j = 0; j < subs[i].global_atom.size(); ++j) {
+          result.truth[subs[i].global_atom[j]] = ex.truth[j];
+        }
+        ++result.exact_components;
+        continue;
+      }
+    }
     rngs[i] = std::make_unique<Rng>(DeriveSeed(seed, i));
     // Constructing the searcher here (still on this thread) builds the
     // sub-problem's CSR clause arena; the thread-pool workers below only
@@ -66,6 +87,10 @@ ComponentSearchResult RunComponentWalkSat(
     double total_best = 0.0;
     uint64_t total_flips = 0;
     for (size_t i = 0; i < k; ++i) {
+      if (exact[i]) {
+        total_best += exact_cost[i];
+        continue;
+      }
       total_best += searchers[i]->best_cost();
       total_flips += searchers[i]->flips();
     }
@@ -77,6 +102,10 @@ ComponentSearchResult RunComponentWalkSat(
   result.cost = 0.0;
   result.flips = 0;
   for (size_t i = 0; i < k; ++i) {
+    if (exact[i]) {
+      result.cost += exact_cost[i];  // truth already scattered above
+      continue;
+    }
     result.cost += searchers[i]->best_cost();
     result.flips += searchers[i]->flips();
     const std::vector<uint8_t>& best = searchers[i]->best_truth();

@@ -23,6 +23,10 @@ struct ComponentSearchOptions {
   double hard_weight = 1e6;
   double timeout_seconds = std::numeric_limits<double>::infinity();
   bool init_random = true;
+  /// Route components in the tractable fragment (infer/exact) to the
+  /// exact linear-time solver instead of WalkSAT. Lesion toggle: off
+  /// reproduces pure sampler behavior.
+  bool use_exact = true;
 };
 
 struct ComponentSearchResult {
@@ -32,6 +36,8 @@ struct ComponentSearchResult {
   double cost = 0.0;
   uint64_t flips = 0;
   double seconds = 0.0;
+  /// Components solved exactly (no flips spent on them).
+  size_t exact_components = 0;
   std::vector<TracePoint> trace;
   /// Measured bytes of all simultaneously-resident search state (CSR
   /// arenas + per-searcher occurrence/delta arrays).

@@ -1,0 +1,286 @@
+#include "infer/exact/exact_solver.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace tuffy {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double LogSumExp2(double a, double b) {
+  const double m = a > b ? a : b;
+  if (m == kNegInf) return kNegInf;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+/// P(true) from log-beliefs (b0, b1), computed stably.
+double MarginalFromLogBeliefs(double b0, double b1) {
+  if (b1 == kNegInf) return 0.0;
+  if (b0 == kNegInf) return 1.0;
+  return 1.0 / (1.0 + std::exp(b0 - b1));
+}
+
+}  // namespace
+
+ExactSolveResult TrySolveExact(const Problem& problem, double hard_weight,
+                               bool want_marginals) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* components_ctr = reg.GetCounter("search.exact.components");
+  static Counter* atoms_ctr = reg.GetCounter("search.exact.atoms");
+  static Counter* rejected_ctr = reg.GetCounter("search.exact.rejected");
+  static Histogram* seconds_hist = reg.GetHistogram("search.exact.seconds");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto stamp = [&] {
+    seconds_hist->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+
+  ExactSolveResult out;
+  TractableStructure st = AnalyzeTractable(problem);
+  out.fragment = st.fragment;
+  if (!st.tractable()) {
+    rejected_ctr->Add();
+    stamp();
+    return out;
+  }
+
+  const size_t n = problem.num_atoms;
+  const auto cell_of = [](const TractableStructure::Edge& e, uint32_t atom,
+                          int aval, int oval) {
+    // Tables are indexed [2*u_value + v_value]; orient by which end
+    // `atom` is.
+    return atom == e.u ? 2 * aval + oval : 2 * oval + aval;
+  };
+
+  // ---- MAP: iterative min-sum over each tree, then independent atoms.
+  out.truth.assign(n, 0);
+  for (size_t a = 0; a < n; ++a) {
+    if (st.forced[a] != -1) out.truth[a] = static_cast<uint8_t>(st.forced[a]);
+  }
+
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<uint32_t> order;  // preorder, concatenated across trees
+  order.reserve(n);
+  std::vector<uint32_t> parent(n, UINT32_MAX);
+  std::vector<uint32_t> parent_edge(n, UINT32_MAX);
+  std::vector<uint32_t> roots;
+  std::vector<uint32_t> stack;
+  for (uint32_t r = 0; r < n; ++r) {
+    if (visited[r] || st.adj[r].empty()) continue;
+    roots.push_back(r);
+    visited[r] = 1;
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const uint32_t v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (uint32_t ei : st.adj[v]) {
+        const TractableStructure::Edge& e = st.edges[ei];
+        const uint32_t w = e.u == v ? e.v : e.u;
+        if (visited[w]) continue;
+        visited[w] = 1;
+        parent[w] = v;
+        parent_edge[w] = ei;
+        stack.push_back(w);
+      }
+    }
+  }
+
+  // dp[2v+val]: min residual cost of v's subtree given v = val. Hard
+  // cells charge hard_weight each, mirroring EvalCost, so the argmin is
+  // optimal even among hard-violating worlds.
+  std::vector<double> dp(2 * n, 0.0);
+  std::vector<uint8_t> best_child_val(2 * n, 0);  // [2*child + parent_val]
+  for (uint32_t v : order) {
+    dp[2 * v + 0] = st.unary[2 * v + 0];
+    dp[2 * v + 1] = st.unary[2 * v + 1];
+  }
+  double map_internal = st.constant_cost;
+  for (size_t i = order.size(); i-- > 0;) {
+    const uint32_t v = order[i];
+    const uint32_t p = parent[v];
+    if (p == UINT32_MAX) {
+      // Root: close out this tree (ties prefer false).
+      const int rv = dp[2 * v + 1] < dp[2 * v + 0] ? 1 : 0;
+      out.truth[v] = static_cast<uint8_t>(rv);
+      map_internal += dp[2 * v + rv];
+      continue;
+    }
+    const TractableStructure::Edge& e = st.edges[parent_edge[v]];
+    for (int pv = 0; pv < 2; ++pv) {
+      double best = kNegInf;
+      int arg = 0;
+      for (int cv = 0; cv < 2; ++cv) {
+        const int cell = cell_of(e, p, pv, cv);
+        const double c =
+            dp[2 * v + cv] + e.cost[cell] + hard_weight * e.hard[cell];
+        if (best == kNegInf || c < best) {
+          best = c;
+          arg = cv;
+        }
+      }
+      dp[2 * p + pv] += best;
+      best_child_val[2 * v + pv] = static_cast<uint8_t>(arg);
+    }
+  }
+  for (const uint32_t v : order) {
+    if (parent[v] != UINT32_MAX) {
+      out.truth[v] = best_child_val[2 * v + out.truth[parent[v]]];
+    }
+  }
+  for (uint32_t a = 0; a < n; ++a) {
+    if (st.forced[a] != -1 || !st.adj[a].empty()) continue;
+    // Independent atom: unary decides; untouched atoms keep the false
+    // default (unary is zero there).
+    const int av = st.unary[2 * a + 1] < st.unary[2 * a + 0] ? 1 : 0;
+    out.truth[a] = static_cast<uint8_t>(av);
+    map_internal += st.unary[2 * a + av];
+  }
+  out.map_cost = problem.EvalCost(out.truth, hard_weight);
+
+  // Conditioning exactness guard: every world disagreeing with a
+  // hard-unit-propagated atom violates at least one hard clause, so it
+  // costs >= hard_weight. If the conditioned optimum beats that bound it
+  // is globally optimal; otherwise nothing is provable — hand the
+  // component back to the sampler.
+  if (st.fragment == ExactFragment::kConditioned &&
+      out.map_cost >= hard_weight) {
+    rejected_ctr->Add();
+    stamp();
+    return ExactSolveResult{false, st.fragment};
+  }
+
+  // ---- logZ (+ marginals on request): normalized sum-product in log
+  // space. Up pass computes per-tree logZ; the down pass uses
+  // prefix/suffix message sums so no message is ever divided out (hard
+  // cells make messages -inf, and -inf - -inf is NaN).
+  bool z_zero = false;
+  double log_z = -st.constant_cost;
+  // bup[2v+val]: log( exp(-unary) * prod child messages ).
+  std::vector<double> bup(2 * n, 0.0);
+  // um[2v+pv]: normalized log message v -> parent(v).
+  std::vector<double> um(2 * n, 0.0);
+  for (uint32_t v : order) {
+    bup[2 * v + 0] = -st.unary[2 * v + 0];
+    bup[2 * v + 1] = -st.unary[2 * v + 1];
+  }
+  double lognorm = 0.0;
+  for (size_t i = order.size(); i-- > 0;) {
+    const uint32_t v = order[i];
+    const uint32_t p = parent[v];
+    if (p == UINT32_MAX) {
+      const double lz_tree =
+          LogSumExp2(bup[2 * v + 0], bup[2 * v + 1]) + lognorm;
+      if (lz_tree == kNegInf) z_zero = true;
+      log_z += lz_tree;
+      lognorm = 0.0;  // trees are emitted contiguously in `order`
+      continue;
+    }
+    const TractableStructure::Edge& e = st.edges[parent_edge[v]];
+    for (int pv = 0; pv < 2; ++pv) {
+      double m = kNegInf;
+      for (int cv = 0; cv < 2; ++cv) {
+        const int cell = cell_of(e, p, pv, cv);
+        if (e.hard[cell]) continue;  // probability-zero cell
+        m = LogSumExp2(m, bup[2 * v + cv] - e.cost[cell]);
+      }
+      um[2 * v + pv] = m;
+    }
+    const double mx = um[2 * v + 0] > um[2 * v + 1] ? um[2 * v + 0]
+                                                    : um[2 * v + 1];
+    if (mx == kNegInf) {
+      z_zero = true;
+    } else {
+      um[2 * v + 0] -= mx;
+      um[2 * v + 1] -= mx;
+      lognorm += mx;
+      bup[2 * p + 0] += um[2 * v + 0];
+      bup[2 * p + 1] += um[2 * v + 1];
+    }
+  }
+  for (uint32_t a = 0; a < n; ++a) {
+    if (st.forced[a] != -1 || !st.adj[a].empty()) continue;
+    log_z += LogSumExp2(-st.unary[2 * a + 0], -st.unary[2 * a + 1]);
+  }
+  out.log_z_valid = !z_zero;
+  out.log_z = z_zero ? kNegInf : log_z;
+
+  if (want_marginals) {
+    if (z_zero) {
+      // Matches brute force's "no world satisfies the hard clauses":
+      // there is no distribution to report. Let the sampler cope.
+      rejected_ctr->Add();
+      stamp();
+      return ExactSolveResult{false, st.fragment};
+    }
+    out.marginals.assign(n, 0.0);
+    for (uint32_t a = 0; a < n; ++a) {
+      if (st.forced[a] != -1) {
+        out.marginals[a] = st.forced[a] ? 1.0 : 0.0;
+      } else if (st.adj[a].empty()) {
+        out.marginals[a] =
+            MarginalFromLogBeliefs(-st.unary[2 * a + 0], -st.unary[2 * a + 1]);
+      }
+    }
+    // Down pass (preorder): dn[2v+val] is the log message parent -> v.
+    std::vector<double> dn(2 * n, 0.0);
+    std::vector<std::vector<uint32_t>> children(n);
+    for (uint32_t v : order) {
+      if (parent[v] != UINT32_MAX) children[parent[v]].push_back(v);
+    }
+    std::vector<double> pre0, pre1;
+    for (const uint32_t p : order) {
+      out.marginals[p] =
+          MarginalFromLogBeliefs(bup[2 * p + 0] + dn[2 * p + 0],
+                                 bup[2 * p + 1] + dn[2 * p + 1]);
+      const std::vector<uint32_t>& ch = children[p];
+      if (ch.empty()) continue;
+      // Prefix sums of child messages; suffix accumulated on the fly.
+      pre0.assign(ch.size() + 1, 0.0);
+      pre1.assign(ch.size() + 1, 0.0);
+      for (size_t i = 0; i < ch.size(); ++i) {
+        pre0[i + 1] = pre0[i] + um[2 * ch[i] + 0];
+        pre1[i + 1] = pre1[i] + um[2 * ch[i] + 1];
+      }
+      double suf0 = 0.0, suf1 = 0.0;
+      for (size_t i = ch.size(); i-- > 0;) {
+        const uint32_t c = ch[i];
+        const TractableStructure::Edge& e = st.edges[parent_edge[c]];
+        // Belief at p excluding c's own message.
+        const double ex0 =
+            -st.unary[2 * p + 0] + dn[2 * p + 0] + pre0[i] + suf0;
+        const double ex1 =
+            -st.unary[2 * p + 1] + dn[2 * p + 1] + pre1[i] + suf1;
+        for (int cv = 0; cv < 2; ++cv) {
+          double m = kNegInf;
+          const int cell0 = cell_of(e, p, 0, cv);
+          const int cell1 = cell_of(e, p, 1, cv);
+          if (!e.hard[cell0]) m = LogSumExp2(m, ex0 - e.cost[cell0]);
+          if (!e.hard[cell1]) m = LogSumExp2(m, ex1 - e.cost[cell1]);
+          dn[2 * c + cv] = m;
+        }
+        const double mx = dn[2 * c + 0] > dn[2 * c + 1] ? dn[2 * c + 0]
+                                                        : dn[2 * c + 1];
+        // mx > -inf whenever Z_tree > 0, which z_zero ruled in above.
+        dn[2 * c + 0] -= mx;
+        dn[2 * c + 1] -= mx;
+        suf0 += um[2 * c + 0];
+        suf1 += um[2 * c + 1];
+      }
+    }
+  }
+
+  out.solved = true;
+  components_ctr->Add();
+  atoms_ctr->Add(n);
+  stamp();
+  return out;
+}
+
+}  // namespace tuffy

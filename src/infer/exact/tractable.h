@@ -1,0 +1,80 @@
+#ifndef TUFFY_INFER_EXACT_TRACTABLE_H_
+#define TUFFY_INFER_EXACT_TRACTABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/problem.h"
+
+namespace tuffy {
+
+/// Which tractable fragment a component falls into (docs/
+/// INFERENCE_EXACT.md). The fragments nest: kUnitOnly ⊂ kForest, and
+/// kConditioned is "kForest after conditioning on hard-unit-propagated
+/// atoms" — the TML-style case, where conditioning on the forced part of
+/// the domain (alchemy-lite's subclass/fact conditioning) shrinks wider
+/// clauses into the pairwise fragment.
+enum class ExactFragment : uint8_t {
+  kNotTractable = 0,
+  /// Every residual clause is a unit clause (this covers clause-less and
+  /// singleton components): atoms are independent.
+  kUnitOnly,
+  /// Unit + binary residual clauses whose atom-pair graph is a forest
+  /// (chains and trees; parallel clauses over one pair merge into a
+  /// single pairwise table and do not count as a cycle).
+  kForest,
+  /// kUnitOnly/kForest reached only after hard-unit propagation fixed
+  /// one or more atoms.
+  kConditioned,
+};
+
+const char* ExactFragmentName(ExactFragment fragment);
+
+/// The residual pairwise structure of a tractable problem, produced by
+/// AnalyzeTractable and consumed by the exact solver. All costs are the
+/// |w| violation charges of Section 2.2, partially evaluated against the
+/// forced atoms; hard violations are kept as cell flags (the solver
+/// charges hard_weight for MAP and probability zero for marginals).
+struct TractableStructure {
+  ExactFragment fragment = ExactFragment::kNotTractable;
+  bool tractable() const { return fragment != ExactFragment::kNotTractable; }
+
+  /// Per atom: -1 free, 0/1 pinned by hard-unit propagation.
+  std::vector<int8_t> forced;
+  /// Soft cost every world consistent with `forced` pays (clauses fully
+  /// resolved by conditioning, plus negative-weight tautologies).
+  double constant_cost = 0.0;
+  /// Per-atom soft cost of assigning the atom false/true (residual unit
+  /// clauses; residual hard clauses are never unit — propagation ate
+  /// them).
+  std::vector<double> unary;  // 2 * num_atoms, [2*a + value]
+  /// One merged pairwise table per atom pair with binary residual
+  /// clauses. cost/hard are indexed [2*u_value + v_value].
+  struct Edge {
+    uint32_t u = 0, v = 0;  // u < v, both unforced
+    double cost[4] = {0, 0, 0, 0};
+    // Number of hard clauses violated in this cell — a count, not a
+    // flag, so MAP's hard_weight charge matches EvalCost exactly even
+    // when several hard clauses share the cell.
+    uint8_t hard[4] = {0, 0, 0, 0};
+  };
+  std::vector<Edge> edges;
+  /// Per atom: appears in some residual clause (unary or pairwise).
+  /// Unforced atoms outside every residual clause are free: MAP-default
+  /// false, marginal exactly 1/2, and a factor of 2 in Z.
+  std::vector<uint8_t> touched;
+  /// Adjacency lists into `edges`, for the tree passes.
+  std::vector<std::vector<uint32_t>> adj;
+};
+
+/// Detects whether `problem` lies in the tractable fragment and, if so,
+/// builds the residual structure the exact solver runs on. Linear in the
+/// problem size for bounded clause width. Not tractable when: hard-unit
+/// propagation derives a contradiction, a residual clause keeps more
+/// than two unforced atoms, or the residual pair graph has a cycle
+/// through distinct atom pairs.
+TractableStructure AnalyzeTractable(const Problem& problem);
+
+}  // namespace tuffy
+
+#endif  // TUFFY_INFER_EXACT_TRACTABLE_H_

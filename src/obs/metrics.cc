@@ -96,6 +96,9 @@ MetricsRegistry::MetricsRegistry() {
            "ground.maintenance.rows",
            "search.component.count",
            "search.flips",
+           "search.exact.components",
+           "search.exact.atoms",
+           "search.exact.rejected",
            "serve.delta.count",
            "serve.request.count",
            "serve.error.count",
@@ -116,6 +119,7 @@ MetricsRegistry::MetricsRegistry() {
   for (const char* name : {
            "serve.delta.seconds",
            "net.lane.queue.wait.seconds",
+           "search.exact.seconds",
        }) {
     GetHistogram(name);
   }

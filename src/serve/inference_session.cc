@@ -9,6 +9,7 @@
 
 #include "durability/serialize.h"
 #include "durability/snapshot.h"
+#include "infer/exact/exact_solver.h"
 #include "infer/mcsat.h"
 #include "infer/walksat.h"
 #include "obs/flight_recorder.h"
@@ -51,6 +52,7 @@ uint64_t OptionsFingerprint(const SessionOptions& o) {
   mix(o.init_random ? 1 : 0);
   mix(o.seed);
   mix(o.track_marginals ? 1 : 0);
+  mix(o.exact_fast_path ? 1 : 0);
   mix(static_cast<uint64_t>(o.mcsat_samples));
   mix(static_cast<uint64_t>(o.mcsat_burn_in));
   mix(o.grounding.keep_zero_weight_clauses ? 1 : 0);
@@ -750,6 +752,8 @@ void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
   // Workers stamp their component's slot; slots become child spans after
   // the join. Indices are disjoint per worker, so no synchronization.
   std::vector<ComponentTiming> timings(trace != nullptr ? dirty.size() : 0);
+  // Workers stamp disjoint slots; summed into stats after the join.
+  std::vector<uint8_t> exact_flags(dirty.size(), 0);
 
   TaskGroup group(pool_);
   for (size_t i = 0; i < dirty.size(); ++i) {
@@ -763,9 +767,12 @@ void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
     const uint64_t search_seed = DeriveSeed(search_base, comp_key);
     const uint64_t mcsat_seed = DeriveSeed(mcsat_base, comp_key);
     ComponentTiming* timing = timings.empty() ? nullptr : &timings[i];
-    group.Submit([this, c, budget, cold, search_seed, mcsat_seed, timing] {
-      SearchOneComponent(c, budget, cold, search_seed, mcsat_seed, timing);
-    });
+    uint8_t* exact_flag = &exact_flags[i];
+    group.Submit(
+        [this, c, budget, cold, search_seed, mcsat_seed, timing, exact_flag] {
+          SearchOneComponent(c, budget, cold, search_seed, mcsat_seed, timing,
+                             exact_flag);
+        });
   }
   group.Wait();
 
@@ -788,6 +795,7 @@ void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
 
   for (size_t c : dirty) result->flips += comp_flips_[c];
   stats_.components_researched += dirty.size();
+  for (uint8_t f : exact_flags) stats_.components_exact += f;
   stats_.flips += result->flips;
   result->search_seconds = timer.ElapsedSeconds();
 
@@ -801,7 +809,8 @@ void InferenceSession::SearchComponents(const std::vector<size_t>& dirty,
 void InferenceSession::SearchOneComponent(size_t comp, uint64_t budget,
                                           bool cold, uint64_t search_seed,
                                           uint64_t mcsat_seed,
-                                          ComponentTiming* timing) {
+                                          ComponentTiming* timing,
+                                          uint8_t* exact_flag) {
   if (timing != nullptr) timing->start_ns = TraceNowNs();
   const std::vector<AtomId>& comp_atoms = comps_.atoms[comp];
   if (comps_.clauses[comp].empty()) {
@@ -825,6 +834,28 @@ void InferenceSession::SearchOneComponent(size_t comp, uint64_t budget,
 
   SubProblem sub =
       BuildSubProblem(grounder_.clauses(), comps_.clauses[comp], comp_atoms);
+
+  if (options_.exact_fast_path) {
+    // Tractable fragment: exact MAP (and marginals) in linear time, no
+    // flips. Deterministic, so warm vs cold and thread count cannot
+    // change the answer; the per-component seeds stay derived either
+    // way, so sampler components are unaffected by the routing.
+    ExactSolveResult ex = TrySolveExact(sub.problem, options_.hard_weight,
+                                        options_.track_marginals);
+    if (ex.solved) {
+      comp_cost_[comp] = ex.map_cost;
+      comp_flips_[comp] = 0;
+      for (size_t i = 0; i < comp_atoms.size(); ++i) {
+        truth_[comp_atoms[i]] = ex.truth[i];
+        if (options_.track_marginals) {
+          marginals_[comp_atoms[i]] = ex.marginals[i];
+        }
+      }
+      if (exact_flag != nullptr) *exact_flag = 1;
+      if (timing != nullptr) timing->end_ns = TraceNowNs();
+      return;
+    }
+  }
 
   WalkSatOptions wopts;
   wopts.p_random = options_.p_random;

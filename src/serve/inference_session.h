@@ -38,6 +38,11 @@ struct SessionOptions {
   bool track_marginals = false;
   int mcsat_samples = 200;
   int mcsat_burn_in = 20;
+  /// Route tractable dirty components (src/infer/exact) to the exact
+  /// linear-time solver instead of WalkSAT / MC-SAT. Part of the options
+  /// fingerprint: it changes component truths, so durable state is only
+  /// compatible with the setting it was produced under.
+  bool exact_fast_path = true;
   GroundingOptions grounding;  // lazy_closure is forced off
   OptimizerOptions optimizer;
 
@@ -141,6 +146,8 @@ struct SessionStats {
   size_t deltas_applied = 0;
   size_t no_op_deltas = 0;
   size_t components_researched = 0;
+  /// Of those, components answered by the exact solver.
+  size_t components_exact = 0;
   uint64_t flips = 0;
   /// Rebuilds of the verification arena (EvalCurrentCost). Stays flat
   /// across no-op deltas — the "empty delta touches nothing" guarantee.
@@ -290,7 +297,7 @@ class InferenceSession {
                         TraceBuilder* trace = nullptr);
   void SearchOneComponent(size_t comp, uint64_t budget, bool cold,
                           uint64_t search_seed, uint64_t mcsat_seed,
-                          ComponentTiming* timing);
+                          ComponentTiming* timing, uint8_t* exact_flag);
 
   /// Closes the root span, pushes the finished trace into the ring,
   /// logs it if the delta breached slow_delta_seconds, and stamps the

@@ -11,12 +11,14 @@
 #include <thread>
 #include <vector>
 
+#include "durability/serialize.h"
 #include "durability/snapshot.h"
 #include "mln/parser.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace tuffy {
 namespace {
@@ -231,6 +233,172 @@ TEST(NetProtocolTest, ForgedCountsFailDecodeInsteadOfAllocating) {
   const uint32_t forged = 0x7fffffff;
   std::memcpy(&payload[count_off], &forged, sizeof(forged));
   EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+// Seeded protocol fuzz: random bytes, bit-flipped mutations of valid
+// frames, and truncations must all come back as a clean verdict — no
+// crash, no allocation sized by attacker-controlled bytes. The frame
+// CRC catches most mutations; the ones that slip through (header-only
+// damage) land in the codecs, which bounds-check every count against
+// remaining() before allocating.
+TEST(NetProtocolTest, FuzzMutatedFramesAreRejectedWithoutCrashing) {
+  MlnProgram program = LinkProgram();
+
+  // Valid-payload corpus covering every message family.
+  std::vector<std::string> payloads;
+  {
+    NetRequest r;
+    r.type = MsgType::kApplyDelta;
+    r.request_id = 1;
+    r.session = "fuzz";
+    r.delta.Assert(Atom(program, "link", {"n0", "n1"}), true);
+    r.delta.Retract(Atom(program, "link", {"n2", "n3"}));
+    payloads.push_back(EncodeRequest(r));
+  }
+  {
+    NetRequest r;
+    r.type = MsgType::kOpenSession;
+    r.request_id = 2;
+    r.session = "fuzz";
+    r.program_fp = 0x1234567890abcdefull;
+    payloads.push_back(EncodeRequest(r));
+  }
+  {
+    NetRequest r;
+    r.type = MsgType::kQueryMarginals;
+    r.request_id = 3;
+    r.session = "fuzz";
+    r.predicate = "label";
+    payloads.push_back(EncodeRequest(r));
+  }
+  {
+    NetRequest r;
+    r.type = MsgType::kStats;
+    r.request_id = 4;
+    payloads.push_back(EncodeRequest(r));
+  }
+  {
+    NetResponse r;
+    r.type = MsgType::kDeltaReply;
+    r.request_id = 5;
+    r.seq = 9;
+    r.map_cost = 1.5;
+    payloads.push_back(EncodeResponse(r));
+  }
+  {
+    NetResponse r;
+    r.type = MsgType::kMarginalsReply;
+    r.request_id = 6;
+    r.marginals.emplace_back(Atom(program, "label", {"n1", "B"}), 0.75);
+    payloads.push_back(EncodeResponse(r));
+  }
+  {
+    NetResponse r;
+    r.type = MsgType::kStatsReply;
+    r.request_id = 7;
+    r.stats.emplace_back("flips", 123.0);
+    payloads.push_back(EncodeResponse(r));
+  }
+  {
+    NetResponse r;
+    r.type = MsgType::kError;
+    r.request_id = 8;
+    r.error = WireError::kOverloaded;
+    r.retryable = true;
+    r.message = "busy";
+    payloads.push_back(EncodeResponse(r));
+  }
+  std::vector<std::string> frames;
+  for (const std::string& p : payloads) frames.push_back(EncodeFrame(p));
+
+  Rng rng(20260808);
+  std::string payload;
+  size_t consumed = 0;
+  // Every outcome is acceptable except a crash; a successfully decoded
+  // frame additionally must respect the payload cap and feed the codecs
+  // without incident.
+  auto poke = [&](const std::string& bytes) {
+    FrameDecode d = TryDecodeFrame(bytes.data(), bytes.size(),
+                                   kDefaultMaxFrameBytes, &payload, &consumed);
+    if (d == FrameDecode::kFrame) {
+      ASSERT_LE(payload.size(), kDefaultMaxFrameBytes);
+      ASSERT_LE(consumed, bytes.size());
+      (void)DecodeRequest(payload);
+      (void)DecodeResponse(payload);
+      (void)PeekRequestId(payload);
+    }
+  };
+
+  constexpr int kIters = 10000;
+  for (int it = 0; it < kIters; ++it) {
+    switch (rng.Uniform(4)) {
+      case 0: {  // pure random bytes, straight into framing and codecs
+        std::string junk(1 + rng.Uniform(96), '\0');
+        for (char& c : junk) c = static_cast<char>(rng.Uniform(256));
+        poke(junk);
+        (void)DecodeRequest(junk);
+        (void)DecodeResponse(junk);
+        break;
+      }
+      case 1: {  // bit-flipped valid frame
+        std::string f = frames[rng.Uniform(frames.size())];
+        const int flips = 1 + static_cast<int>(rng.Uniform(4));
+        for (int k = 0; k < flips; ++k) {
+          f[rng.Uniform(f.size())] ^= static_cast<char>(1u << rng.Uniform(8));
+        }
+        poke(f);
+        break;
+      }
+      case 2: {  // truncated or zero-padded frame
+        std::string f = frames[rng.Uniform(frames.size())];
+        f.resize(rng.Uniform(f.size() + 8));
+        poke(f);
+        break;
+      }
+      case 3: {  // bit-flipped bare payload, bypassing the CRC shield
+        std::string p = payloads[rng.Uniform(payloads.size())];
+        const int flips = 1 + static_cast<int>(rng.Uniform(4));
+        for (int k = 0; k < flips; ++k) {
+          p[rng.Uniform(p.size())] ^= static_cast<char>(1u << rng.Uniform(8));
+        }
+        (void)DecodeRequest(p);
+        (void)DecodeResponse(p);
+        (void)PeekRequestId(p);
+        break;
+      }
+    }
+  }
+
+  // A tiny payload cap must veto every corpus frame from the header
+  // alone — the length field never sizes an allocation first.
+  for (const std::string& f : frames) {
+    EXPECT_NE(TryDecodeFrame(f.data(), f.size(), /*max_payload=*/4, &payload,
+                             &consumed),
+              FrameDecode::kFrame);
+  }
+
+  // BinaryReader primitives over random bytes: every read past the end
+  // zero-fills and latches the fail flag.
+  for (int it = 0; it < 2000; ++it) {
+    std::string junk(rng.Uniform(33), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.Uniform(256));
+    BinaryReader reader(junk.data(), junk.size());
+    // Every read consumes at least one byte while ok, so 64 reads always
+    // overrun a <= 32-byte buffer.
+    for (int k = 0; k < 64; ++k) {
+      switch (rng.Uniform(6)) {
+        case 0: reader.U8(); break;
+        case 1: reader.U16(); break;
+        case 2: reader.U32(); break;
+        case 3: reader.U64(); break;
+        case 4: reader.I64(); break;
+        default: reader.F64(); break;
+      }
+    }
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.U64(), 0u);
+    EXPECT_FALSE(reader.Exhausted());
+  }
 }
 
 TEST(NetProtocolTest, PeekRequestIdReadsIdFromAnyPayload) {
@@ -564,6 +732,9 @@ TEST_F(NetTest, FullQueueShedsWithRetryableOverload) {
   opts.num_workers = 1;
   opts.max_queue = 1;
   opts.session.total_flips = 200000;  // make each delta take a while
+  // The link components are tractable, so the exact fast path would
+  // answer each delta instantly and the queue would never back up.
+  opts.session.exact_fast_path = false;
   opts.session.seed = 11;
   StartServer(opts);
   Client client = MakeClient();

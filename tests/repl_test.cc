@@ -447,5 +447,52 @@ TEST_F(ReplTest, NotPrimaryOverTheWireUntilPromotion) {
   server_->Stop();
 }
 
+// Fan-out: one primary streams to three followers at once, and every
+// replica lands bit-identical to the twin. A slow follower (taken down
+// mid-stream) must not stall the primary or its peers — replication is
+// pull-paced per subscriber, not lockstep — and catches up over the WAL
+// suffix when it returns.
+TEST_F(ReplTest, ThreeFollowerFanOutDoesNotStallOnASlowOne) {
+  StartPrimary();
+  std::string dirs[3];
+  std::unique_ptr<FollowerManager> followers[3];
+  for (int i = 0; i < 3; ++i) {
+    dirs[i] = MakeTempDir("ffan" + std::to_string(i)) + "/" + kSession;
+    followers[i] = MakeFollower(dirs[i]);
+    ASSERT_TRUE(followers[i]->Start().ok());
+  }
+  for (auto& f : followers) {
+    ASSERT_TRUE(
+        WaitFor([&] { return f->state() == FollowerState::kStreaming; }));
+  }
+
+  // The first delta reaches all three.
+  ApplyOnPrimary(0);
+  for (auto& f : followers) {
+    ASSERT_TRUE(WaitFor([&] { return f->position() == 1; }));
+  }
+
+  // Follower 2 goes dark; the primary and the other two keep moving and
+  // finish the stream without it.
+  followers[2]->Stop();
+  for (size_t i = 1; i < deltas_.size(); ++i) ApplyOnPrimary(i);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(WaitFor(
+        [&] { return followers[i]->position() == deltas_.size(); }));
+    EXPECT_EQ(followers[i]->state(), FollowerState::kStreaming);
+  }
+
+  // The laggard rejoins and catches up over the WAL suffix alone.
+  followers[2] = MakeFollower(dirs[2]);
+  ASSERT_TRUE(followers[2]->Start().ok());
+  ASSERT_TRUE(
+      WaitFor([&] { return followers[2]->position() == deltas_.size(); }));
+
+  auto twin = Twin(deltas_.size());
+  for (auto& f : followers) ExpectReplicaMatches(*f, *twin);
+  for (auto& f : followers) f->Stop();
+  server_->Stop();
+}
+
 }  // namespace
 }  // namespace tuffy

@@ -8,7 +8,9 @@
 
 #include "datagen/datasets.h"
 #include "exec/tuffy_engine.h"
+#include "infer/exact/exact_solver.h"
 #include "mln/parser.h"
+#include "oracle_support.h"
 #include "serve/delta_grounder.h"
 #include "serve/session_manager.h"
 #include "util/mem_tracker.h"
@@ -414,6 +416,62 @@ TEST(ServeTest, MarginalsTrackFreshMcSat) {
     ++compared;
   }
   EXPECT_GT(compared, 0u);
+}
+
+// Sampler-vs-oracle under serving deltas: after every delta, each
+// tractable component's served marginals must equal a fresh exact solve
+// over the live clause set — whether the component was just re-searched
+// (dirty) or kept verbatim from an earlier epoch (clean). Clause-less
+// singletons are skipped: the session reports their evidence-determined
+// truth, which a fresh solve of an empty subproblem cannot see.
+TEST(ServeTest, ServedMarginalsMatchFreshExactSolveAfterEveryDelta) {
+  MlnProgram program = LinkProgram();
+  EvidenceDb evidence;
+  evidence.Add(Atom(program, "link", {"n0", "n1"}), true);
+  evidence.Add(Atom(program, "link", {"n1", "n2"}), true);
+  evidence.Add(Atom(program, "link", {"n3", "n4"}), true);
+  evidence.Add(Atom(program, "label", {"n0", "A"}), true);
+  evidence.Add(Atom(program, "label", {"n3", "B"}), true);
+
+  SessionOptions opts = TestSessionOptions();
+  opts.track_marginals = true;
+  opts.mcsat_samples = 100;
+  opts.mcsat_burn_in = 10;
+  InferenceSession session(program, opts);
+  ASSERT_TRUE(session.Open(evidence).ok());
+
+  auto check = [&](const std::string& label) {
+    std::vector<SubProblem> subs =
+        SplitComponents(session.atoms().num_atoms(), session.clauses());
+    size_t exact_comps = 0;
+    for (const SubProblem& sub : subs) {
+      if (sub.problem.clauses.empty()) continue;
+      ExactSolveResult ex =
+          TrySolveExact(sub.problem, opts.hard_weight, /*want_marginals=*/true);
+      if (!ex.solved) continue;  // intractable: served by MC-SAT
+      ++exact_comps;
+      for (size_t j = 0; j < sub.global_atom.size(); ++j) {
+        EXPECT_DOUBLE_EQ(session.marginals()[sub.global_atom[j]],
+                         ex.marginals[j])
+            << label << " atom " << sub.global_atom[j];
+      }
+    }
+    EXPECT_GT(exact_comps, 0u) << label;
+  };
+  check("cold start");
+
+  std::vector<EvidenceDelta> deltas(4);
+  deltas[0].Assert(Atom(program, "link", {"n2", "n3"}), true);  // merge
+  deltas[1].Retract(Atom(program, "link", {"n1", "n2"}));       // split
+  deltas[2].Assert(Atom(program, "label", {"n4", "A"}), true);
+  deltas[3].Retract(Atom(program, "link", {"n3", "n4"}));
+
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    auto r = session.ApplyDelta(deltas[i]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    check("after delta " + std::to_string(i));
+  }
+  EXPECT_GT(session.stats().components_exact, 0u);
 }
 
 TEST(ServeTest, EngineOpenSessionCarriesOptions) {
